@@ -1,0 +1,28 @@
+//! Criterion bench regenerating Figure 10 and Section 7 tables: trace-derived rates.
+//!
+//! The measured unit is one full regeneration of the figure's data at
+//! `Quality::Quick` (paper-scale regeneration is the `figures` binary's
+//! job; the bench tracks the cost of the underlying pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynaquar_bench::run_experiment;
+use dynaquar_core::experiments::Quality;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_trace_rates");
+    group.sample_size(10);
+    group.bench_function("fig10", |b| {
+        b.iter(|| black_box(run_experiment("fig10", Quality::Quick)))
+    });
+    group.bench_function("tab_limits", |b| {
+        b.iter(|| black_box(run_experiment("tab_limits", Quality::Quick)))
+    });
+    group.bench_function("tab_worms", |b| {
+        b.iter(|| black_box(run_experiment("tab_worms", Quality::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

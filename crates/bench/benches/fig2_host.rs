@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Figure 2: analytic host-based rate limiting.
+//!
+//! The measured unit is one full regeneration of the figure's data at
+//! `Quality::Quick` (paper-scale regeneration is the `figures` binary's
+//! job; the bench tracks the cost of the underlying pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynaquar_bench::run_experiment;
+use dynaquar_core::experiments::Quality;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_host");
+    group.sample_size(10);
+    group.bench_function("fig2", |b| {
+        b.iter(|| black_box(run_experiment("fig2", Quality::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

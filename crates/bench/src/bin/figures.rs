@@ -1,0 +1,128 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! figures [all | <exp_id>...] [--quick] [--csv <dir>] [--markdown <file>] [--list]
+//! ```
+//!
+//! With no arguments, runs every experiment at full quality and prints
+//! the per-curve summaries and shape-check verdicts. `--csv <dir>` also
+//! writes each figure's curves as `<dir>/<exp_id>.csv`.
+
+use dynaquar_bench::{render_markdown, render_output, run_experiment};
+use dynaquar_core::experiments::{self, Quality};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    ids: Vec<String>,
+    quality: Quality,
+    csv_dir: Option<PathBuf>,
+    markdown: Option<PathBuf>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ids = Vec::new();
+    let mut quality = Quality::Full;
+    let mut csv_dir = None;
+    let mut markdown = None;
+    let mut list = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => quality = Quality::Quick,
+            "--list" => list = true,
+            "--csv" => {
+                let dir = argv
+                    .next()
+                    .ok_or_else(|| "--csv requires a directory argument".to_string())?;
+                csv_dir = Some(PathBuf::from(dir));
+            }
+            "--markdown" => {
+                let file = argv
+                    .next()
+                    .ok_or_else(|| "--markdown requires a file argument".to_string())?;
+                markdown = Some(PathBuf::from(file));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: figures [all | <exp_id>...] [--quick] [--csv <dir>] \
+                     [--markdown <file>] [--list]"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::all().iter().map(|e| e.id.to_string()).collect();
+    }
+    Ok(Args {
+        ids,
+        quality,
+        csv_dir,
+        markdown,
+        list,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.list {
+        for e in experiments::all() {
+            println!("{:<12} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let known: Vec<&'static str> = experiments::all().iter().map(|e| e.id).collect();
+    let mut failed_checks = 0usize;
+    let mut markdown_doc = String::from("# Regenerated experiment report\n\n");
+    for id in &args.ids {
+        if !known.contains(&id.as_str()) {
+            eprintln!("unknown experiment id {id}; known ids: {known:?}");
+            return ExitCode::FAILURE;
+        }
+        let start = std::time::Instant::now();
+        let out = run_experiment(id, args.quality);
+        print!("{}", render_output(&out));
+        println!("    ({:.1?})", start.elapsed());
+        failed_checks += out.checks.iter().filter(|c| !c.passed).count();
+        if args.markdown.is_some() {
+            markdown_doc.push_str(&render_markdown(&out));
+        }
+        if let Some(dir) = &args.csv_dir {
+            let path = dir.join(format!("{id}.csv"));
+            if let Err(e) = std::fs::write(&path, out.series.to_csv()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(file) = &args.markdown {
+        if let Err(e) = std::fs::write(file, markdown_doc) {
+            eprintln!("cannot write {}: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if failed_checks > 0 {
+        eprintln!("{failed_checks} shape check(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,271 @@
+//! Ablation studies for the reproduction's design choices.
+//!
+//! These are *not* paper figures; they sweep the knobs DESIGN.md calls
+//! out — deployment fraction, path-coverage α, cap-weight normalization,
+//! and the collateral impact of caps on legitimate traffic — and are
+//! driven by the `ablations` Criterion bench and the `deployment_sweep`
+//! example.
+
+use crate::scenario::{Scenario, TopologySpec};
+use crate::strategy::{Deployment, RateLimitParams};
+use dynaquar_epidemic::TimeSeries;
+use dynaquar_netsim::background::{BackgroundStats, BackgroundTraffic};
+use dynaquar_netsim::config::SimConfig;
+use dynaquar_netsim::plan::{Normalization, RateLimitPlan};
+use dynaquar_netsim::runner::run_averaged;
+use dynaquar_netsim::{Simulator, World};
+use dynaquar_netsim::config::WormBehavior;
+use dynaquar_topology::roles::Role;
+use serde::{Deserialize, Serialize};
+
+/// One point of a deployment-fraction sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter value (fraction or α).
+    pub x: f64,
+    /// Time to 50 % infection (`None` when never reached within the
+    /// horizon — the strategy suppressed the worm).
+    pub t50: Option<f64>,
+    /// Slowdown relative to the sweep's `x = 0` baseline (`None` when
+    /// suppressed).
+    pub slowdown: Option<f64>,
+}
+
+/// Sweeps host-filter deployment fraction over `fractions`, returning
+/// the measured slowdown curve — Equation 3's linearity, measured in the
+/// packet simulator.
+///
+/// # Panics
+///
+/// Panics if `fractions` is empty or its first element is not `0.0`
+/// (the baseline).
+pub fn host_fraction_sweep(
+    spec: TopologySpec,
+    fractions: &[f64],
+    runs: usize,
+    horizon: u64,
+) -> Vec<SweepPoint> {
+    assert!(!fractions.is_empty(), "need at least one fraction");
+    assert_eq!(fractions[0], 0.0, "the sweep must start at the baseline");
+    let world = spec.build();
+    let base = Scenario::new(spec)
+        .beta(0.8)
+        .horizon(horizon)
+        .initial_infected(2)
+        .runs(runs);
+    let mut out = Vec::with_capacity(fractions.len());
+    let mut baseline_t50 = None;
+    for &q in fractions {
+        let outcome = base
+            .clone()
+            .deployment(Deployment::Hosts { fraction: q })
+            .run_simulated_on(&world);
+        let t50 = outcome.infected.time_to_reach(0.5);
+        if q == 0.0 {
+            baseline_t50 = t50;
+        }
+        let slowdown = match (baseline_t50, t50) {
+            (Some(b), Some(t)) if b > 0.0 => Some(t / b),
+            _ => None,
+        };
+        out.push(SweepPoint { x: q, t50, slowdown });
+    }
+    out
+}
+
+/// Sweeps the backbone per-router allowable rate (Equation 6's `r`
+/// analogue) and reports the resulting slowdowns.
+///
+/// # Panics
+///
+/// Panics if `node_caps` is empty.
+pub fn backbone_cap_sweep(
+    spec: TopologySpec,
+    node_caps: &[f64],
+    runs: usize,
+    horizon: u64,
+) -> Vec<SweepPoint> {
+    assert!(!node_caps.is_empty(), "need at least one cap");
+    let world = spec.build();
+    let base = Scenario::new(spec)
+        .beta(0.8)
+        .horizon(horizon)
+        .initial_infected(2)
+        .runs(runs);
+    let baseline = base.clone().run_simulated_on(&world);
+    let baseline_t50 = baseline.infected.time_to_reach(0.5);
+    let mut out = Vec::with_capacity(node_caps.len());
+    for &cap in node_caps {
+        let params = RateLimitParams {
+            link_base_cap: 0.3,
+            backbone_node_cap: Some(cap),
+            ..RateLimitParams::default()
+        };
+        let outcome = base
+            .clone()
+            .params(params)
+            .deployment(Deployment::Backbone)
+            .run_simulated_on(&world);
+        let t50 = outcome.infected.time_to_reach(0.5);
+        let slowdown = match (baseline_t50, t50) {
+            (Some(b), Some(t)) if b > 0.0 => Some(t / b),
+            _ => None,
+        };
+        out.push(SweepPoint { x: cap, t50, slowdown });
+    }
+    out
+}
+
+/// Outcome of the normalization ablation: worm slowdown and legitimate-
+/// traffic collateral for one cap-weight normalization mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalizationOutcome {
+    /// Human-readable mode name.
+    pub mode: String,
+    /// Worm's time to 50 % infection (`None` = suppressed).
+    pub t50: Option<f64>,
+    /// Background-traffic statistics under the worm flood.
+    pub background: BackgroundStats,
+    /// The worm curve.
+    pub infected: TimeSeries,
+}
+
+/// Compares cap-weight normalization modes (max-load, mean-load, flat)
+/// at the same base cap, measuring both worm suppression and collateral
+/// queueing on legitimate traffic — the trade-off behind the paper's
+/// "link weight proportional to the number of routing table entries".
+pub fn normalization_ablation(
+    spec: TopologySpec,
+    base_cap: f64,
+    background_rate: f64,
+    seeds: &[u64],
+    horizon: u64,
+) -> Vec<NormalizationOutcome> {
+    let world = spec.build();
+    let backbone = world.nodes_with_role(Role::Backbone);
+    let modes = [
+        ("max_load", Normalization::MaxLoad),
+        ("mean_load", Normalization::MeanLoad),
+        ("flat", Normalization::None),
+    ];
+    let mut out = Vec::new();
+    for (name, mode) in modes {
+        let mut plan = RateLimitPlan::none();
+        plan.weighted_link_caps_with(world.graph(), world.routing(), &backbone, base_cap, mode);
+        let config = SimConfig::builder()
+            .beta(0.8)
+            .horizon(horizon)
+            .initial_infected(2)
+            .background(BackgroundTraffic::new(background_rate))
+            .plan(plan)
+            .build()
+            .expect("valid configuration");
+        let avg = run_averaged(&world, &config, WormBehavior::random(), seeds);
+        // Aggregate background stats over the runs.
+        let mut background = BackgroundStats::default();
+        for r in &avg.runs {
+            background.injected += r.background.injected;
+            background.delivered += r.background.delivered;
+            background.total_delay_ticks += r.background.total_delay_ticks;
+            background.total_hops += r.background.total_hops;
+            background.max_delay_ticks = background.max_delay_ticks.max(r.background.max_delay_ticks);
+        }
+        out.push(NormalizationOutcome {
+            mode: name.to_string(),
+            t50: avg.infected_fraction.time_to_reach(0.5),
+            background,
+            infected: avg.infected_fraction,
+        });
+    }
+    out
+}
+
+/// Measures legitimate-traffic collateral for one explicit plan and
+/// seed — a convenience wrapper used by tests and examples.
+pub fn collateral_for_plan(
+    world: &World,
+    plan: RateLimitPlan,
+    background_rate: f64,
+    beta: f64,
+    horizon: u64,
+    seed: u64,
+) -> BackgroundStats {
+    let config = SimConfig::builder()
+        .beta(beta)
+        .horizon(horizon)
+        .initial_infected(1)
+        .background(BackgroundTraffic::new(background_rate))
+        .plan(plan)
+        .build()
+        .expect("valid configuration");
+    Simulator::new(world, &config, WormBehavior::random(), seed)
+        .run()
+        .background
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> TopologySpec {
+        TopologySpec::PowerLaw {
+            nodes: 200,
+            edges_per_node: 2,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn host_sweep_slowdown_is_monotone() {
+        let points = host_fraction_sweep(quick_spec(), &[0.0, 0.3, 0.6, 0.9], 2, 300);
+        assert_eq!(points.len(), 4);
+        assert!((points[0].slowdown.unwrap() - 1.0).abs() < 1e-9);
+        let mut prev = 0.0;
+        for p in &points {
+            let s = p.slowdown.unwrap_or(f64::INFINITY);
+            assert!(s >= prev - 0.15, "sweep not monotone at q = {}", p.x);
+            prev = s;
+        }
+        // Heavy deployment visibly slows the worm.
+        assert!(points[3].slowdown.is_none_or(|s| s > 1.3));
+    }
+
+    #[test]
+    fn backbone_sweep_tighter_caps_slow_more() {
+        let points = backbone_cap_sweep(quick_spec(), &[2.0, 0.2, 0.05], 2, 500);
+        assert_eq!(points.len(), 3);
+        let s = |i: usize| points[i].slowdown.unwrap_or(f64::INFINITY);
+        assert!(s(2) >= s(1) - 0.15);
+        assert!(s(1) >= s(0) - 0.15);
+        assert!(s(2) > 1.5);
+    }
+
+    #[test]
+    fn normalization_modes_trade_off_as_documented() {
+        let outcomes = normalization_ablation(quick_spec(), 1.0, 0.5, &[1, 2], 200);
+        assert_eq!(outcomes.len(), 3);
+        let by_mode = |m: &str| outcomes.iter().find(|o| o.mode == m).unwrap();
+        let max = by_mode("max_load");
+        let mean = by_mode("mean_load");
+        // Mean-normalization gives busy links generous caps, so the worm
+        // is at most as slowed as under max-normalization.
+        let t = |o: &NormalizationOutcome| o.t50.unwrap_or(f64::INFINITY);
+        assert!(t(max) >= t(mean) - 1.0, "max {:?} vs mean {:?}", max.t50, mean.t50);
+        // All modes keep delivering some background traffic.
+        for o in &outcomes {
+            assert!(o.background.injected > 0);
+            assert!(o.background.delivery_fraction() > 0.2, "{}", o.mode);
+        }
+    }
+
+    #[test]
+    fn collateral_without_worm_is_negligible() {
+        let world = quick_spec().build();
+        let backbone = world.nodes_with_role(Role::Backbone);
+        let mut plan = RateLimitPlan::none();
+        plan.weighted_link_caps(world.graph(), world.routing(), &backbone, 1.0);
+        let stats = collateral_for_plan(&world, plan, 0.3, 0.01, 300, 4);
+        assert!(stats.delivery_fraction() > 0.85);
+        assert!(stats.mean_queueing_delay() < 3.0);
+    }
+}

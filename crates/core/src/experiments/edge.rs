@@ -1,0 +1,288 @@
+//! Figures 3 and 5: edge-router rate limiting for random and
+//! local-preferential worms (Section 5.2).
+
+use super::{check, ExperimentOutput, Quality};
+use crate::scenario::{Scenario, TopologySpec};
+use crate::strategy::{Deployment, RateLimitParams};
+use dynaquar_epidemic::edge::{ScanAllocation, Targeting, TwoLevelModel};
+use dynaquar_epidemic::SeriesSet;
+use dynaquar_netsim::config::WormBehavior;
+
+/// Model parameters shared by the Figure 3 panels: 50 subnets of 20
+/// hosts, raw scan rate 0.8, local-preferential bias 0.9, edge cap 0.01
+/// (the paper's β₂).
+fn fig3_models() -> (TwoLevelModel, TwoLevelModel, TwoLevelModel) {
+    let base = ScanAllocation {
+        scan_rate: 0.8,
+        subnets: 50.0,
+        hosts_per_subnet: 20.0,
+        targeting: Targeting::LocalPreferential { local_bias: 0.9 },
+        edge_cap: None,
+    };
+    let lp_no_rl = TwoLevelModel::from_allocation(&base, 1.0).expect("valid");
+    let lp_rl = TwoLevelModel::from_allocation(
+        &ScanAllocation {
+            edge_cap: Some(0.01),
+            ..base
+        },
+        1.0,
+    )
+    .expect("valid");
+    let random_rl = TwoLevelModel::from_allocation(
+        &ScanAllocation {
+            targeting: Targeting::Random,
+            edge_cap: Some(0.01),
+            ..base
+        },
+        1.0,
+    )
+    .expect("valid");
+    (lp_no_rl, lp_rl, random_rl)
+}
+
+/// Figure 3(a): spread across subnets.
+pub fn fig3a(_quality: Quality) -> ExperimentOutput {
+    let (lp_no_rl, lp_rl, random_rl) = fig3_models();
+    let horizon = 300.0;
+    let dt = 0.5;
+
+    let mut series = SeriesSet::new(
+        "Analytical Model for random and local preferential worms across subnets with RL on edge routers",
+    );
+    series.push(
+        "No RL for local preferential propagation",
+        lp_no_rl.across_subnet_series(horizon, dt),
+    );
+    series.push(
+        "Local preferential propagation w/ RL",
+        lp_rl.across_subnet_series(horizon, dt),
+    );
+    series.push(
+        "Random propagation w/ RL",
+        random_rl.across_subnet_series(horizon, dt),
+    );
+
+    // Relative effectiveness: slowdown each worm suffers from the cap.
+    let random_no_rl = TwoLevelModel::from_allocation(
+        &ScanAllocation {
+            scan_rate: 0.8,
+            subnets: 50.0,
+            hosts_per_subnet: 20.0,
+            targeting: Targeting::Random,
+            edge_cap: None,
+        },
+        1.0,
+    )
+    .expect("valid");
+    let slowdown_random = random_no_rl.beta_inter() / random_rl.beta_inter();
+    let slowdown_lp = lp_no_rl.beta_inter() / lp_rl.beta_inter();
+
+    let checks = vec![
+        check(
+            "edge RL is far more effective against random worms than local-preferential ones",
+            slowdown_random > 5.0 * slowdown_lp,
+            format!("inter-rate slowdown: random {slowdown_random:.1}x, local-pref {slowdown_lp:.1}x"),
+        ),
+        check(
+            "with RL both worm types crawl across subnets relative to the unlimited baseline",
+            {
+                let t = |m: &TwoLevelModel| {
+                    m.across_subnet_series(5000.0, 2.0).time_to_reach(0.5)
+                };
+                match (t(&lp_no_rl), t(&lp_rl), t(&random_rl)) {
+                    (Some(base), Some(lp), Some(rnd)) => lp > 3.0 * base && rnd > 3.0 * base,
+                    _ => false,
+                }
+            },
+            "time-to-50%-subnets comparisons".to_string(),
+        ),
+    ];
+
+    ExperimentOutput {
+        id: "fig3a",
+        title: "Figure 3(a): analytic edge-router RL across subnets",
+        series,
+        notes: vec![
+            "50 subnets x 20 hosts, scan rate 0.8, LP bias 0.9, edge cap 0.01".to_string(),
+            format!(
+                "inter-subnet rates: LP no-RL {:.3}, LP RL {:.3}, random RL {:.3}",
+                lp_no_rl.beta_inter(),
+                lp_rl.beta_inter(),
+                random_rl.beta_inter()
+            ),
+        ],
+        checks,
+    }
+}
+
+/// Figure 3(b): spread within a subnet.
+pub fn fig3b(_quality: Quality) -> ExperimentOutput {
+    let (lp_no_rl, lp_rl, random_rl) = fig3_models();
+    let horizon = 300.0;
+    let dt = 0.5;
+
+    let mut series = SeriesSet::new(
+        "Analytical Model for random and local preferential worms within subnets with RL on edge routers",
+    );
+    series.push(
+        "No RL for local preferential propagation",
+        lp_no_rl.within_subnet_series(horizon, dt),
+    );
+    series.push(
+        "Local preferential propagation w/ RL",
+        lp_rl.within_subnet_series(horizon, dt),
+    );
+    series.push(
+        "Random propagation w/ RL",
+        random_rl.within_subnet_series(horizon, dt),
+    );
+
+    let t_lp_no_rl = lp_no_rl.within_subnet_series(5000.0, 1.0).time_to_reach(0.5);
+    let t_lp_rl = lp_rl.within_subnet_series(5000.0, 1.0).time_to_reach(0.5);
+    let t_random = random_rl.within_subnet_series(5000.0, 1.0).time_to_reach(0.5);
+
+    let checks = vec![
+        check(
+            "edge RL does not slow local-preferential spread within the subnet",
+            matches!((t_lp_no_rl, t_lp_rl), (Some(a), Some(b)) if (b - a).abs() < 0.05 * a.max(1.0)),
+            format!("t50 within subnet: LP no-RL {t_lp_no_rl:?}, LP RL {t_lp_rl:?}"),
+        ),
+        check(
+            "the random worm is far slower inside a subnet than the local-preferential one",
+            matches!((t_lp_rl, t_random), (Some(lp), Some(r)) if r > 10.0 * lp),
+            format!("t50 within subnet: LP {t_lp_rl:?}, random {t_random:?}"),
+        ),
+    ];
+
+    ExperimentOutput {
+        id: "fig3b",
+        title: "Figure 3(b): analytic edge-router RL within subnets",
+        series,
+        notes: vec![format!(
+            "intra-subnet rates: LP {:.3}, random {:.4}",
+            lp_rl.beta_intra(),
+            random_rl.beta_intra()
+        )],
+        checks,
+    }
+}
+
+/// Figure 5: simulated edge-router rate limiting within subnets for
+/// random vs local-preferential worms.
+pub fn fig5(quality: Quality) -> ExperimentOutput {
+    let (spec, runs, horizon) = match quality {
+        Quality::Quick => (
+            TopologySpec::Subnets {
+                backbone: 2,
+                subnets: 8,
+                hosts_per_subnet: 12,
+            },
+            2,
+            80,
+        ),
+        Quality::Full => (
+            TopologySpec::Subnets {
+                backbone: 4,
+                subnets: 25,
+                hosts_per_subnet: 40,
+            },
+            10,
+            120,
+        ),
+    };
+    let world = spec.build();
+    // Edge deployment: weighted caps on the links at edge routers. The
+    // uplink (edge router <-> backbone) carries nearly all routing
+    // entries, so it receives most of the budget; host access links stay
+    // near the floor of 1 pkt/tick but intra-subnet hops are short.
+    let params = RateLimitParams {
+        link_base_cap: 0.5,
+        ..RateLimitParams::default()
+    };
+    let base = Scenario::new(spec)
+        .beta(0.8)
+        .horizon(horizon)
+        .initial_infected(2)
+        .runs(runs)
+        .params(params);
+
+    let random_no_rl = base.clone().run_simulated_on(&world);
+    let random_rl = base
+        .clone()
+        .deployment(Deployment::EdgeRouters)
+        .run_simulated_on(&world);
+    let lp = base.clone().behavior(WormBehavior::local_preferential(0.9));
+    let lp_no_rl = lp.clone().run_simulated_on(&world);
+    let lp_rl = lp
+        .clone()
+        .deployment(Deployment::EdgeRouters)
+        .run_simulated_on(&world);
+
+    let t50 = |s: &dynaquar_epidemic::TimeSeries| s.time_to_reach(0.5);
+    let slow_random = match (t50(&random_no_rl.infected), t50(&random_rl.infected)) {
+        (Some(a), Some(b)) => b / a,
+        (Some(_), None) => f64::INFINITY,
+        _ => f64::NAN,
+    };
+    let slow_lp = match (t50(&lp_no_rl.infected), t50(&lp_rl.infected)) {
+        (Some(a), Some(b)) => b / a,
+        _ => f64::NAN,
+    };
+
+    let checks = vec![
+        check(
+            "edge RL yields a noticeable slowdown (>=40%) for random worms",
+            slow_random >= 1.4,
+            format!("random slowdown at 50% infection = {slow_random:.2}x"),
+        ),
+        check(
+            "edge RL gives very little benefit against local-preferential worms",
+            slow_lp.is_finite() && slow_lp < 1.3,
+            format!("local-preferential slowdown at 50% infection = {slow_lp:.2}x"),
+        ),
+    ];
+
+    let mut series =
+        SeriesSet::new("Edge router rate limiting (RL) for random and local preferential worms");
+    series.push("No RL random propagation", random_no_rl.infected);
+    series.push("Edge Router RL for random propagation", random_rl.infected);
+    series.push("No RL local preferential", lp_no_rl.infected);
+    series.push("Edge Router RL for local preferential", lp_rl.infected);
+
+    ExperimentOutput {
+        id: "fig5",
+        title: "Figure 5: simulated edge-router RL for random and local-preferential worms",
+        series,
+        notes: vec![
+            format!("{spec:?}, runs = {runs}, horizon = {horizon}"),
+            format!("slowdowns at 50%: random {slow_random:.2}x, local-pref {slow_lp:.2}x"),
+        ],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_checks_pass() {
+        let out = fig3a(Quality::Quick);
+        assert_eq!(out.series.len(), 3);
+        assert!(out.all_checks_passed(), "{:#?}", out.checks);
+    }
+
+    #[test]
+    fn fig3b_checks_pass() {
+        let out = fig3b(Quality::Quick);
+        assert_eq!(out.series.len(), 3);
+        assert!(out.all_checks_passed(), "{:#?}", out.checks);
+    }
+
+    #[test]
+    fn fig5_quick_checks_pass() {
+        let out = fig5(Quality::Quick);
+        assert_eq!(out.series.len(), 4);
+        assert!(out.all_checks_passed(), "{:#?}", out.checks);
+    }
+}

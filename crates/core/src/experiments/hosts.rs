@@ -1,0 +1,68 @@
+//! Figure 2: host-based rate limiting (Section 5.1).
+
+use super::{check, ExperimentOutput, Quality};
+use dynaquar_epidemic::host::HostRateLimit;
+
+/// Figure 2: analytic host-based rate limiting at deployment fractions
+/// 0 / 5 / 50 / 80 / 100 %, with β₁ = 0.8 and β₂ = 0.01.
+pub fn fig2(_quality: Quality) -> ExperimentOutput {
+    let model = HostRateLimit::new(1000.0, 0.8, 0.01, 1.0).expect("paper parameters are valid");
+    let deployments = [0.0, 0.05, 0.50, 0.80, 1.0];
+    let series = model
+        .figure(&deployments, 1000.0, 1.0)
+        .expect("valid deployment fractions");
+
+    let t50 = |q: f64| {
+        model
+            .with_deployment(q)
+            .expect("valid fraction")
+            .time_to_fraction(0.5)
+            .expect("reachable")
+    };
+    let (t0, t5, t50_, t80, t100) = (t50(0.0), t50(0.05), t50(0.5), t50(0.8), t50(1.0));
+
+    let checks = vec![
+        check(
+            "5% deployment is nearly indistinguishable from none",
+            t5 / t0 < 1.1,
+            format!("t50: 0% {t0:.1}, 5% {t5:.1}"),
+        ),
+        check(
+            "slowdown is linear in the unfiltered fraction (50% -> ~2x, 80% -> ~5x)",
+            (t50_ / t0 - 2.0).abs() < 0.3 && (t80 / t0 - 5.0).abs() < 1.2,
+            format!(
+                "slowdowns: 50% = {:.2}x, 80% = {:.2}x",
+                t50_ / t0,
+                t80 / t0
+            ),
+        ),
+        check(
+            "80% -> 100% gap is enormous (little benefit unless universal)",
+            t100 / t80 > 10.0,
+            format!("t50: 80% {t80:.1}, 100% {t100:.1}"),
+        ),
+    ];
+
+    ExperimentOutput {
+        id: "fig2",
+        title: "Figure 2: analytic host-based rate limiting",
+        series,
+        notes: vec![
+            "N = 1000, beta1 = 0.8, beta2 = 0.01".to_string(),
+            format!("t50 by deployment: 0%={t0:.1} 5%={t5:.1} 50%={t50_:.1} 80%={t80:.1} 100%={t100:.1}"),
+        ],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_checks_pass() {
+        let out = fig2(Quality::Quick);
+        assert_eq!(out.series.len(), 5);
+        assert!(out.all_checks_passed(), "{:#?}", out.checks);
+    }
+}

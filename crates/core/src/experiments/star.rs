@@ -1,0 +1,185 @@
+//! Figure 1: rate-limiting deployment on a 200-node star (Section 4).
+
+use super::{check, ExperimentOutput, Quality};
+use crate::scenario::{Scenario, TopologySpec};
+use crate::strategy::{Deployment, RateLimitParams};
+use dynaquar_epidemic::logistic::Logistic;
+use dynaquar_epidemic::star::{HubRateLimit, LeafRateLimit};
+use dynaquar_epidemic::SeriesSet;
+
+/// Paper parameters: 200 nodes, β₁ = 0.8, β₂ = 0.01, one seed infection.
+const N: f64 = 200.0;
+const BETA1: f64 = 0.8;
+const BETA2: f64 = 0.01;
+
+/// Figure 1(a): the analytic curves.
+pub fn fig1a(_quality: Quality) -> ExperimentOutput {
+    let horizon = 50.0;
+    let dt = 0.1;
+    let mut series = SeriesSet::new("Analytical Model for rate limiting (RL) on a Star Graph");
+
+    let no_rl = Logistic::new(N, BETA1, 1.0).expect("valid").series(0.0, horizon, dt);
+    let leaf10 = LeafRateLimit::new(N, 0.10, BETA1, BETA2, 1.0)
+        .expect("valid")
+        .series(horizon, dt);
+    let leaf30 = LeafRateLimit::new(N, 0.30, BETA1, BETA2, 1.0)
+        .expect("valid")
+        .series(horizon, dt);
+    // Hub deployment (Equations 4/5): generous per-link rate (links do
+    // not bind early), hub aggregate cap β_hub = β₂ · N contacts/tick —
+    // the hub forwards at the filtered rate on behalf of all leaves.
+    let hub_model = HubRateLimit::new(N, BETA1, BETA2 * N * 2.0, 1.0).expect("valid");
+    let hub = hub_model.series(horizon, dt);
+
+    // Shape criteria from the paper's Figure 1 discussion.
+    let t60_leaf30 = leaf30.time_to_reach(0.6);
+    let t60_hub_extended = hub_model.series(400.0, dt).time_to_reach(0.6);
+    let hub_vs_leaf = match (t60_leaf30, t60_hub_extended) {
+        (Some(l), Some(h)) => h / l,
+        _ => f64::INFINITY,
+    };
+    let t60_no_rl = no_rl.time_to_reach(0.6).unwrap_or(f64::INFINITY);
+    let t60_leaf10 = leaf10.time_to_reach(0.6).unwrap_or(f64::INFINITY);
+
+    let checks = vec![
+        check(
+            "10% leaf RL has negligible impact",
+            t60_leaf10 < 1.25 * t60_no_rl,
+            format!("t60: no RL {t60_no_rl:.1}, 10% leaf {t60_leaf10:.1}"),
+        ),
+        check(
+            "reaching 60% infection with 30% leaf RL is ~3x quicker than hub RL",
+            hub_vs_leaf > 2.0,
+            format!("hub/leaf30 time ratio at 60% = {hub_vs_leaf:.2}"),
+        ),
+        check(
+            "curves are ordered no-RL < 10% < 30% < hub at t = 15",
+            {
+                let at = |s: &dynaquar_epidemic::TimeSeries| s.value_at(15.0).unwrap_or(0.0);
+                at(&no_rl) >= at(&leaf10)
+                    && at(&leaf10) >= at(&leaf30)
+                    && at(&leaf30) > at(&hub)
+            },
+            "pointwise ordering at t=15".to_string(),
+        ),
+    ];
+
+    series.push("No RL", no_rl);
+    series.push("10% Leaf Nodes RL", leaf10);
+    series.push("30% Leaf Nodes RL", leaf30);
+    series.push("Hub Node RL", hub);
+
+    ExperimentOutput {
+        id: "fig1a",
+        title: "Figure 1(a): analytic rate limiting on a 200-node star",
+        series,
+        notes: vec![
+            format!("N = {N}, beta1 = {BETA1}, beta2 = {BETA2}"),
+            format!(
+                "hub model: per-link gamma = {BETA1}, hub cap = {:.1} contacts/tick",
+                BETA2 * N * 2.0
+            ),
+        ],
+        checks,
+    }
+}
+
+/// Figure 1(b): the simulated curves ("links limited to 10 packets per
+/// second with the hub rate limit β = 0.01", averaged over ten runs).
+pub fn fig1b(quality: Quality) -> ExperimentOutput {
+    let (runs, horizon) = match quality {
+        Quality::Quick => (2, 60),
+        Quality::Full => (10, 100),
+    };
+    let spec = TopologySpec::Star { leaves: 199 };
+    let world = spec.build();
+    let params = RateLimitParams {
+        link_base_cap: 10.0,
+        // β = 0.01 aggregate per leaf ≈ 2 forwarded packets/tick at the
+        // hub for N = 200.
+        hub_forward_cap: BETA2 * N,
+        // Leaf filter approximating β₂ = 0.01 contacts/tick.
+        host_window_ticks: 100,
+        host_max_new_targets: 1,
+        ..RateLimitParams::default()
+    };
+    let base = Scenario::new(spec)
+        .beta(BETA1)
+        .horizon(horizon)
+        .runs(runs)
+        .params(params);
+
+    let no_rl = base.clone().run_simulated_on(&world);
+    let leaf10 = base
+        .clone()
+        .deployment(Deployment::Hosts { fraction: 0.10 })
+        .run_simulated_on(&world);
+    let leaf30 = base
+        .clone()
+        .deployment(Deployment::Hosts { fraction: 0.30 })
+        .run_simulated_on(&world);
+    let hub = base
+        .clone()
+        .deployment(Deployment::Hub)
+        .run_simulated_on(&world);
+
+    let t60 = |s: &dynaquar_epidemic::TimeSeries| s.time_to_reach(0.6);
+    let t60_no = t60(&no_rl.infected).unwrap_or(f64::INFINITY);
+    let t60_l10 = t60(&leaf10.infected).unwrap_or(f64::INFINITY);
+    let t60_l30 = t60(&leaf30.infected).unwrap_or(f64::INFINITY);
+    let t60_hub = t60(&hub.infected).unwrap_or(f64::INFINITY);
+
+    let checks = vec![
+        check(
+            "10% leaf RL has negligible impact",
+            t60_l10 < 1.5 * t60_no,
+            format!("t60: no RL {t60_no:.1}, 10% leaf {t60_l10:.1}"),
+        ),
+        check(
+            "30% leaf RL yields only a slight slowdown",
+            t60_l30 < 2.5 * t60_no,
+            format!("t60: no RL {t60_no:.1}, 30% leaf {t60_l30:.1}"),
+        ),
+        check(
+            "hub RL is significantly more effective (>=2x slower than 30% leaf to 60%)",
+            t60_hub > 2.0 * t60_l30,
+            format!("t60: 30% leaf {t60_l30:.1}, hub {t60_hub:.1}"),
+        ),
+    ];
+
+    let mut series = SeriesSet::new("Rate Limiting (RL) on a 200 node Star Graph (simulation)");
+    series.push("No RL", no_rl.infected);
+    series.push("10% Leaf Nodes RL", leaf10.infected);
+    series.push("30% Leaf Nodes RL", leaf30.infected);
+    series.push("Hub Node RL", hub.infected);
+
+    ExperimentOutput {
+        id: "fig1b",
+        title: "Figure 1(b): simulated rate limiting on a 200-node star",
+        series,
+        notes: vec![
+            format!("runs = {runs}, horizon = {horizon} ticks, beta = {BETA1}"),
+            format!("hub: link caps 10/tick, forward cap {} pkts/tick", (BETA2 * N).round()),
+        ],
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_checks_pass() {
+        let out = fig1a(Quality::Quick);
+        assert_eq!(out.series.len(), 4);
+        assert!(out.all_checks_passed(), "{:#?}", out.checks);
+    }
+
+    #[test]
+    fn fig1b_quick_checks_pass() {
+        let out = fig1b(Quality::Quick);
+        assert_eq!(out.series.len(), 4);
+        assert!(out.all_checks_passed(), "{:#?}", out.checks);
+    }
+}

@@ -1,0 +1,44 @@
+//! The paper's contribution as a library: deployment-strategy analysis
+//! for worm rate limiting.
+//!
+//! *Dynamic Quarantine of Internet Worms* (DSN 2004) asks **where** rate
+//! control should be deployed — end hosts, edge routers, or backbone
+//! routers — and answers with coupled analytical models and packet-level
+//! simulations. This crate ties the reproduction's substrates together:
+//!
+//! * [`strategy`] — the [`strategy::Deployment`] enum and the
+//!   translation from a strategy to a concrete
+//!   [`RateLimitPlan`](dynaquar_netsim::plan::RateLimitPlan);
+//! * [`scenario`] — a builder that runs one worm/topology/deployment
+//!   combination through both the analytic and the simulated path;
+//! * [`report`] — comparison tables (time-to-level, slowdown factors);
+//! * [`experiments`] — the registry reproducing **every figure and
+//!   in-prose table** of the paper (`fig1a` … `fig10`, `tab_limits`,
+//!   `tab_worms`), each with machine-checked shape criteria;
+//! * [`ablations`] — sweeps over the reproduction's own knobs
+//!   (deployment fraction, backbone allowable rate, cap-weight
+//!   normalization, legitimate-traffic collateral).
+//!
+//! # Example
+//!
+//! ```
+//! use dynaquar_core::experiments::{self, Quality};
+//!
+//! // Reproduce Figure 2 (host-based rate limiting, analytic).
+//! let out = experiments::run("fig2", Quality::Quick).expect("known id");
+//! assert!(out.checks.iter().all(|c| c.passed), "{:?}", out.checks);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+pub mod strategy;
+
+pub use report::ComparisonReport;
+pub use scenario::{Scenario, ScenarioOutcome, TopologySpec};
+pub use strategy::{Deployment, RateLimitParams};

@@ -1,0 +1,207 @@
+//! Comparison reports: time-to-level and slowdown tables.
+
+use dynaquar_epidemic::timeto::{slowdown_factor, CurveSummary};
+use dynaquar_epidemic::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// One row of a comparison: a labeled curve with its summary and its
+/// slowdown relative to the report's baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Curve label.
+    pub label: String,
+    /// Summary statistics.
+    pub summary: CurveSummary,
+    /// Slowdown at the reference level versus the baseline (`None` when
+    /// either curve never reaches the level — an unreached level means
+    /// the strategy suppressed the worm beyond the observation window).
+    pub slowdown: Option<f64>,
+}
+
+/// A table comparing deployment strategies against a baseline curve.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_core::ComparisonReport;
+/// use dynaquar_epidemic::logistic::Logistic;
+///
+/// # fn main() -> Result<(), dynaquar_epidemic::Error> {
+/// let base = Logistic::new(1000.0, 0.8, 1.0)?.series(0.0, 100.0, 0.5);
+/// let slow = Logistic::new(1000.0, 0.4, 1.0)?.series(0.0, 100.0, 0.5);
+/// let mut report = ComparisonReport::new("demo", base, 0.5);
+/// report.add("half rate", slow);
+/// assert!((report.rows()[0].slowdown.unwrap() - 2.0).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    /// Report title.
+    pub title: String,
+    baseline: TimeSeries,
+    level: f64,
+    rows: Vec<ComparisonRow>,
+}
+
+impl ComparisonReport {
+    /// Creates a report comparing at infection level `level` against
+    /// `baseline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not in `(0, 1)`.
+    pub fn new(title: impl Into<String>, baseline: TimeSeries, level: f64) -> Self {
+        assert!(
+            level > 0.0 && level < 1.0,
+            "comparison level must be in (0, 1)"
+        );
+        ComparisonReport {
+            title: title.into(),
+            baseline,
+            level,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a strategy's curve.
+    pub fn add(&mut self, label: impl Into<String>, series: TimeSeries) -> &mut Self {
+        let slowdown = slowdown_factor(&self.baseline, &series, self.level).ok();
+        self.rows.push(ComparisonRow {
+            label: label.into(),
+            summary: CurveSummary::of(&series),
+            slowdown,
+        });
+        self
+    }
+
+    /// The comparison rows, in insertion order.
+    pub fn rows(&self) -> &[ComparisonRow] {
+        &self.rows
+    }
+
+    /// The reference infection level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// The baseline curve.
+    pub fn baseline(&self) -> &TimeSeries {
+        &self.baseline
+    }
+}
+
+impl ComparisonReport {
+    /// Renders the comparison as a Markdown table.
+    pub fn to_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "### {} (slowdown at {:.0}% infection)\n",
+            self.title,
+            self.level * 100.0
+        );
+        let _ = writeln!(s, "| strategy | slowdown | t50 | final |");
+        let _ = writeln!(s, "|---|---|---|---|");
+        for row in &self.rows {
+            let slow = row
+                .slowdown
+                .map_or_else(|| "suppressed".to_string(), |v| format!("{v:.2}x"));
+            let t50 = row
+                .summary
+                .t50
+                .map_or_else(|| "—".to_string(), |t| format!("{t:.1}"));
+            let _ = writeln!(
+                s,
+                "| {} | {} | {} | {:.3} |",
+                row.label, slow, t50, row.summary.final_value
+            );
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for ComparisonReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} (slowdown at {:.0}% infection)", self.title, self.level * 100.0)?;
+        writeln!(f, "{:<28} {:>10}  summary", "strategy", "slowdown")?;
+        for row in &self.rows {
+            let slow = row
+                .slowdown
+                .map_or_else(|| "never".to_string(), |s| format!("{s:.2}x"));
+            writeln!(f, "{:<28} {:>10}  {}", row.label, slow, row.summary)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynaquar_epidemic::logistic::Logistic;
+
+    fn curve(beta: f64) -> TimeSeries {
+        Logistic::new(1000.0, beta, 1.0)
+            .unwrap()
+            .series(0.0, 200.0, 0.5)
+    }
+
+    #[test]
+    fn slowdowns_relative_to_baseline() {
+        let mut r = ComparisonReport::new("t", curve(0.8), 0.5);
+        r.add("same", curve(0.8));
+        r.add("half", curve(0.4));
+        r.add("tenth", curve(0.08));
+        assert!((r.rows()[0].slowdown.unwrap() - 1.0).abs() < 0.02);
+        assert!((r.rows()[1].slowdown.unwrap() - 2.0).abs() < 0.05);
+        assert!((r.rows()[2].slowdown.unwrap() - 10.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn unreached_level_yields_none() {
+        let mut r = ComparisonReport::new("t", curve(0.8), 0.5);
+        let flat: TimeSeries = [(0.0, 0.0), (200.0, 0.01)].into_iter().collect();
+        r.add("suppressed", flat);
+        assert!(r.rows()[0].slowdown.is_none());
+        assert!(r.to_string().contains("never"));
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut r = ComparisonReport::new("Figure 4", curve(0.8), 0.5);
+        r.add("Backbone RL", curve(0.16));
+        let s = r.to_string();
+        assert!(s.contains("Figure 4"));
+        assert!(s.contains("Backbone RL"));
+        assert!(s.contains("50% infection"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let mut r = ComparisonReport::new("Figure 4", curve(0.8), 0.5);
+        r.add("Backbone RL", curve(0.16));
+        let flat: TimeSeries = [(0.0, 0.0), (200.0, 0.01)].into_iter().collect();
+        r.add("Quarantine", flat);
+        let md = r.to_markdown();
+        assert!(md.starts_with("### Figure 4"));
+        assert!(md.contains("| strategy | slowdown | t50 | final |"));
+        assert!(md.contains("| Backbone RL |"));
+        assert!(md.contains("suppressed"));
+        assert!(md.contains("—"));
+    }
+
+    #[test]
+    #[should_panic(expected = "comparison level")]
+    fn rejects_bad_level() {
+        ComparisonReport::new("t", curve(0.8), 1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = ComparisonReport::new("t", curve(0.8), 0.5);
+        assert_eq!(r.level(), 0.5);
+        assert!(r.baseline().final_value() > 0.99);
+        assert!(r.rows().is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! One-stop scenario runner: topology + worm + deployment → propagation
+//! curves, via the simulated and (where available) analytic paths.
+
+use crate::strategy::{build_plan, Deployment, RateLimitParams};
+use dynaquar_epidemic::logistic::Logistic;
+use dynaquar_epidemic::timeto::CurveSummary;
+use dynaquar_epidemic::TimeSeries;
+use dynaquar_netsim::config::{ImmunizationConfig, SimConfig, WormBehavior};
+use dynaquar_netsim::runner::run_averaged;
+use dynaquar_netsim::World;
+use dynaquar_topology::generators;
+use serde::{Deserialize, Serialize};
+
+/// Which topology a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// A star with this many leaves (Section 4).
+    Star {
+        /// Number of leaf nodes.
+        leaves: usize,
+    },
+    /// A Barabási–Albert power-law graph (Section 5.4), roles assigned
+    /// top-5 % backbone / next-10 % edge.
+    PowerLaw {
+        /// Number of nodes.
+        nodes: usize,
+        /// Edges attached per new node.
+        edges_per_node: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// A hierarchical subnet topology (Figure 5/6 experiments).
+    Subnets {
+        /// Backbone core routers.
+        backbone: usize,
+        /// Number of subnets.
+        subnets: usize,
+        /// End hosts per subnet.
+        hosts_per_subnet: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Materializes the world.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate sizes (zero leaves/subnets/hosts).
+    pub fn build(&self) -> World {
+        match *self {
+            TopologySpec::Star { leaves } => {
+                World::from_star(generators::star(leaves).expect("valid star size"))
+            }
+            TopologySpec::PowerLaw {
+                nodes,
+                edges_per_node,
+                seed,
+            } => World::from_power_law(
+                generators::barabasi_albert(nodes, edges_per_node, seed)
+                    .expect("valid power-law parameters"),
+                0.05,
+                0.10,
+            ),
+            TopologySpec::Subnets {
+                backbone,
+                subnets,
+                hosts_per_subnet,
+            } => World::from_subnets(
+                generators::SubnetTopologyBuilder::new()
+                    .backbone_routers(backbone)
+                    .subnets(subnets)
+                    .hosts_per_subnet(hosts_per_subnet)
+                    .build()
+                    .expect("valid subnet parameters"),
+            ),
+        }
+    }
+}
+
+/// A complete experiment description.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_core::{Deployment, Scenario, TopologySpec};
+///
+/// let outcome = Scenario::new(TopologySpec::Star { leaves: 49 })
+///     .beta(0.8)
+///     .horizon(60)
+///     .deployment(Deployment::None)
+///     .runs(2)
+///     .run_simulated();
+/// assert!(outcome.infected.final_value() > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    topology: TopologySpec,
+    behavior: WormBehavior,
+    beta: f64,
+    horizon: u64,
+    initial_infected: usize,
+    deployment: Deployment,
+    params: RateLimitParams,
+    immunization: Option<ImmunizationConfig>,
+    runs: usize,
+    seed: u64,
+}
+
+impl Scenario {
+    /// Creates a scenario with paper defaults: random worm, β = 0.8, one
+    /// initial infection, horizon 50, no rate limiting, 10 averaged runs.
+    pub fn new(topology: TopologySpec) -> Self {
+        Scenario {
+            topology,
+            behavior: WormBehavior::random(),
+            beta: 0.8,
+            horizon: 50,
+            initial_infected: 1,
+            deployment: Deployment::None,
+            params: RateLimitParams::default(),
+            immunization: None,
+            runs: 10,
+            seed: 0,
+        }
+    }
+
+    /// Sets the worm behaviour.
+    pub fn behavior(mut self, behavior: WormBehavior) -> Self {
+        self.behavior = behavior;
+        self
+    }
+
+    /// Sets the infection probability β.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the horizon in ticks.
+    pub fn horizon(mut self, ticks: u64) -> Self {
+        self.horizon = ticks;
+        self
+    }
+
+    /// Sets the number of initially infected hosts.
+    pub fn initial_infected(mut self, count: usize) -> Self {
+        self.initial_infected = count;
+        self
+    }
+
+    /// Sets the deployment strategy.
+    pub fn deployment(mut self, deployment: Deployment) -> Self {
+        self.deployment = deployment;
+        self
+    }
+
+    /// Overrides the rate-limit mechanism parameters.
+    pub fn params(mut self, params: RateLimitParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enables delayed immunization.
+    pub fn immunization(mut self, config: ImmunizationConfig) -> Self {
+        self.immunization = Some(config);
+        self
+    }
+
+    /// Sets the number of averaged runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`.
+    pub fn runs(mut self, runs: usize) -> Self {
+        assert!(runs > 0, "need at least one run");
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the base RNG seed (run `k` uses `seed + k`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the packet-level simulation, averaged over the configured
+    /// number of runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (degenerate β or horizon).
+    pub fn run_simulated(&self) -> ScenarioOutcome {
+        let world = self.topology.build();
+        self.run_simulated_on(&world)
+    }
+
+    /// Like [`Scenario::run_simulated`] but reuses a prebuilt world
+    /// (avoids recomputing routing when comparing deployments on the
+    /// same topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration.
+    pub fn run_simulated_on(&self, world: &World) -> ScenarioOutcome {
+        let plan = build_plan(world, self.deployment, &self.params);
+        let mut builder = SimConfig::builder();
+        builder
+            .beta(self.beta)
+            .horizon(self.horizon)
+            .initial_infected(self.initial_infected)
+            .plan(plan);
+        if let Some(imm) = self.immunization {
+            builder.immunization(imm);
+        }
+        let config = builder.build().expect("scenario parameters validated");
+        let seeds: Vec<u64> = (0..self.runs as u64).map(|k| self.seed + k).collect();
+        let avg = run_averaged(world, &config, self.behavior, &seeds);
+        ScenarioOutcome {
+            label: self.deployment.label(),
+            summary: CurveSummary::of(&avg.infected_fraction),
+            infected: avg.infected_fraction,
+            ever_infected: avg.ever_infected_fraction,
+            immunized: avg.immunized_fraction,
+        }
+    }
+
+    /// The homogeneous-model analytic baseline for this scenario's
+    /// population and β (exact only for `Deployment::None`; deployments
+    /// have their own models in [`dynaquar_epidemic`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology yields fewer than two hosts.
+    pub fn analytic_baseline(&self, dt: f64) -> TimeSeries {
+        let world = self.topology.build();
+        let n = world.hosts().len() as f64;
+        Logistic::new(n, self.beta, self.initial_infected as f64)
+            .expect("valid logistic parameters")
+            .series(0.0, self.horizon as f64, dt)
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// Legend label (derived from the deployment).
+    pub label: String,
+    /// Mean infected fraction per tick.
+    pub infected: TimeSeries,
+    /// Mean ever-infected fraction per tick.
+    pub ever_infected: TimeSeries,
+    /// Mean immunized fraction per tick.
+    pub immunized: TimeSeries,
+    /// Summary statistics of the infected curve.
+    pub summary: CurveSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_scenario_saturates_without_rl() {
+        let out = Scenario::new(TopologySpec::Star { leaves: 49 })
+            .horizon(80)
+            .runs(2)
+            .run_simulated();
+        assert!(out.infected.final_value() > 0.9);
+        assert_eq!(out.label, "No RL");
+    }
+
+    #[test]
+    fn hub_deployment_slows_star() {
+        let spec = TopologySpec::Star { leaves: 99 };
+        let world = spec.build();
+        let base = Scenario::new(spec).horizon(100).runs(3);
+        let none = base.clone().run_simulated_on(&world);
+        let hub = base
+            .clone()
+            .deployment(Deployment::Hub)
+            .run_simulated_on(&world);
+        let t_none = none.infected.time_to_reach(0.5).unwrap();
+        if let Some(t_hub) = hub.infected.time_to_reach(0.5) { assert!(t_hub > 1.5 * t_none) }
+    }
+
+    #[test]
+    fn analytic_baseline_tracks_simulation_roughly() {
+        let scenario = Scenario::new(TopologySpec::Star { leaves: 199 })
+            .horizon(50)
+            .runs(4);
+        let sim = scenario.run_simulated();
+        let model = scenario.analytic_baseline(1.0);
+        // Both saturate; times to 50% within a factor of ~2.5 (the
+        // simulated worm pays routing latency the model ignores).
+        let ts = sim.infected.time_to_reach(0.5).unwrap();
+        let tm = model.time_to_reach(0.5).unwrap();
+        assert!(ts / tm < 4.0 && tm / ts < 4.0, "sim {ts} model {tm}");
+    }
+
+    #[test]
+    fn subnet_scenario_with_local_preferential() {
+        let out = Scenario::new(TopologySpec::Subnets {
+            backbone: 2,
+            subnets: 5,
+            hosts_per_subnet: 10,
+        })
+        .behavior(WormBehavior::local_preferential(0.9))
+        .horizon(150)
+        .runs(2)
+        .run_simulated();
+        assert!(out.infected.final_value() > 0.8);
+    }
+
+    #[test]
+    fn power_law_spec_builds() {
+        let w = TopologySpec::PowerLaw {
+            nodes: 200,
+            edges_per_node: 2,
+            seed: 5,
+        }
+        .build();
+        assert_eq!(w.graph().node_count(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        let _ = Scenario::new(TopologySpec::Star { leaves: 10 }).runs(0);
+    }
+}

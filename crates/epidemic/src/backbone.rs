@@ -1,0 +1,223 @@
+//! Backbone-router rate limiting (Section 5.3, Equation 6).
+//!
+//! When rate-limiting filters cover a fraction `α` of all IP-to-IP paths,
+//! worm traffic on covered paths is throttled to a small residual rate and
+//! the infection follows
+//!
+//! ```text
+//! dI/dt = I β (1 − α)(N − I)/N + δ (N − I)/N,   δ = min(I β α, r N / 2³²)
+//! ```
+//!
+//! where `β` is the per-host contact rate and `r` is the average allowed
+//! rate of the filtered routers. When `r` is small the first term
+//! dominates and the infection is approximately logistic with rate
+//! `λ = β(1 − α)`.
+
+use crate::error::{ensure_fraction, ensure_non_negative, ensure_positive, Error};
+use crate::logistic::Logistic;
+use crate::ode::{solve_fixed, OdeSystem, Rk4};
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Address-space size used in the paper's `δ = min(Iβα, rN/2³²)` residual
+/// term.
+pub const ADDRESS_SPACE: f64 = 4294967296.0; // 2^32
+
+/// Equation 6: backbone-router rate limiting covering a fraction `alpha`
+/// of IP-to-IP paths.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_epidemic::backbone::BackboneRateLimit;
+///
+/// # fn main() -> Result<(), dynaquar_epidemic::Error> {
+/// // Cover 90% of paths.
+/// let m = BackboneRateLimit::new(1000.0, 0.8, 0.9, 10.0, 1.0)?;
+/// // λ = β(1−α) = 0.08: a 10x slowdown versus no rate limiting.
+/// assert!((m.lambda_approx() - 0.08).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackboneRateLimit {
+    n: f64,
+    beta: f64,
+    alpha: f64,
+    r: f64,
+    i0: f64,
+}
+
+impl BackboneRateLimit {
+    /// Creates the model: population `n`, per-host contact rate `beta`,
+    /// covered path fraction `alpha`, average allowed router rate `r`
+    /// (contacts per time unit; may be `0` for perfect filtering),
+    /// initial infections `i0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for out-of-domain parameters.
+    pub fn new(n: f64, beta: f64, alpha: f64, r: f64, i0: f64) -> Result<Self, Error> {
+        ensure_positive("n", n)?;
+        ensure_positive("beta", beta)?;
+        ensure_fraction("alpha", alpha)?;
+        ensure_non_negative("r", r)?;
+        ensure_positive("i0", i0)?;
+        if i0 >= n {
+            return Err(Error::InvalidParameter {
+                name: "i0",
+                value: i0,
+                reason: "initial infections must be below the population size",
+            });
+        }
+        Ok(BackboneRateLimit {
+            n,
+            beta,
+            alpha,
+            r,
+            i0,
+        })
+    }
+
+    /// The covered path fraction `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The residual throttled rate `δ(I) = min(Iβα, rN/2³²)`.
+    pub fn delta(&self, infected: f64) -> f64 {
+        (infected * self.beta * self.alpha).min(self.r * self.n / ADDRESS_SPACE)
+    }
+
+    /// The small-`r` approximation rate `λ = β(1 − α)`.
+    pub fn lambda_approx(&self) -> f64 {
+        self.beta * (1.0 - self.alpha)
+    }
+
+    /// The equivalent approximate logistic model (valid for small `r`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `α = 1` (the approximate
+    /// rate degenerates to zero and no logistic model exists).
+    pub fn to_logistic_approx(&self) -> Result<Logistic, Error> {
+        Logistic::new(self.n, self.lambda_approx(), self.i0)
+    }
+
+    /// Infected fraction over `[0, horizon]` sampled with step `dt`
+    /// (numeric integration of Equation 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `horizon < 0`.
+    pub fn series(&self, horizon: f64, dt: f64) -> TimeSeries {
+        let sol = solve_fixed(self, &mut Rk4::new(1), 0.0, &[self.i0], horizon, dt);
+        sol.component(0).scaled(1.0 / self.n)
+    }
+
+    /// Time to reach infection fraction `fraction` on the numerically
+    /// integrated trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnreachableLevel`] when `fraction` is not reached
+    /// within `horizon`.
+    pub fn time_to_fraction(&self, fraction: f64, horizon: f64, dt: f64) -> Result<f64, Error> {
+        self.series(horizon, dt)
+            .time_to_reach(fraction)
+            .ok_or(Error::UnreachableLevel { level: fraction })
+    }
+}
+
+impl OdeSystem for BackboneRateLimit {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        let i = y[0].clamp(0.0, self.n);
+        let remaining = (self.n - i) / self.n;
+        dy[0] = i * self.beta * (1.0 - self.alpha) * remaining + self.delta(i) * remaining;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_coverage_matches_logistic() {
+        let m = BackboneRateLimit::new(1000.0, 0.8, 0.0, 0.0, 1.0).unwrap();
+        let s = m.series(40.0, 0.01);
+        let l = Logistic::new(1000.0, 0.8, 1.0).unwrap().series(0.0, 40.0, 0.01);
+        assert!(s.max_abs_difference(&l) < 1e-6);
+    }
+
+    #[test]
+    fn small_r_matches_lambda_approximation() {
+        let m = BackboneRateLimit::new(1000.0, 0.8, 0.9, 1e-6, 1.0).unwrap();
+        let s = m.series(500.0, 0.1);
+        let approx = m.to_logistic_approx().unwrap().series(0.0, 500.0, 0.1);
+        assert!(s.max_abs_difference(&approx) < 1e-3);
+    }
+
+    #[test]
+    fn delta_saturates_at_router_budget() {
+        let m = BackboneRateLimit::new(1000.0, 0.8, 0.5, 1e7, 1.0).unwrap();
+        // Small I: demand-limited.
+        assert!((m.delta(1.0) - 0.4).abs() < 1e-12);
+        // Huge I: budget-limited at rN/2^32.
+        let budget = 1e7 * 1000.0 / ADDRESS_SPACE;
+        assert!((m.delta(1e9) - budget).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_coverage_slows_infection() {
+        let t_at = |alpha: f64| {
+            BackboneRateLimit::new(1000.0, 0.8, alpha, 0.0, 1.0)
+                .unwrap()
+                .time_to_fraction(0.5, 5000.0, 0.5)
+                .unwrap()
+        };
+        let t0 = t_at(0.0);
+        let t50 = t_at(0.5);
+        let t90 = t_at(0.9);
+        assert!(t50 > 1.9 * t0);
+        assert!(t90 > 9.0 * t0);
+    }
+
+    #[test]
+    fn backbone_five_times_slower_figure4_shape() {
+        // Figure 4 criterion: backbone RL is ~5x slower to 50% infection
+        // than a 5%-host deployment. A 5%-host deployment has
+        // λ = 0.95·β + 0.05·β2 ≈ β, so compare with α ≈ 0.8.
+        let none = BackboneRateLimit::new(1000.0, 0.8, 0.0, 0.0, 1.0).unwrap();
+        let backbone = BackboneRateLimit::new(1000.0, 0.8, 0.8, 0.0, 1.0).unwrap();
+        let t_none = none.time_to_fraction(0.5, 5000.0, 0.5).unwrap();
+        let t_bb = backbone.time_to_fraction(0.5, 5000.0, 0.5).unwrap();
+        assert!(t_bb / t_none > 4.0, "slowdown = {}", t_bb / t_none);
+    }
+
+    #[test]
+    fn full_coverage_with_zero_residual_never_spreads() {
+        let m = BackboneRateLimit::new(1000.0, 0.8, 1.0, 0.0, 1.0).unwrap();
+        let s = m.series(1000.0, 1.0);
+        assert!(s.final_value() < 0.0011); // stays at I0/N
+        assert!(m.to_logistic_approx().is_err());
+    }
+
+    #[test]
+    fn full_coverage_with_residual_spreads_slowly() {
+        // r > 0 keeps a trickle going even at full coverage.
+        let m = BackboneRateLimit::new(1000.0, 0.8, 1.0, 1e8, 1.0).unwrap();
+        let s = m.series(2000.0, 1.0);
+        assert!(s.final_value() > 0.0011);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(BackboneRateLimit::new(1000.0, 0.8, 1.2, 0.0, 1.0).is_err());
+        assert!(BackboneRateLimit::new(1000.0, 0.8, 0.5, -1.0, 1.0).is_err());
+        assert!(BackboneRateLimit::new(1000.0, -0.8, 0.5, 0.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Error type shared by every analytical model in this crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error returned by model constructors and closed-form queries.
+///
+/// Every public fallible function in this crate returns this type, so
+/// callers can use `?` uniformly across models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A model parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter (e.g. `"beta"`).
+        name: &'static str,
+        /// The value that was supplied.
+        value: f64,
+        /// Human-readable description of the valid domain.
+        reason: &'static str,
+    },
+    /// A requested infection level can never be reached by the model
+    /// (e.g. asking for fraction 1.2, or a level above the model's
+    /// saturation point).
+    UnreachableLevel {
+        /// The requested infection fraction.
+        level: f64,
+    },
+    /// An adaptive integrator failed to meet its error tolerance even at
+    /// the minimum step size.
+    StepSizeUnderflow {
+        /// Simulation time at which the failure occurred.
+        t: f64,
+        /// The step size that was rejected.
+        step: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid parameter {name} = {value}: {reason}")
+            }
+            Error::UnreachableLevel { level } => {
+                write!(f, "infection level {level} is never reached by this model")
+            }
+            Error::StepSizeUnderflow { t, step } => {
+                write!(
+                    f,
+                    "adaptive step size underflow at t = {t} (step = {step})"
+                )
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+/// Validates that `value` is strictly positive.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `value <= 0` or is not finite.
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<(), Error> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(Error::InvalidParameter {
+            name,
+            value,
+            reason: "must be a finite value > 0",
+        });
+    }
+    Ok(())
+}
+
+/// Validates that `value` lies in the closed interval `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `value` is outside `[0, 1]` or
+/// is not finite.
+pub(crate) fn ensure_fraction(name: &'static str, value: f64) -> Result<(), Error> {
+    if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+        return Err(Error::InvalidParameter {
+            name,
+            value,
+            reason: "must be a finite value in [0, 1]",
+        });
+    }
+    Ok(())
+}
+
+/// Validates that `value` is finite and non-negative.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `value < 0` or is not finite.
+pub(crate) fn ensure_non_negative(name: &'static str, value: f64) -> Result<(), Error> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(Error::InvalidParameter {
+            name,
+            value,
+            reason: "must be a finite value >= 0",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter_name() {
+        let err = Error::InvalidParameter {
+            name: "beta",
+            value: -1.0,
+            reason: "must be a finite value > 0",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("beta"));
+        assert!(msg.contains("-1"));
+    }
+
+    #[test]
+    fn display_unreachable_level() {
+        let err = Error::UnreachableLevel { level: 1.5 };
+        assert!(err.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn display_step_underflow() {
+        let err = Error::StepSizeUnderflow { t: 3.0, step: 1e-14 };
+        assert!(err.to_string().contains("underflow"));
+    }
+
+    #[test]
+    fn ensure_positive_accepts_positive() {
+        assert!(ensure_positive("x", 0.5).is_ok());
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_negative_nan() {
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", -3.0).is_err());
+        assert!(ensure_positive("x", f64::NAN).is_err());
+        assert!(ensure_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ensure_fraction_bounds() {
+        assert!(ensure_fraction("q", 0.0).is_ok());
+        assert!(ensure_fraction("q", 1.0).is_ok());
+        assert!(ensure_fraction("q", 0.3).is_ok());
+        assert!(ensure_fraction("q", -0.01).is_err());
+        assert!(ensure_fraction("q", 1.01).is_err());
+        assert!(ensure_fraction("q", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ensure_non_negative_bounds() {
+        assert!(ensure_non_negative("r", 0.0).is_ok());
+        assert!(ensure_non_negative("r", 7.0).is_ok());
+        assert!(ensure_non_negative("r", -0.1).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

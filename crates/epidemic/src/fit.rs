@@ -1,0 +1,156 @@
+//! Fitting logistic parameters to observed propagation curves.
+//!
+//! The paper's analysis lives in terms of effective logistic rates
+//! (`λ = qβ₂ + (1−q)β₁`, `λ = β(1−α)`, …). To compare a *simulated*
+//! curve against those predictions quantitatively, this module extracts
+//! the effective rate from any observed infected-fraction series by
+//! least-squares regression on the logit transform: for a logistic
+//! curve, `ln(f / (1 − f)) = λ t − ln c` is exactly linear in `t`.
+
+use crate::error::Error;
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// The result of a logistic fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticFit {
+    /// The fitted exponential growth rate λ.
+    pub rate: f64,
+    /// The fitted integration constant `c` (`f(t) = e^{λt}/(c + e^{λt})`).
+    pub c: f64,
+    /// Root-mean-square residual in logit space (small = genuinely
+    /// logistic growth; large = the curve has another shape, e.g. a
+    /// hub-saturated linear regime).
+    pub logit_rmse: f64,
+    /// Number of usable sample points.
+    pub points: usize,
+}
+
+impl LogisticFit {
+    /// The fitted curve's value at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        let e = (self.rate * t).exp();
+        if e.is_infinite() {
+            1.0
+        } else {
+            e / (self.c + e)
+        }
+    }
+}
+
+/// Fits a logistic curve to `series`, using only samples strictly inside
+/// `(lo, hi)` (logits diverge at 0 and 1; the defaults used by
+/// [`fit_logistic`] are 2 % and 98 %).
+///
+/// # Errors
+///
+/// Returns [`Error::UnreachableLevel`] when fewer than three usable
+/// points remain.
+pub fn fit_logistic_in(series: &TimeSeries, lo: f64, hi: f64) -> Result<LogisticFit, Error> {
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .filter(|&(_, f)| f > lo && f < hi)
+        .map(|(t, f)| (t, (f / (1.0 - f)).ln()))
+        .collect();
+    if points.len() < 3 {
+        return Err(Error::UnreachableLevel { level: lo });
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return Err(Error::UnreachableLevel { level: lo });
+    }
+    let rate = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - rate * sx) / n;
+    let c = (-intercept).exp();
+    let rmse = (points
+        .iter()
+        .map(|&(t, y)| {
+            let pred = rate * t + intercept;
+            (y - pred) * (y - pred)
+        })
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    Ok(LogisticFit {
+        rate,
+        c,
+        logit_rmse: rmse,
+        points: points.len(),
+    })
+}
+
+/// [`fit_logistic_in`] with the default usable band `(0.02, 0.98)`.
+///
+/// # Errors
+///
+/// Same conditions as [`fit_logistic_in`].
+pub fn fit_logistic(series: &TimeSeries) -> Result<LogisticFit, Error> {
+    fit_logistic_in(series, 0.02, 0.98)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::Logistic;
+    use crate::star::HubRateLimit;
+
+    #[test]
+    fn recovers_exact_logistic_parameters() {
+        let m = Logistic::new(1000.0, 0.8, 1.0).unwrap();
+        let series = m.series(0.0, 40.0, 0.5);
+        let fit = fit_logistic(&series).unwrap();
+        assert!((fit.rate - 0.8).abs() < 1e-6, "rate {}", fit.rate);
+        assert!((fit.c - 999.0).abs() / 999.0 < 1e-4, "c {}", fit.c);
+        assert!(fit.logit_rmse < 1e-8);
+        // The reconstruction matches.
+        assert!((fit.value_at(10.0) - m.fraction_at(10.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_rate_across_parameter_range() {
+        for &(beta, i0) in &[(0.1, 1.0), (0.5, 5.0), (2.0, 2.0)] {
+            let m = Logistic::new(500.0, beta, i0).unwrap();
+            let horizon = 40.0 / beta;
+            let series = m.series(0.0, horizon, horizon / 200.0);
+            let fit = fit_logistic(&series).unwrap();
+            assert!(
+                (fit.rate - beta).abs() / beta < 1e-4,
+                "beta {beta}: fitted {}",
+                fit.rate
+            );
+        }
+    }
+
+    #[test]
+    fn flags_non_logistic_curves_with_high_rmse() {
+        // A hub-saturated curve has a linear regime: the logit fit's
+        // residual must be clearly worse than for a true logistic.
+        let hub = HubRateLimit::new(200.0, 0.8, 2.0, 1.0).unwrap();
+        let hub_series = hub.series(400.0, 0.5);
+        let hub_fit = fit_logistic(&hub_series).unwrap();
+        let pure = Logistic::new(200.0, 0.8, 1.0).unwrap().series(0.0, 40.0, 0.5);
+        let pure_fit = fit_logistic(&pure).unwrap();
+        assert!(hub_fit.logit_rmse > 20.0 * pure_fit.logit_rmse.max(1e-12));
+    }
+
+    #[test]
+    fn too_few_points_is_an_error() {
+        let flat: TimeSeries = [(0.0, 0.001), (1.0, 0.002)].into_iter().collect();
+        assert!(fit_logistic(&flat).is_err());
+    }
+
+    #[test]
+    fn saturated_series_uses_interior_band_only() {
+        // A curve that saturates fast still fits from its transition.
+        let m = Logistic::new(100.0, 1.5, 1.0).unwrap();
+        let series = m.series(0.0, 20.0, 0.05);
+        let fit = fit_logistic(&series).unwrap();
+        assert!((fit.rate - 1.5).abs() < 1e-4);
+        assert!(fit.points < series.len());
+    }
+}

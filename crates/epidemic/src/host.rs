@@ -1,0 +1,173 @@
+//! Host-based rate limiting on the Internet (Section 5.1).
+//!
+//! Deploying rate-limiting filters at individual end hosts is
+//! mathematically the star-graph leaf deployment of Section 4: a fraction
+//! `q` of hosts scan at the filtered rate `β₂`, the rest at `β₁`, and the
+//! infection is logistic with `λ = qβ₂ + (1−q)β₁` (Equation 3).
+//!
+//! The paper's Figure 2 plots this model for deployment fractions
+//! 0%/5%/50%/80%/100% with `β₁ = 0.8` and `β₂ = 0.01`, showing that
+//! host-based rate limiting "has very little benefit unless all end hosts
+//! implement rate limiting".
+
+use crate::error::Error;
+use crate::series::{SeriesSet, TimeSeries};
+use crate::star::LeafRateLimit;
+use serde::{Deserialize, Serialize};
+
+/// Host-based rate-limit deployment model (Equation 3 applied to the
+/// Internet's end hosts).
+///
+/// A thin, intention-revealing wrapper over [`LeafRateLimit`]: the math is
+/// identical; only the interpretation of `q` changes (fraction of *end
+/// hosts* with the filter).
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_epidemic::host::HostRateLimit;
+///
+/// # fn main() -> Result<(), dynaquar_epidemic::Error> {
+/// let m = HostRateLimit::new(1000.0, 0.8, 0.01, 1.0)?;
+/// let t80 = m.with_deployment(0.8)?.time_to_fraction(0.5)?;
+/// let t100 = m.with_deployment(1.0)?.time_to_fraction(0.5)?;
+/// // The 80% -> 100% gap is enormous (the paper's headline observation).
+/// assert!(t100 / t80 > 10.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostRateLimit {
+    n: f64,
+    beta1: f64,
+    beta2: f64,
+    i0: f64,
+}
+
+impl HostRateLimit {
+    /// Creates the model family: population `n`, unfiltered rate `beta1`,
+    /// filtered rate `beta2`, initial infections `i0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] under the same conditions as
+    /// [`LeafRateLimit::new`].
+    pub fn new(n: f64, beta1: f64, beta2: f64, i0: f64) -> Result<Self, Error> {
+        // Validate by constructing a q=0 instance.
+        LeafRateLimit::new(n, 0.0, beta1, beta2, i0)?;
+        Ok(HostRateLimit { n, beta1, beta2, i0 })
+    }
+
+    /// Fixes the deployment fraction `q`, yielding the underlying
+    /// Equation-3 model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `q ∉ [0, 1]`.
+    pub fn with_deployment(&self, q: f64) -> Result<LeafRateLimit, Error> {
+        LeafRateLimit::new(self.n, q, self.beta1, self.beta2, self.i0)
+    }
+
+    /// Infected-fraction curve for deployment fraction `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `q ∉ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `horizon < 0`.
+    pub fn series(&self, q: f64, horizon: f64, dt: f64) -> Result<TimeSeries, Error> {
+        Ok(self.with_deployment(q)?.series(horizon, dt))
+    }
+
+    /// Generates the full Figure-2 family of curves for the given
+    /// deployment fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when any fraction is outside
+    /// `[0, 1]`.
+    pub fn figure(
+        &self,
+        deployments: &[f64],
+        horizon: f64,
+        dt: f64,
+    ) -> Result<SeriesSet, Error> {
+        let mut set = SeriesSet::new("Rate limiting at individual hosts");
+        for &q in deployments {
+            let label = if q == 0.0 {
+                "No RL".to_string()
+            } else {
+                format!("{:.0}% individual hosts w/ RL", q * 100.0)
+            };
+            set.push(label, self.series(q, horizon, dt)?);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model() -> HostRateLimit {
+        HostRateLimit::new(1000.0, 0.8, 0.01, 1.0).unwrap()
+    }
+
+    #[test]
+    fn slowdown_is_linear_in_unfiltered_fraction() {
+        let m = paper_model();
+        let t0 = m.with_deployment(0.0).unwrap().time_to_fraction(0.5).unwrap();
+        let t50 = m.with_deployment(0.5).unwrap().time_to_fraction(0.5).unwrap();
+        let t80 = m.with_deployment(0.8).unwrap().time_to_fraction(0.5).unwrap();
+        // λ ≈ β1(1−q): ratios ≈ 1/(1−q).
+        assert!((t50 / t0 - 1.0 / 0.5).abs() < 0.05);
+        assert!((t80 / t0 - 1.0 / 0.2).abs() < 0.30);
+    }
+
+    #[test]
+    fn five_percent_deployment_nearly_useless() {
+        // The paper's point: 5% deployment is indistinguishable from none.
+        let m = paper_model();
+        let t0 = m.with_deployment(0.0).unwrap().time_to_fraction(0.9).unwrap();
+        let t5 = m.with_deployment(0.05).unwrap().time_to_fraction(0.9).unwrap();
+        assert!(t5 / t0 < 1.06);
+    }
+
+    #[test]
+    fn full_deployment_dramatically_slower() {
+        let m = paper_model();
+        let t80 = m.with_deployment(0.8).unwrap().time_to_fraction(0.5).unwrap();
+        let t100 = m.with_deployment(1.0).unwrap().time_to_fraction(0.5).unwrap();
+        assert!(t100 / t80 > 10.0);
+    }
+
+    #[test]
+    fn figure_has_expected_labels() {
+        let m = paper_model();
+        let fig = m
+            .figure(&[0.0, 0.05, 0.5, 0.8, 1.0], 1000.0, 1.0)
+            .unwrap();
+        assert_eq!(fig.len(), 5);
+        assert!(fig.get("No RL").is_some());
+        assert!(fig.get("100% individual hosts w/ RL").is_some());
+    }
+
+    #[test]
+    fn figure_curves_are_ordered_by_deployment() {
+        // At any fixed time, more deployment -> fewer infected.
+        let m = paper_model();
+        let fig = m.figure(&[0.0, 0.5, 1.0], 1000.0, 1.0).unwrap();
+        let at = |label: &str| fig.get(label).unwrap().value_at(20.0).unwrap();
+        assert!(at("No RL") > at("50% individual hosts w/ RL"));
+        assert!(at("50% individual hosts w/ RL") > at("100% individual hosts w/ RL"));
+    }
+
+    #[test]
+    fn invalid_deployment_fraction_rejected() {
+        let m = paper_model();
+        assert!(m.with_deployment(1.5).is_err());
+        assert!(m.series(-0.1, 10.0, 0.1).is_err());
+    }
+}

@@ -1,0 +1,559 @@
+//! Delayed dynamic immunization (Section 6), with and without backbone
+//! rate limiting.
+//!
+//! The immunization process starts at time `d` (for example, once 20 % of
+//! hosts are infected). From then on every unpatched host — susceptible or
+//! infected — is patched with probability `µ` per time unit:
+//!
+//! ```text
+//! t ≤ d:  dI/dt = β I (N − I)/N
+//! t > d:  dI/dt = β I (N − I)/N − µ I,      dN/dt = −µ N
+//! ```
+//!
+//! Unlike the traditional models the paper cites, `µ` removes hosts from
+//! *both* the infected and susceptible pools ("both infected and
+//! susceptible hosts will be patched, immunized and consequently removed
+//! from the susceptible population").
+//!
+//! The combination with backbone rate limiting (Section 6.2) replaces `β`
+//! with `β(1 − α)` plus the residual `δ` term of Equation 6.
+//!
+//! Besides the instantaneous infected fraction `I/N₀` (Figure 7), the
+//! model tracks the **cumulative ever-infected fraction** (Figure 8's
+//! y-axis), which is what an operator ultimately cares about: how much of
+//! the population the worm ever reached before patching won.
+
+use crate::backbone::ADDRESS_SPACE;
+use crate::error::{ensure_fraction, ensure_non_negative, ensure_positive, Error};
+use crate::logistic::Logistic;
+use crate::ode::{solve_fixed, OdeSystem, Rk4};
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Backbone rate-limiting parameters layered onto the immunization model
+/// (Section 6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackboneParams {
+    /// Fraction of IP-to-IP paths covered by rate-limited routers.
+    pub alpha: f64,
+    /// Average allowed router rate (the `r` of Equation 6).
+    pub r: f64,
+}
+
+/// The delayed-immunization model of Section 6.
+///
+/// State: infected hosts `I`, unpatched population `N`, and cumulative
+/// infections `E` (ever infected).
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_epidemic::immunization::DelayedImmunization;
+///
+/// # fn main() -> Result<(), dynaquar_epidemic::Error> {
+/// let m = DelayedImmunization::new(1000.0, 0.8, 0.1, 1.0)?;
+/// // Immunization starting when 20% are infected caps the damage.
+/// let d = m.delay_for_fraction(0.2)?;
+/// let ever = m.ever_infected_series(d, 80.0, 0.01).final_value();
+/// assert!(ever < 0.9 && ever > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelayedImmunization {
+    n0: f64,
+    beta: f64,
+    mu: f64,
+    i0: f64,
+    backbone: Option<BackboneParams>,
+}
+
+impl DelayedImmunization {
+    /// Creates the model: initial susceptible population `n0`, contact
+    /// rate `beta`, per-time-unit patch probability `mu`, initial
+    /// infections `i0`. No rate limiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for out-of-domain parameters.
+    pub fn new(n0: f64, beta: f64, mu: f64, i0: f64) -> Result<Self, Error> {
+        ensure_positive("n0", n0)?;
+        ensure_positive("beta", beta)?;
+        ensure_non_negative("mu", mu)?;
+        ensure_positive("i0", i0)?;
+        if i0 >= n0 {
+            return Err(Error::InvalidParameter {
+                name: "i0",
+                value: i0,
+                reason: "initial infections must be below the population size",
+            });
+        }
+        Ok(DelayedImmunization {
+            n0,
+            beta,
+            mu,
+            i0,
+            backbone: None,
+        })
+    }
+
+    /// Adds backbone rate limiting (Section 6.2) to the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `alpha ∉ [0, 1]` or
+    /// `r < 0`.
+    pub fn with_backbone(mut self, alpha: f64, r: f64) -> Result<Self, Error> {
+        ensure_fraction("alpha", alpha)?;
+        ensure_non_negative("r", r)?;
+        self.backbone = Some(BackboneParams { alpha, r });
+        Ok(self)
+    }
+
+    /// The effective pre-immunization growth rate: `β` without rate
+    /// limiting, `γ = β(1 − α)` with it.
+    pub fn effective_rate(&self) -> f64 {
+        match self.backbone {
+            Some(bb) => self.beta * (1.0 - bb.alpha),
+            None => self.beta,
+        }
+    }
+
+    /// The time `d` at which the infection (before any immunization)
+    /// reaches `fraction` — the paper triggers immunization "after a
+    /// certain percentage of hosts are infected".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnreachableLevel`] for fractions the pre-patching
+    /// model never reaches.
+    pub fn delay_for_fraction(&self, fraction: f64) -> Result<f64, Error> {
+        Logistic::new(self.n0, self.effective_rate(), self.i0)?.time_to_fraction(fraction)
+    }
+
+    fn system(&self, delay: f64) -> ImmunizationSystem {
+        ImmunizationSystem {
+            model: *self,
+            delay,
+        }
+    }
+
+    fn solve(&self, delay: f64, horizon: f64, dt: f64) -> crate::ode::Solution {
+        let sys = self.system(delay);
+        solve_fixed(
+            &sys,
+            &mut Rk4::new(3),
+            0.0,
+            &[self.i0, self.n0, self.i0],
+            horizon,
+            dt,
+        )
+    }
+
+    /// Instantaneous infected fraction `I(t)/N₀` (Figure 7 y-axis) with
+    /// immunization starting at time `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, `horizon < 0`, or `delay < 0`.
+    pub fn series(&self, delay: f64, horizon: f64, dt: f64) -> TimeSeries {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.solve(delay, horizon, dt)
+            .component(0)
+            .scaled(1.0 / self.n0)
+    }
+
+    /// Cumulative ever-infected fraction `E(t)/N₀` (Figure 8 y-axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, `horizon < 0`, or `delay < 0`.
+    pub fn ever_infected_series(&self, delay: f64, horizon: f64, dt: f64) -> TimeSeries {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.solve(delay, horizon, dt)
+            .component(2)
+            .scaled(1.0 / self.n0)
+    }
+
+    /// Remaining unpatched population fraction `N(t)/N₀`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, `horizon < 0`, or `delay < 0`.
+    pub fn unpatched_series(&self, delay: f64, horizon: f64, dt: f64) -> TimeSeries {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.solve(delay, horizon, dt)
+            .component(1)
+            .scaled(1.0 / self.n0)
+    }
+
+    /// The paper's closed-form approximation for `I(t)/N₀` after the
+    /// delay: `e^{(λ−µ)(t−d)} / (c₀ + e^{λ(t−d)})` where `λ` is the
+    /// effective rate and `c₀` matches the infected fraction at `t = d`.
+    pub fn post_delay_approx(&self, delay: f64, t: f64) -> f64 {
+        let lambda = self.effective_rate();
+        let f_d = Logistic::new(self.n0, lambda, self.i0)
+            .map(|l| l.fraction_at(delay))
+            .unwrap_or(0.0);
+        if t <= delay {
+            return f_d;
+        }
+        let c0 = (1.0 - f_d) / f_d;
+        let dt = t - delay;
+        ((lambda - self.mu) * dt).exp() / (c0 + (lambda * dt).exp())
+    }
+}
+
+/// Time-varying immunization — the extension the paper names but leaves
+/// unexplored: "the probability of immunization may increase as the worm
+/// spreads and as the vulnerability it exploits becomes widely
+/// publicized... the rate of immunization observes a bell curve."
+///
+/// The patch rate here is the Gaussian
+/// `µ(t) = µ_peak · exp(−(t − t_peak)² / (2σ²))` for `t > d`, replacing
+/// [`DelayedImmunization`]'s constant µ.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_epidemic::immunization::BellCurveImmunization;
+///
+/// # fn main() -> Result<(), dynaquar_epidemic::Error> {
+/// let m = BellCurveImmunization::new(1000.0, 0.8, 1.0, 0.25, 20.0, 8.0)?;
+/// let ever = m.ever_infected_series(8.0, 200.0, 0.05).final_value();
+/// assert!(ever < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BellCurveImmunization {
+    n0: f64,
+    beta: f64,
+    i0: f64,
+    mu_peak: f64,
+    t_peak: f64,
+    sigma: f64,
+}
+
+impl BellCurveImmunization {
+    /// Creates the model: population `n0`, contact rate `beta`, initial
+    /// infections `i0`, peak patch rate `mu_peak` reached at time
+    /// `t_peak`, with a Gaussian width `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for out-of-domain parameters.
+    pub fn new(
+        n0: f64,
+        beta: f64,
+        i0: f64,
+        mu_peak: f64,
+        t_peak: f64,
+        sigma: f64,
+    ) -> Result<Self, Error> {
+        ensure_positive("n0", n0)?;
+        ensure_positive("beta", beta)?;
+        ensure_positive("i0", i0)?;
+        ensure_non_negative("mu_peak", mu_peak)?;
+        ensure_non_negative("t_peak", t_peak)?;
+        ensure_positive("sigma", sigma)?;
+        if i0 >= n0 {
+            return Err(Error::InvalidParameter {
+                name: "i0",
+                value: i0,
+                reason: "initial infections must be below the population size",
+            });
+        }
+        Ok(BellCurveImmunization {
+            n0,
+            beta,
+            i0,
+            mu_peak,
+            t_peak,
+            sigma,
+        })
+    }
+
+    /// The instantaneous patch rate `µ(t)` (zero before `delay`).
+    pub fn mu_at(&self, t: f64, delay: f64) -> f64 {
+        if t <= delay {
+            return 0.0;
+        }
+        let z = (t - self.t_peak) / self.sigma;
+        self.mu_peak * (-0.5 * z * z).exp()
+    }
+
+    fn solve(&self, delay: f64, horizon: f64, dt: f64) -> crate::ode::Solution {
+        let sys = BellSystem { model: *self, delay };
+        solve_fixed(
+            &sys,
+            &mut Rk4::new(3),
+            0.0,
+            &[self.i0, self.n0, self.i0],
+            horizon,
+            dt,
+        )
+    }
+
+    /// Instantaneous infected fraction `I(t)/N₀` with the patching wave
+    /// enabled from time `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, `horizon < 0`, or `delay < 0`.
+    pub fn series(&self, delay: f64, horizon: f64, dt: f64) -> TimeSeries {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.solve(delay, horizon, dt)
+            .component(0)
+            .scaled(1.0 / self.n0)
+    }
+
+    /// Cumulative ever-infected fraction `E(t)/N₀`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0`, `horizon < 0`, or `delay < 0`.
+    pub fn ever_infected_series(&self, delay: f64, horizon: f64, dt: f64) -> TimeSeries {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        self.solve(delay, horizon, dt)
+            .component(2)
+            .scaled(1.0 / self.n0)
+    }
+}
+
+/// ODE system for the bell-curve model: state `[I, N, E]`.
+#[derive(Debug, Clone, Copy)]
+struct BellSystem {
+    model: BellCurveImmunization,
+    delay: f64,
+}
+
+impl OdeSystem for BellSystem {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]) {
+        let m = &self.model;
+        let i = y[0].max(0.0);
+        let n = y[1].max(0.0);
+        let s = (n - i).max(0.0);
+        let frac_s = if n > 0.0 { s / n } else { 0.0 };
+        let new_infections = m.beta * i * frac_s;
+        let mu = m.mu_at(t, self.delay);
+        dy[0] = new_infections - mu * i;
+        dy[1] = -mu * n;
+        dy[2] = new_infections;
+    }
+}
+
+/// The piecewise ODE system: state `[I, N, E]`.
+#[derive(Debug, Clone, Copy)]
+struct ImmunizationSystem {
+    model: DelayedImmunization,
+    delay: f64,
+}
+
+impl OdeSystem for ImmunizationSystem {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]) {
+        let m = &self.model;
+        let i = y[0].max(0.0);
+        let n = y[1].max(0.0);
+        // Susceptible pool: unpatched hosts that are not infected.
+        let s = (n - i).max(0.0);
+        let frac_s = if n > 0.0 { s / n } else { 0.0 };
+        let new_infections = match m.backbone {
+            None => m.beta * i * frac_s,
+            Some(bb) => {
+                let delta = (i * m.beta * bb.alpha).min(bb.r * n / ADDRESS_SPACE);
+                (i * m.beta * (1.0 - bb.alpha) + delta) * frac_s
+            }
+        };
+        if t <= self.delay {
+            dy[0] = new_infections;
+            dy[1] = 0.0;
+        } else {
+            dy[0] = new_infections - m.mu * i;
+            dy[1] = -m.mu * n;
+        }
+        dy[2] = new_infections;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model() -> DelayedImmunization {
+        DelayedImmunization::new(1000.0, 0.8, 0.1, 1.0).unwrap()
+    }
+
+    #[test]
+    fn before_delay_matches_logistic() {
+        let m = paper_model();
+        let s = m.series(30.0, 25.0, 0.01);
+        let l = Logistic::new(1000.0, 0.8, 1.0).unwrap().series(0.0, 25.0, 0.01);
+        assert!(s.max_abs_difference(&l) < 1e-6);
+    }
+
+    #[test]
+    fn infection_declines_after_saturation_with_patching() {
+        let m = paper_model();
+        let s = m.series(10.0, 200.0, 0.01);
+        // Infected fraction eventually heads toward zero.
+        assert!(s.final_value() < 0.1);
+        // But it peaked well above the 10-tick level first.
+        assert!(s.max_value() > s.value_at(10.0).unwrap());
+    }
+
+    #[test]
+    fn earlier_immunization_caps_ever_infected_lower() {
+        let m = paper_model();
+        let d20 = m.delay_for_fraction(0.2).unwrap();
+        let d50 = m.delay_for_fraction(0.5).unwrap();
+        let d80 = m.delay_for_fraction(0.8).unwrap();
+        let ever = |d: f64| m.ever_infected_series(d, 120.0, 0.01).final_value();
+        let (e20, e50, e80) = (ever(d20), ever(d50), ever(d80));
+        assert!(e20 < e50 && e50 < e80, "{e20} {e50} {e80}");
+        // Figure 8(a) magnitudes: ~80%, ~90%, ~98%.
+        assert!((0.6..=0.92).contains(&e20), "e20 = {e20}");
+        assert!((0.75..=0.97).contains(&e50), "e50 = {e50}");
+        assert!(e80 > 0.9, "e80 = {e80}");
+    }
+
+    #[test]
+    fn rate_limiting_reduces_ever_infected_figure8b() {
+        // Figure 8(b): with backbone RL, immunization at the same
+        // *infection level* yields a lower total ever-infected.
+        let plain = paper_model();
+        let rl = paper_model().with_backbone(0.5, 0.0).unwrap();
+        let d_plain = plain.delay_for_fraction(0.2).unwrap();
+        let d_rl = rl.delay_for_fraction(0.2).unwrap();
+        let e_plain = plain.ever_infected_series(d_plain, 400.0, 0.02).final_value();
+        let e_rl = rl.ever_infected_series(d_rl, 400.0, 0.02).final_value();
+        assert!(
+            e_rl < e_plain,
+            "RL should reduce damage: {e_rl} vs {e_plain}"
+        );
+    }
+
+    #[test]
+    fn delay_for_fraction_respects_rate_limit() {
+        let plain = paper_model();
+        let rl = paper_model().with_backbone(0.9, 0.0).unwrap();
+        // With RL the infection takes ~10x longer to reach 20%.
+        let d_plain = plain.delay_for_fraction(0.2).unwrap();
+        let d_rl = rl.delay_for_fraction(0.2).unwrap();
+        assert!(d_rl > 8.0 * d_plain);
+    }
+
+    #[test]
+    fn unpatched_population_decays_after_delay() {
+        let m = paper_model();
+        let n = m.unpatched_series(10.0, 60.0, 0.01);
+        assert!((n.value_at(10.0).unwrap() - 1.0).abs() < 1e-9);
+        // After 20 ticks of patching at µ=0.1: e^{-2} ≈ 0.135.
+        assert!((n.value_at(30.0).unwrap() - (-2.0f64).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ever_infected_is_monotone() {
+        let m = paper_model();
+        let e = m.ever_infected_series(8.0, 100.0, 0.05);
+        let mut prev = 0.0;
+        for (_, v) in e.iter() {
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn post_delay_approx_tracks_numeric_solution() {
+        let m = paper_model();
+        let d = 10.0;
+        let s = m.series(d, 40.0, 0.01);
+        // The closed form drops the dN/dt coupling, so allow a loose
+        // tolerance; shapes must agree.
+        for &t in &[12.0, 15.0, 20.0] {
+            let approx = m.post_delay_approx(d, t);
+            let exact = s.value_at(t).unwrap();
+            assert!(
+                (approx - exact).abs() < 0.15,
+                "t={t}: approx {approx} vs numeric {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mu_reduces_to_plain_logistic() {
+        let m = DelayedImmunization::new(1000.0, 0.8, 0.0, 1.0).unwrap();
+        let s = m.series(5.0, 40.0, 0.01);
+        let l = Logistic::new(1000.0, 0.8, 1.0).unwrap().series(0.0, 40.0, 0.01);
+        assert!(s.max_abs_difference(&l) < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DelayedImmunization::new(0.0, 0.8, 0.1, 1.0).is_err());
+        assert!(DelayedImmunization::new(1000.0, 0.8, -0.1, 1.0).is_err());
+        assert!(paper_model().with_backbone(1.5, 0.0).is_err());
+        assert!(paper_model().with_backbone(0.5, -1.0).is_err());
+    }
+
+    #[test]
+    fn bell_curve_mu_shape() {
+        let m = BellCurveImmunization::new(1000.0, 0.8, 1.0, 0.3, 20.0, 5.0).unwrap();
+        // Zero before the delay, peaks at t_peak, symmetric falloff.
+        assert_eq!(m.mu_at(5.0, 8.0), 0.0);
+        assert!((m.mu_at(20.0, 8.0) - 0.3).abs() < 1e-12);
+        assert!((m.mu_at(15.0, 8.0) - m.mu_at(25.0, 8.0)).abs() < 1e-12);
+        assert!(m.mu_at(40.0, 8.0) < 0.01);
+    }
+
+    #[test]
+    fn bell_curve_interpolates_between_constant_extremes() {
+        // A bell wave peaking at µ=0.2 should cause damage between a
+        // constant µ=0.2 (strictly stronger: same peak, sustained) and
+        // no immunization at all.
+        let delay = 8.0;
+        let bell = BellCurveImmunization::new(1000.0, 0.8, 1.0, 0.2, 14.0, 4.0).unwrap();
+        let constant = DelayedImmunization::new(1000.0, 0.8, 0.2, 1.0).unwrap();
+        let ever_bell = bell.ever_infected_series(delay, 300.0, 0.02).final_value();
+        let ever_const = constant.ever_infected_series(delay, 300.0, 0.02).final_value();
+        assert!(ever_bell >= ever_const - 1e-6, "{ever_bell} vs {ever_const}");
+        assert!(ever_bell < 1.0);
+    }
+
+    #[test]
+    fn bell_curve_patching_fades_and_the_worm_persists() {
+        // The paper's intuition for why the bell shape matters: a
+        // patching wave that fades ("immunization may decrease as the
+        // infection becomes a rarer occurrence") leaves the remaining
+        // unpatched hosts to the worm, whereas sustained constant-rate
+        // patching eventually extinguishes it.
+        let bell = BellCurveImmunization::new(1000.0, 0.8, 1.0, 0.15, 14.0, 2.0).unwrap();
+        let constant = DelayedImmunization::new(1000.0, 0.8, 0.15, 1.0).unwrap();
+        let bell_final = bell.series(6.0, 300.0, 0.02).final_value();
+        let const_final = constant.series(6.0, 300.0, 0.02).final_value();
+        assert!(
+            bell_final > 0.2,
+            "worm should persist after the wave: {bell_final}"
+        );
+        assert!(
+            const_final < 0.05,
+            "sustained patching should extinguish it: {const_final}"
+        );
+    }
+
+    #[test]
+    fn bell_curve_rejects_bad_parameters() {
+        assert!(BellCurveImmunization::new(0.0, 0.8, 1.0, 0.2, 10.0, 5.0).is_err());
+        assert!(BellCurveImmunization::new(1000.0, 0.8, 1.0, -0.2, 10.0, 5.0).is_err());
+        assert!(BellCurveImmunization::new(1000.0, 0.8, 1.0, 0.2, 10.0, 0.0).is_err());
+        assert!(BellCurveImmunization::new(1000.0, 0.8, 2000.0, 0.2, 10.0, 5.0).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Epidemiological analytical models from *Dynamic Quarantine of Internet
+//! Worms* (Wong, Wang, Song, Bielski, Ganger — DSN 2004).
+//!
+//! This crate implements the mathematical substrate of the paper:
+//!
+//! * generic fixed-step and adaptive [ODE integrators](ode) (the paper's
+//!   analytical curves are solutions of small ODE systems),
+//! * the classic [homogeneous logistic model](logistic) of Section 3
+//!   (Equation 1 and the time-to-level Equation 2), plus the traditional
+//!   constant-rate [SIR/SIS baselines](sir) the paper contrasts against
+//!   and an exact [stochastic sampler](stochastic) of the same process,
+//! * the [star-graph rate-limiting models](star) of Section 4
+//!   (Equations 3, 4, 5: leaf deployment and hub deployment),
+//! * the [host-based](host), [edge-router](edge), and
+//!   [backbone-router](backbone) deployment models of Section 5
+//!   (Equation 6 for backbone deployment),
+//! * the [delayed-immunization models](immunization) of Section 6, with and
+//!   without backbone rate limiting,
+//! * a [`series::TimeSeries`] type shared by every model and by
+//!   the packet-level simulator, with time-to-level and slowdown-factor
+//!   queries ([`timeto`]).
+//!
+//! # Example
+//!
+//! Reproduce the "No RL" curve of the paper's Figure 2 (homogeneous worm
+//! with contact rate β = 0.8 on N = 1000 hosts):
+//!
+//! ```
+//! use dynaquar_epidemic::logistic::Logistic;
+//!
+//! # fn main() -> Result<(), dynaquar_epidemic::Error> {
+//! let model = Logistic::new(1000.0, 0.8, 1.0)?;
+//! let series = model.series(0.0, 50.0, 0.1);
+//! // The infection saturates near 100 %.
+//! assert!(series.final_value() > 0.99);
+//! // Equation 2: time to reach half the population.
+//! let t_half = model.time_to_fraction(0.5)?;
+//! assert!((series.time_to_reach(0.5).unwrap() - t_half).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backbone;
+pub mod edge;
+pub mod error;
+pub mod fit;
+pub mod host;
+pub mod immunization;
+pub mod logistic;
+pub mod ode;
+pub mod series;
+pub mod si;
+pub mod sir;
+pub mod star;
+pub mod stochastic;
+pub mod timeto;
+
+pub use error::Error;
+pub use series::{LabeledSeries, SeriesSet, TimeSeries};

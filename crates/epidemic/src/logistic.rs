@@ -1,0 +1,245 @@
+//! The homogeneous logistic worm model of Section 3 (Equations 1 and 2).
+//!
+//! A homogeneous epidemiological model assumes every individual has equal
+//! contact with every other. The number of infected hosts `I(t)` follows
+//!
+//! ```text
+//! dI/dt = β I (N − I) / N            (Equation 1)
+//! ```
+//!
+//! whose solution is the logistic curve `I/N = e^{βt} / (c + e^{βt})` with
+//! `c = N/I₀ − 1` fixed by the initial infection level. The time to reach
+//! an infection fraction `a` follows in closed form (the paper's
+//! Equation 2 is the low-initial-infection approximation `t ≈ ln α / β`).
+
+use crate::error::{ensure_positive, Error};
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Closed-form homogeneous logistic infection model (Equation 1).
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_epidemic::logistic::Logistic;
+///
+/// # fn main() -> Result<(), dynaquar_epidemic::Error> {
+/// // Code-Red-like: 1000 hosts, contact rate 0.8, one initial infection.
+/// let m = Logistic::new(1000.0, 0.8, 1.0)?;
+/// assert!(m.fraction_at(0.0) < 0.01);
+/// assert!(m.fraction_at(40.0) > 0.99);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Logistic {
+    n: f64,
+    beta: f64,
+    i0: f64,
+}
+
+impl Logistic {
+    /// Creates a logistic model for a population of `n` hosts with contact
+    /// rate `beta` and `i0` initially infected hosts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `n <= 0`, `beta <= 0`,
+    /// `i0 <= 0`, or `i0 >= n`.
+    pub fn new(n: f64, beta: f64, i0: f64) -> Result<Self, Error> {
+        ensure_positive("n", n)?;
+        ensure_positive("beta", beta)?;
+        ensure_positive("i0", i0)?;
+        if i0 >= n {
+            return Err(Error::InvalidParameter {
+                name: "i0",
+                value: i0,
+                reason: "initial infections must be below the population size",
+            });
+        }
+        Ok(Logistic { n, beta, i0 })
+    }
+
+    /// The population size `N`.
+    pub fn population(&self) -> f64 {
+        self.n
+    }
+
+    /// The contact rate `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The initial number of infected hosts `I₀`.
+    pub fn initial_infected(&self) -> f64 {
+        self.i0
+    }
+
+    /// The integration constant `c = N/I₀ − 1` of the closed-form solution.
+    ///
+    /// For a low initial infection level `c → N − 1`, as noted in the
+    /// paper.
+    pub fn c(&self) -> f64 {
+        self.n / self.i0 - 1.0
+    }
+
+    /// Infected fraction `I(t)/N` at time `t` (closed form).
+    pub fn fraction_at(&self, t: f64) -> f64 {
+        let e = (self.beta * t).exp();
+        if e.is_infinite() {
+            return 1.0;
+        }
+        e / (self.c() + e)
+    }
+
+    /// Number of infected hosts `I(t)` at time `t`.
+    pub fn infected_at(&self, t: f64) -> f64 {
+        self.n * self.fraction_at(t)
+    }
+
+    /// Exact time at which the infected fraction reaches `fraction`
+    /// (inverse of [`Logistic::fraction_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnreachableLevel`] when `fraction` is not in
+    /// `(0, 1)` or lies below the initial infection level.
+    pub fn time_to_fraction(&self, fraction: f64) -> Result<f64, Error> {
+        if !(0.0..1.0).contains(&fraction) || fraction <= 0.0 {
+            return Err(Error::UnreachableLevel { level: fraction });
+        }
+        let f0 = self.i0 / self.n;
+        if fraction < f0 {
+            return Err(Error::UnreachableLevel { level: fraction });
+        }
+        // a = e / (c + e)  =>  e^{βt} = a c / (1 − a)
+        Ok(((fraction * self.c()) / (1.0 - fraction)).ln() / self.beta)
+    }
+
+    /// The paper's Equation 2 approximation `t ≈ ln(αc) / β` for the time
+    /// to reach a *count* of `alpha` infected hosts while the infection is
+    /// still in its exponential phase.
+    pub fn time_to_level_approx(&self, alpha: f64) -> f64 {
+        (alpha * self.c() / self.n).ln() / self.beta
+    }
+
+    /// Samples `I(t)/N` on the regular grid `[t0, t1]` with step `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `t1 < t0`.
+    pub fn series(&self, t0: f64, t1: f64, dt: f64) -> TimeSeries {
+        assert!(dt > 0.0, "dt must be positive");
+        assert!(t1 >= t0, "time range must be forward");
+        let steps = ((t1 - t0) / dt).round() as usize;
+        let mut out = TimeSeries::with_capacity(steps + 1);
+        for k in 0..=steps {
+            let t = t0 + k as f64 * dt;
+            out.push(t, self.fraction_at(t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Logistic::new(0.0, 0.8, 1.0).is_err());
+        assert!(Logistic::new(100.0, 0.0, 1.0).is_err());
+        assert!(Logistic::new(100.0, 0.8, 0.0).is_err());
+        assert!(Logistic::new(100.0, 0.8, 100.0).is_err());
+        assert!(Logistic::new(100.0, 0.8, 150.0).is_err());
+    }
+
+    #[test]
+    fn initial_fraction_matches_i0() {
+        let m = Logistic::new(200.0, 0.8, 2.0).unwrap();
+        assert!((m.fraction_at(0.0) - 0.01).abs() < 1e-12);
+        assert!((m.infected_at(0.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturates_at_one() {
+        let m = Logistic::new(1000.0, 0.8, 1.0).unwrap();
+        assert!(m.fraction_at(1e6) <= 1.0);
+        assert!((m.fraction_at(1e6) - 1.0).abs() < 1e-9);
+        // Extreme time must not produce NaN via inf/inf.
+        assert_eq!(m.fraction_at(1e9), 1.0);
+    }
+
+    #[test]
+    fn monotonically_increasing() {
+        let m = Logistic::new(1000.0, 0.5, 1.0).unwrap();
+        let mut prev = 0.0;
+        for k in 0..200 {
+            let f = m.fraction_at(k as f64 * 0.5);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn time_to_fraction_inverts_fraction_at() {
+        let m = Logistic::new(1000.0, 0.8, 1.0).unwrap();
+        for &a in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let t = m.time_to_fraction(a).unwrap();
+            assert!((m.fraction_at(t) - a).abs() < 1e-10, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn time_to_fraction_rejects_unreachable() {
+        let m = Logistic::new(1000.0, 0.8, 10.0).unwrap();
+        assert!(m.time_to_fraction(0.0).is_err());
+        assert!(m.time_to_fraction(1.0).is_err());
+        assert!(m.time_to_fraction(1.5).is_err());
+        // Below the initial level (1% infected initially).
+        assert!(m.time_to_fraction(0.005).is_err());
+    }
+
+    #[test]
+    fn doubling_beta_halves_time_to_level() {
+        // Equation 2: t ≈ ln α / β, so t is inversely proportional to β.
+        let slow = Logistic::new(1000.0, 0.4, 1.0).unwrap();
+        let fast = Logistic::new(1000.0, 0.8, 1.0).unwrap();
+        let ts = slow.time_to_fraction(0.5).unwrap();
+        let tf = fast.time_to_fraction(0.5).unwrap();
+        assert!((ts / tf - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c_approaches_n_minus_one_for_single_seed() {
+        let m = Logistic::new(1000.0, 0.8, 1.0).unwrap();
+        assert!((m.c() - 999.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_shape() {
+        let m = Logistic::new(200.0, 0.8, 1.0).unwrap();
+        let s = m.series(0.0, 50.0, 0.5);
+        assert_eq!(s.len(), 101);
+        assert!(s.final_value() > 0.99);
+        assert_eq!(s.first().unwrap().0, 0.0);
+        assert!((s.last().unwrap().0 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_matches_closed_form_time_to_half() {
+        let m = Logistic::new(1000.0, 0.8, 1.0).unwrap();
+        let s = m.series(0.0, 50.0, 0.01);
+        let t_series = s.time_to_reach(0.5).unwrap();
+        let t_exact = m.time_to_fraction(0.5).unwrap();
+        assert!((t_series - t_exact).abs() < 0.02);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = Logistic::new(100.0, 0.3, 2.0).unwrap();
+        assert_eq!(m.population(), 100.0);
+        assert_eq!(m.beta(), 0.3);
+        assert_eq!(m.initial_infected(), 2.0);
+    }
+}

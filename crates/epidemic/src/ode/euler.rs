@@ -1,0 +1,61 @@
+//! Forward Euler — the simplest fixed-step integrator.
+
+use super::{OdeSystem, Stepper};
+
+/// Forward Euler stepper: `y += h * f(t, y)`.
+///
+/// First-order accurate. Kept mostly as a baseline for the integrator
+/// ablation bench; the models default to [`super::Rk4`].
+#[derive(Debug, Clone)]
+pub struct Euler {
+    dy: Vec<f64>,
+}
+
+impl Euler {
+    /// Creates a stepper with scratch space for systems of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Euler { dy: vec![0.0; dim] }
+    }
+}
+
+impl Stepper for Euler {
+    fn step(&mut self, sys: &dyn OdeSystem, t: f64, y: &mut [f64], h: f64) {
+        debug_assert_eq!(y.len(), self.dy.len(), "scratch dimension mismatch");
+        sys.deriv(t, y, &mut self.dy);
+        for (yi, di) in y.iter_mut().zip(&self.dy) {
+            *yi += h * di;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "euler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ode::FnSystem;
+
+    #[test]
+    fn single_step_matches_hand_computation() {
+        let sys = FnSystem::new(1, |_t, y, dy| dy[0] = 2.0 * y[0]);
+        let mut e = Euler::new(1);
+        let mut y = [1.0];
+        e.step(&sys, 0.0, &mut y, 0.5);
+        // y + h * 2y = 1 + 0.5*2 = 2
+        assert_eq!(y[0], 2.0);
+    }
+
+    #[test]
+    fn multi_dimensional_step() {
+        let sys = FnSystem::new(2, |_t, y, dy| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        });
+        let mut e = Euler::new(2);
+        let mut y = [1.0, 0.0];
+        e.step(&sys, 0.0, &mut y, 0.1);
+        assert_eq!(y, [1.0, -0.1]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Small, allocation-light ODE integrators.
+//!
+//! The paper's analytical curves are solutions of one- or two-dimensional
+//! ODE systems. This module provides a minimal [`OdeSystem`] abstraction,
+//! two fixed-step integrators ([`Euler`], [`Rk4`]) and one adaptive
+//! embedded Runge–Kutta integrator ([`DormandPrince`]; RK45), plus a
+//! [`solve_fixed`] driver that samples a solution onto a regular grid.
+//!
+//! # Example
+//!
+//! Integrate exponential decay `y' = -y` and compare with `e^{-t}`:
+//!
+//! ```
+//! use dynaquar_epidemic::ode::{solve_fixed, FnSystem, Rk4};
+//!
+//! let sys = FnSystem::new(1, |_t, y, dy| dy[0] = -y[0]);
+//! let sol = solve_fixed(&sys, &mut Rk4::new(1), 0.0, &[1.0], 5.0, 1e-3);
+//! let (t, y) = sol.last().unwrap();
+//! assert!((y[0] - (-t).exp()).abs() < 1e-9);
+//! ```
+
+mod euler;
+mod rk4;
+mod rk45;
+
+pub use euler::Euler;
+pub use rk4::Rk4;
+pub use rk45::DormandPrince;
+
+use crate::error::Error;
+
+/// A first-order ODE system `y' = f(t, y)`.
+pub trait OdeSystem {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, y)` into `dy`.
+    ///
+    /// Implementations may assume `y.len() == dy.len() == self.dim()`.
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]);
+}
+
+/// An [`OdeSystem`] defined by a closure — convenient for tests and
+/// one-off models.
+pub struct FnSystem<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F> std::fmt::Debug for FnSystem<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSystem").field("dim", &self.dim).finish()
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> FnSystem<F> {
+    /// Wraps closure `f` as a system of dimension `dim`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnSystem { dim, f }
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn deriv(&self, t: f64, y: &[f64], dy: &mut [f64]) {
+        (self.f)(t, y, dy)
+    }
+}
+
+/// A single-step integrator advancing a state vector by one step `h`.
+///
+/// This trait is object-safe so drivers can be written against
+/// `&mut dyn Stepper`.
+pub trait Stepper {
+    /// Advances `y` in place from `t` to `t + h`.
+    fn step(&mut self, sys: &dyn OdeSystem, t: f64, y: &mut [f64], h: f64);
+
+    /// Short human-readable name (for bench labels).
+    fn name(&self) -> &'static str;
+}
+
+/// A sampled ODE solution: state snapshots on a time grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    times: Vec<f64>,
+    states: Vec<Vec<f64>>,
+}
+
+impl Solution {
+    /// The sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` when the solution holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The `i`-th snapshot as `(t, state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn snapshot(&self, i: usize) -> (f64, &[f64]) {
+        (self.times[i], &self.states[i])
+    }
+
+    /// The final snapshot, if any.
+    pub fn last(&self) -> Option<(f64, &[f64])> {
+        self.times
+            .last()
+            .map(|&t| (t, self.states.last().expect("same length").as_slice()))
+    }
+
+    /// Extracts component `k` as a [`crate::TimeSeries`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of bounds for the system dimension.
+    pub fn component(&self, k: usize) -> crate::TimeSeries {
+        self.times
+            .iter()
+            .zip(&self.states)
+            .map(|(&t, s)| (t, s[k]))
+            .collect()
+    }
+
+    /// Iterates over `(t, state)` snapshots.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[f64])> {
+        self.times
+            .iter()
+            .zip(&self.states)
+            .map(|(&t, s)| (t, s.as_slice()))
+    }
+}
+
+/// Integrates `sys` from `t0` to `t1` with fixed step `h`, recording every
+/// step.
+///
+/// The final step is shortened so the solution ends exactly at `t1`.
+///
+/// # Panics
+///
+/// Panics if `y0.len() != sys.dim()`, if `h <= 0`, or if `t1 < t0`.
+pub fn solve_fixed(
+    sys: &dyn OdeSystem,
+    stepper: &mut dyn Stepper,
+    t0: f64,
+    y0: &[f64],
+    t1: f64,
+    h: f64,
+) -> Solution {
+    assert_eq!(y0.len(), sys.dim(), "initial state has wrong dimension");
+    assert!(h > 0.0, "step size must be positive");
+    assert!(t1 >= t0, "integration interval must be forward in time");
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let cap = ((t1 - t0) / h).ceil() as usize + 2;
+    let mut times = Vec::with_capacity(cap);
+    let mut states = Vec::with_capacity(cap);
+    times.push(t);
+    states.push(y.clone());
+    while t < t1 {
+        let step = h.min(t1 - t);
+        stepper.step(sys, t, &mut y, step);
+        t += step;
+        times.push(t);
+        states.push(y.clone());
+    }
+    Solution { times, states }
+}
+
+/// Like [`solve_fixed`] but records only every `sample_every`-th step
+/// (always recording the first and last), keeping memory bounded for long
+/// horizons.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_fixed`], plus `sample_every == 0`.
+pub fn solve_fixed_sampled(
+    sys: &dyn OdeSystem,
+    stepper: &mut dyn Stepper,
+    t0: f64,
+    y0: &[f64],
+    t1: f64,
+    h: f64,
+    sample_every: usize,
+) -> Solution {
+    assert!(sample_every > 0, "sample_every must be positive");
+    assert_eq!(y0.len(), sys.dim(), "initial state has wrong dimension");
+    assert!(h > 0.0, "step size must be positive");
+    assert!(t1 >= t0, "integration interval must be forward in time");
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut times = Vec::new();
+    let mut states = Vec::new();
+    times.push(t);
+    states.push(y.clone());
+    let mut i = 0usize;
+    while t < t1 {
+        let step = h.min(t1 - t);
+        stepper.step(sys, t, &mut y, step);
+        t += step;
+        i += 1;
+        if i.is_multiple_of(sample_every) || t >= t1 {
+            times.push(t);
+            states.push(y.clone());
+        }
+    }
+    Solution { times, states }
+}
+
+/// Integrates with fixed step `h` until `stop(t, y)` returns `true` or
+/// `max_t` is reached, recording every step — the event-driven driver
+/// behind "integrate until the infection reaches level α".
+///
+/// Returns the solution and whether the stop condition fired (as opposed
+/// to hitting `max_t`).
+///
+/// # Panics
+///
+/// Panics if `y0.len() != sys.dim()`, `h <= 0`, or `max_t < t0`.
+pub fn solve_fixed_until<F: FnMut(f64, &[f64]) -> bool>(
+    sys: &dyn OdeSystem,
+    stepper: &mut dyn Stepper,
+    t0: f64,
+    y0: &[f64],
+    h: f64,
+    max_t: f64,
+    mut stop: F,
+) -> (Solution, bool) {
+    assert_eq!(y0.len(), sys.dim(), "initial state has wrong dimension");
+    assert!(h > 0.0, "step size must be positive");
+    assert!(max_t >= t0, "integration interval must be forward in time");
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let mut times = vec![t];
+    let mut states = vec![y.clone()];
+    if stop(t, &y) {
+        return (Solution { times, states }, true);
+    }
+    while t < max_t {
+        let step = h.min(max_t - t);
+        stepper.step(sys, t, &mut y, step);
+        t += step;
+        times.push(t);
+        states.push(y.clone());
+        if stop(t, &y) {
+            return (Solution { times, states }, true);
+        }
+    }
+    (Solution { times, states }, false)
+}
+
+/// Integrates `sys` adaptively from `t0` to `t1` with local error
+/// tolerance `tol`, using the Dormand–Prince 5(4) pair.
+///
+/// # Errors
+///
+/// Returns [`Error::StepSizeUnderflow`] when the controller cannot meet
+/// `tol` even at the minimum step size (stiff or ill-posed system).
+///
+/// # Panics
+///
+/// Panics if `y0.len() != sys.dim()`, `tol <= 0`, or `t1 < t0`.
+pub fn solve_adaptive(
+    sys: &dyn OdeSystem,
+    t0: f64,
+    y0: &[f64],
+    t1: f64,
+    tol: f64,
+) -> Result<Solution, Error> {
+    assert_eq!(y0.len(), sys.dim(), "initial state has wrong dimension");
+    assert!(tol > 0.0, "tolerance must be positive");
+    assert!(t1 >= t0, "integration interval must be forward in time");
+    let mut dp = DormandPrince::new(sys.dim());
+    dp.solve(sys, t0, y0, t1, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y, dy| dy[0] = -y[0])
+    }
+
+    /// Two-dimensional harmonic oscillator: y'' = -y.
+    fn oscillator() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(2, |_t, y, dy| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        })
+    }
+
+    #[test]
+    fn euler_first_order_convergence() {
+        let sys = decay();
+        let mut errs = Vec::new();
+        for &h in &[0.1, 0.05, 0.025] {
+            let sol = solve_fixed(&sys, &mut Euler::new(1), 0.0, &[1.0], 1.0, h);
+            let (_, y) = sol.last().unwrap();
+            errs.push((y[0] - (-1.0f64).exp()).abs());
+        }
+        // Halving h should roughly halve the error.
+        assert!(errs[0] / errs[1] > 1.7 && errs[0] / errs[1] < 2.3);
+        assert!(errs[1] / errs[2] > 1.7 && errs[1] / errs[2] < 2.3);
+    }
+
+    #[test]
+    fn rk4_fourth_order_convergence() {
+        let sys = decay();
+        let mut errs = Vec::new();
+        for &h in &[0.2, 0.1] {
+            let sol = solve_fixed(&sys, &mut Rk4::new(1), 0.0, &[1.0], 1.0, h);
+            let (_, y) = sol.last().unwrap();
+            errs.push((y[0] - (-1.0f64).exp()).abs());
+        }
+        // Halving h should reduce the error by ~16x.
+        assert!(errs[0] / errs[1] > 10.0);
+    }
+
+    #[test]
+    fn rk4_oscillator_preserves_energy_approximately() {
+        let sys = oscillator();
+        let sol = solve_fixed(&sys, &mut Rk4::new(2), 0.0, &[1.0, 0.0], 10.0, 0.01);
+        let (_, y) = sol.last().unwrap();
+        let energy = y[0] * y[0] + y[1] * y[1];
+        assert!((energy - 1.0).abs() < 1e-6);
+        // cos(10), -sin(10)
+        assert!((y[0] - 10.0f64.cos()).abs() < 1e-6);
+        assert!((y[1] + 10.0f64.sin()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adaptive_matches_closed_form() {
+        let sys = decay();
+        let sol = solve_adaptive(&sys, 0.0, &[1.0], 5.0, 1e-10).unwrap();
+        let (t, y) = sol.last().unwrap();
+        assert!((t - 5.0).abs() < 1e-12);
+        assert!((y[0] - (-5.0f64).exp()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn adaptive_oscillator_accuracy() {
+        let sys = oscillator();
+        let sol = solve_adaptive(&sys, 0.0, &[1.0, 0.0], 20.0, 1e-9).unwrap();
+        let (_, y) = sol.last().unwrap();
+        assert!((y[0] - 20.0f64.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solution_component_extraction() {
+        let sys = oscillator();
+        let sol = solve_fixed(&sys, &mut Rk4::new(2), 0.0, &[1.0, 0.0], 1.0, 0.1);
+        let c0 = sol.component(0);
+        assert_eq!(c0.len(), sol.len());
+        assert_eq!(c0.first().unwrap(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn solve_fixed_ends_exactly_at_t1() {
+        let sys = decay();
+        // 0.3 does not divide 1.0.
+        let sol = solve_fixed(&sys, &mut Euler::new(1), 0.0, &[1.0], 1.0, 0.3);
+        assert!((sol.last().unwrap().0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_fixed_zero_interval() {
+        let sys = decay();
+        let sol = solve_fixed(&sys, &mut Rk4::new(1), 2.0, &[3.0], 2.0, 0.1);
+        assert_eq!(sol.len(), 1);
+        assert_eq!(sol.snapshot(0), (2.0, &[3.0][..]));
+    }
+
+    #[test]
+    fn sampled_driver_records_fewer_points() {
+        let sys = decay();
+        let full = solve_fixed(&sys, &mut Rk4::new(1), 0.0, &[1.0], 1.0, 0.01);
+        let sparse =
+            solve_fixed_sampled(&sys, &mut Rk4::new(1), 0.0, &[1.0], 1.0, 0.01, 10);
+        assert!(sparse.len() < full.len());
+        let (t_full, y_full) = full.last().unwrap();
+        let (t_sparse, y_sparse) = sparse.last().unwrap();
+        assert_eq!(t_full, t_sparse);
+        assert_eq!(y_full, y_sparse);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn solve_fixed_dimension_mismatch_panics() {
+        let sys = decay();
+        solve_fixed(&sys, &mut Rk4::new(1), 0.0, &[1.0, 2.0], 1.0, 0.1);
+    }
+
+    #[test]
+    fn solve_until_stops_at_condition() {
+        // Integrate logistic growth until I reaches half the population.
+        let sys = FnSystem::new(1, |_t, y, dy| dy[0] = 0.8 * y[0] * (100.0 - y[0]) / 100.0);
+        let (sol, fired) = solve_fixed_until(
+            &sys,
+            &mut Rk4::new(1),
+            0.0,
+            &[1.0],
+            0.01,
+            1000.0,
+            |_t, y| y[0] >= 50.0,
+        );
+        assert!(fired);
+        let (t, y) = sol.last().unwrap();
+        assert!((y[0] - 50.0).abs() < 0.5);
+        // Matches the closed-form time-to-half: ln(99)/0.8 ≈ 5.74.
+        assert!((t - (99.0f64).ln() / 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn solve_until_reports_timeout() {
+        let sys = FnSystem::new(1, |_t, _y, dy| dy[0] = 0.0);
+        let (sol, fired) =
+            solve_fixed_until(&sys, &mut Euler::new(1), 0.0, &[1.0], 0.1, 1.0, |_t, y| {
+                y[0] > 2.0
+            });
+        assert!(!fired);
+        assert!((sol.last().unwrap().0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_until_checks_initial_state() {
+        let sys = FnSystem::new(1, |_t, _y, dy| dy[0] = 1.0);
+        let (sol, fired) =
+            solve_fixed_until(&sys, &mut Euler::new(1), 0.0, &[5.0], 0.1, 1.0, |_t, y| {
+                y[0] >= 5.0
+            });
+        assert!(fired);
+        assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn stepper_names() {
+        assert_eq!(Euler::new(1).name(), "euler");
+        assert_eq!(Rk4::new(1).name(), "rk4");
+    }
+
+    #[test]
+    fn fn_system_debug_nonempty() {
+        let sys = decay();
+        assert!(!format!("{sys:?}").is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! The homogeneous SI model as an [`OdeSystem`], for cross-validating the
+//! closed forms and as a base for the piecewise models.
+//!
+//! [`HomogeneousSi`] integrates Equation 1 numerically; its solution must
+//! (and, in tests, does) match [`crate::logistic::Logistic`] to integrator
+//! accuracy. Models with regime switches (hub deployment, backbone `δ`
+//! term, delayed immunization) extend this numeric path because they have
+//! no global closed form.
+
+use crate::error::{ensure_positive, Error};
+use crate::logistic::Logistic;
+use crate::ode::{solve_fixed, OdeSystem, Rk4};
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Homogeneous susceptible–infected model, `dI/dt = βI(N−I)/N`, as a
+/// numerically integrable system.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_epidemic::si::HomogeneousSi;
+///
+/// # fn main() -> Result<(), dynaquar_epidemic::Error> {
+/// let m = HomogeneousSi::new(1000.0, 0.8, 1.0)?;
+/// let s = m.series(50.0, 0.05);
+/// assert!(s.final_value() > 0.99);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HomogeneousSi {
+    n: f64,
+    beta: f64,
+    i0: f64,
+}
+
+impl HomogeneousSi {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] under the same conditions as
+    /// [`Logistic::new`].
+    pub fn new(n: f64, beta: f64, i0: f64) -> Result<Self, Error> {
+        ensure_positive("n", n)?;
+        ensure_positive("beta", beta)?;
+        ensure_positive("i0", i0)?;
+        if i0 >= n {
+            return Err(Error::InvalidParameter {
+                name: "i0",
+                value: i0,
+                reason: "initial infections must be below the population size",
+            });
+        }
+        Ok(HomogeneousSi { n, beta, i0 })
+    }
+
+    /// The equivalent closed-form model.
+    pub fn to_logistic(self) -> Logistic {
+        Logistic::new(self.n, self.beta, self.i0).expect("parameters already validated")
+    }
+
+    /// Integrates `I(t)/N` from `t = 0` to `horizon` with step `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `horizon < 0`.
+    pub fn series(&self, horizon: f64, dt: f64) -> TimeSeries {
+        let sol = solve_fixed(self, &mut Rk4::new(1), 0.0, &[self.i0], horizon, dt);
+        sol.component(0).scaled(1.0 / self.n)
+    }
+}
+
+impl OdeSystem for HomogeneousSi {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        let i = y[0].clamp(0.0, self.n);
+        dy[0] = self.beta * i * (self.n - i) / self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_matches_closed_form() {
+        let m = HomogeneousSi::new(1000.0, 0.8, 1.0).unwrap();
+        let numeric = m.series(40.0, 0.01);
+        let closed = m.to_logistic().series(0.0, 40.0, 0.01);
+        assert!(numeric.max_abs_difference(&closed) < 1e-6);
+    }
+
+    #[test]
+    fn derivative_zero_at_saturation() {
+        let m = HomogeneousSi::new(100.0, 0.5, 1.0).unwrap();
+        let mut dy = [0.0];
+        m.deriv(0.0, &[100.0], &mut dy);
+        assert_eq!(dy[0], 0.0);
+    }
+
+    #[test]
+    fn derivative_positive_midway() {
+        let m = HomogeneousSi::new(100.0, 0.5, 1.0).unwrap();
+        let mut dy = [0.0];
+        m.deriv(0.0, &[50.0], &mut dy);
+        assert!((dy[0] - 0.5 * 50.0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(HomogeneousSi::new(-1.0, 0.8, 1.0).is_err());
+        assert!(HomogeneousSi::new(10.0, 0.8, 11.0).is_err());
+    }
+
+    #[test]
+    fn state_clamped_against_overshoot() {
+        // Even if an integrator overshoots N slightly the derivative must
+        // not go negative-feedback-unstable.
+        let m = HomogeneousSi::new(100.0, 0.5, 1.0).unwrap();
+        let mut dy = [0.0];
+        m.deriv(0.0, &[100.5], &mut dy);
+        assert_eq!(dy[0], 0.0);
+    }
+}

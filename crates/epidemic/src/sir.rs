@@ -1,0 +1,270 @@
+//! Classic SIR / SIS models — the "traditional models for which the rate
+//! of immunization remains constant throughout the infection outbreak"
+//! that Section 6 contrasts against (Kephart–White and the
+//! epidemiological literature the paper cites).
+//!
+//! They are included both as baselines for the delayed-immunization
+//! comparison and because downstream users of a worm-modeling library
+//! expect them.
+
+use crate::error::{ensure_non_negative, ensure_positive, Error};
+use crate::ode::{solve_fixed, OdeSystem, Rk4};
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Susceptible–Infected–Removed model with constant removal rate:
+///
+/// ```text
+/// dS/dt = −β S I / N
+/// dI/dt =  β S I / N − µ I
+/// dR/dt =  µ I
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_epidemic::sir::Sir;
+///
+/// # fn main() -> Result<(), dynaquar_epidemic::Error> {
+/// let m = Sir::new(1000.0, 0.8, 0.1, 1.0)?;
+/// assert!((m.basic_reproduction_number() - 8.0).abs() < 1e-12);
+/// let sol = m.solve(200.0, 0.01);
+/// // With R0 >> 1 almost everyone is eventually removed.
+/// assert!(sol.removed.final_value() > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sir {
+    n: f64,
+    beta: f64,
+    mu: f64,
+    i0: f64,
+}
+
+/// The three compartment trajectories of an SIR solution, as fractions
+/// of the population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SirSolution {
+    /// Susceptible fraction over time.
+    pub susceptible: TimeSeries,
+    /// Infected fraction over time.
+    pub infected: TimeSeries,
+    /// Removed (recovered/patched) fraction over time.
+    pub removed: TimeSeries,
+}
+
+impl Sir {
+    /// Creates the model: population `n`, contact rate `beta`, removal
+    /// rate `mu`, initial infections `i0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for out-of-domain parameters.
+    pub fn new(n: f64, beta: f64, mu: f64, i0: f64) -> Result<Self, Error> {
+        ensure_positive("n", n)?;
+        ensure_positive("beta", beta)?;
+        ensure_non_negative("mu", mu)?;
+        ensure_positive("i0", i0)?;
+        if i0 >= n {
+            return Err(Error::InvalidParameter {
+                name: "i0",
+                value: i0,
+                reason: "initial infections must be below the population size",
+            });
+        }
+        Ok(Sir { n, beta, mu, i0 })
+    }
+
+    /// The basic reproduction number `R₀ = β/µ` (infinite for `µ = 0`).
+    pub fn basic_reproduction_number(&self) -> f64 {
+        if self.mu == 0.0 {
+            f64::INFINITY
+        } else {
+            self.beta / self.mu
+        }
+    }
+
+    /// Integrates the model over `[0, horizon]` with step `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `horizon < 0`.
+    pub fn solve(&self, horizon: f64, dt: f64) -> SirSolution {
+        let y0 = [self.n - self.i0, self.i0, 0.0];
+        let sol = solve_fixed(self, &mut Rk4::new(3), 0.0, &y0, horizon, dt);
+        SirSolution {
+            susceptible: sol.component(0).scaled(1.0 / self.n),
+            infected: sol.component(1).scaled(1.0 / self.n),
+            removed: sol.component(2).scaled(1.0 / self.n),
+        }
+    }
+
+    /// The epidemic-threshold statement: the infection grows initially
+    /// iff `R₀ · S(0)/N > 1`.
+    pub fn epidemic_occurs(&self) -> bool {
+        self.basic_reproduction_number() * (self.n - self.i0) / self.n > 1.0
+    }
+}
+
+impl OdeSystem for Sir {
+    fn dim(&self) -> usize {
+        3
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        let s = y[0].max(0.0);
+        let i = y[1].max(0.0);
+        let force = self.beta * s * i / self.n;
+        dy[0] = -force;
+        dy[1] = force - self.mu * i;
+        dy[2] = self.mu * i;
+    }
+}
+
+/// Susceptible–Infected–Susceptible model (Kephart–White): removal
+/// returns hosts to the susceptible pool.
+///
+/// ```text
+/// dI/dt = β I (N − I)/N − µ I
+/// ```
+///
+/// with the well-known endemic equilibrium `I*/N = 1 − µ/β` when
+/// `β > µ`, and extinction otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sis {
+    n: f64,
+    beta: f64,
+    mu: f64,
+    i0: f64,
+}
+
+impl Sis {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for out-of-domain parameters.
+    pub fn new(n: f64, beta: f64, mu: f64, i0: f64) -> Result<Self, Error> {
+        ensure_positive("n", n)?;
+        ensure_positive("beta", beta)?;
+        ensure_non_negative("mu", mu)?;
+        ensure_positive("i0", i0)?;
+        if i0 >= n {
+            return Err(Error::InvalidParameter {
+                name: "i0",
+                value: i0,
+                reason: "initial infections must be below the population size",
+            });
+        }
+        Ok(Sis { n, beta, mu, i0 })
+    }
+
+    /// The endemic equilibrium fraction `max(0, 1 − µ/β)`.
+    pub fn endemic_fraction(&self) -> f64 {
+        (1.0 - self.mu / self.beta).max(0.0)
+    }
+
+    /// Integrates `I(t)/N` over `[0, horizon]` with step `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `horizon < 0`.
+    pub fn series(&self, horizon: f64, dt: f64) -> TimeSeries {
+        let sol = solve_fixed(self, &mut Rk4::new(1), 0.0, &[self.i0], horizon, dt);
+        sol.component(0).scaled(1.0 / self.n)
+    }
+}
+
+impl OdeSystem for Sis {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn deriv(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        let i = y[0].clamp(0.0, self.n);
+        dy[0] = self.beta * i * (self.n - i) / self.n - self.mu * i;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sir_conserves_population() {
+        let m = Sir::new(1000.0, 0.8, 0.1, 1.0).unwrap();
+        let sol = m.solve(100.0, 0.01);
+        for ((ts, s), ((_, i), (_, r))) in sol
+            .susceptible
+            .iter()
+            .zip(sol.infected.iter().zip(sol.removed.iter()))
+        {
+            assert!(
+                (s + i + r - 1.0).abs() < 1e-9,
+                "t = {ts}: S+I+R = {}",
+                s + i + r
+            );
+        }
+    }
+
+    #[test]
+    fn sir_epidemic_dies_out() {
+        let m = Sir::new(1000.0, 0.8, 0.1, 1.0).unwrap();
+        let sol = m.solve(300.0, 0.01);
+        assert!(sol.infected.final_value() < 1e-3);
+        assert!(sol.infected.max_value() > 0.3);
+    }
+
+    #[test]
+    fn sir_subcritical_never_takes_off() {
+        // R0 = 0.5 < 1: no epidemic.
+        let m = Sir::new(1000.0, 0.1, 0.2, 10.0).unwrap();
+        assert!(!m.epidemic_occurs());
+        let sol = m.solve(200.0, 0.05);
+        assert!(sol.infected.max_value() <= 10.0 / 1000.0 + 1e-9);
+        // Final size stays small.
+        assert!(sol.removed.final_value() < 0.05);
+    }
+
+    #[test]
+    fn sir_r0() {
+        let m = Sir::new(100.0, 0.8, 0.2, 1.0).unwrap();
+        assert!((m.basic_reproduction_number() - 4.0).abs() < 1e-12);
+        let mz = Sir::new(100.0, 0.8, 0.0, 1.0).unwrap();
+        assert!(mz.basic_reproduction_number().is_infinite());
+    }
+
+    #[test]
+    fn sis_reaches_endemic_equilibrium() {
+        let m = Sis::new(1000.0, 0.8, 0.2, 1.0).unwrap();
+        let s = m.series(200.0, 0.01);
+        assert!((s.final_value() - m.endemic_fraction()).abs() < 1e-4);
+        assert!((m.endemic_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sis_subcritical_goes_extinct() {
+        let m = Sis::new(1000.0, 0.1, 0.3, 50.0).unwrap();
+        assert_eq!(m.endemic_fraction(), 0.0);
+        let s = m.series(300.0, 0.05);
+        assert!(s.final_value() < 1e-4);
+    }
+
+    #[test]
+    fn sis_with_zero_mu_is_logistic() {
+        let m = Sis::new(1000.0, 0.8, 0.0, 1.0).unwrap();
+        let s = m.series(40.0, 0.01);
+        let l = crate::logistic::Logistic::new(1000.0, 0.8, 1.0)
+            .unwrap()
+            .series(0.0, 40.0, 0.01);
+        assert!(s.max_abs_difference(&l) < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Sir::new(10.0, 0.8, 0.1, 20.0).is_err());
+        assert!(Sir::new(10.0, 0.0, 0.1, 1.0).is_err());
+        assert!(Sis::new(10.0, 0.8, -0.1, 1.0).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Exact stochastic (Gillespie) simulation of the homogeneous worm
+//! models.
+//!
+//! The paper's deterministic curves are fluid limits; a worm outbreak
+//! starting from a single host is a *stochastic* process whose early
+//! phase can differ wildly between runs (and can go extinct under
+//! removal). This module provides an exact continuous-time Markov-chain
+//! sampler so the reproduction can quantify the spread around the fluid
+//! curve — and so the packet-level simulator has a second, independent
+//! reference point.
+
+use crate::error::{ensure_non_negative, ensure_positive, Error};
+use crate::series::TimeSeries;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous stochastic SI/SIS worm: infection events occur at rate
+/// `β I (N − I)/N`, removal events (if `µ > 0`) at rate `µ I`, with
+/// removed hosts leaving the population permanently (SIR-like removal —
+/// matching the paper's immunization, not SIS reinfection).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StochasticWorm {
+    n: u64,
+    beta: f64,
+    mu: f64,
+    i0: u64,
+}
+
+impl StochasticWorm {
+    /// Creates the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for out-of-domain parameters
+    /// (`n == 0`, `beta <= 0`, `mu < 0`, `i0 == 0`, or `i0 >= n`).
+    pub fn new(n: u64, beta: f64, mu: f64, i0: u64) -> Result<Self, Error> {
+        ensure_positive("n", n as f64)?;
+        ensure_positive("beta", beta)?;
+        ensure_non_negative("mu", mu)?;
+        ensure_positive("i0", i0 as f64)?;
+        if i0 >= n {
+            return Err(Error::InvalidParameter {
+                name: "i0",
+                value: i0 as f64,
+                reason: "initial infections must be below the population size",
+            });
+        }
+        Ok(StochasticWorm { n, beta, mu, i0 })
+    }
+
+    /// Runs one exact trajectory up to `horizon`, returning the infected
+    /// *fraction* sampled at every event time (plus the endpoints).
+    ///
+    /// The trajectory ends early when the infection goes extinct or
+    /// everyone is infected/removed.
+    pub fn sample_path(&self, horizon: f64, seed: u64) -> TimeSeries {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = self.n as f64;
+        let mut t = 0.0;
+        let mut infected = self.i0;
+        let mut susceptible = self.n - self.i0;
+        let mut out = TimeSeries::new();
+        out.push(0.0, infected as f64 / n);
+        loop {
+            let i = infected as f64;
+            let s = susceptible as f64;
+            let infection_rate = self.beta * i * s / n;
+            let removal_rate = self.mu * i;
+            let total = infection_rate + removal_rate;
+            if total <= 0.0 || infected == 0 {
+                break;
+            }
+            // Exponential waiting time.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / total;
+            if t > horizon {
+                break;
+            }
+            if rng.gen_range(0.0..total) < infection_rate {
+                infected += 1;
+                susceptible -= 1;
+            } else {
+                infected -= 1; // removed permanently
+            }
+            out.push(t, infected as f64 / n);
+        }
+        // Extend flat to the horizon for alignment.
+        if out.last().map(|(lt, _)| lt < horizon).unwrap_or(false) {
+            let v = out.final_value();
+            out.push(horizon, v);
+        }
+        out
+    }
+
+    /// Mean infected fraction over `runs` trajectories, resampled on a
+    /// regular grid of `samples` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0` or `samples < 2`.
+    pub fn mean_path(&self, horizon: f64, runs: u64, samples: usize, seed: u64) -> TimeSeries {
+        assert!(runs > 0, "need at least one run");
+        let paths: Vec<TimeSeries> = (0..runs)
+            .map(|k| {
+                self.sample_path(horizon, seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .resampled(0.0, horizon, samples)
+            })
+            .collect();
+        TimeSeries::mean_of(&paths)
+    }
+
+    /// The probability that an outbreak seeded with `i0` hosts goes
+    /// extinct without a major epidemic, under the branching-process
+    /// approximation: `(µ/β)^{i0}` for `β > µ`, `1` otherwise.
+    pub fn extinction_probability_estimate(&self) -> f64 {
+        if self.beta <= self.mu {
+            1.0
+        } else {
+            (self.mu / self.beta).powi(self.i0 as i32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::Logistic;
+
+    #[test]
+    fn mean_path_tracks_fluid_limit() {
+        // With many initial infections the stochastic mean hugs the
+        // deterministic logistic.
+        let process = StochasticWorm::new(2000, 0.8, 0.0, 40).unwrap();
+        let mean = process.mean_path(20.0, 40, 100, 7);
+        let fluid = Logistic::new(2000.0, 0.8, 40.0).unwrap().series(0.0, 20.0, 0.2);
+        let diff = fluid.max_abs_difference(&mean);
+        assert!(diff < 0.08, "max deviation from fluid limit: {diff}");
+    }
+
+    #[test]
+    fn single_seed_saturates_without_removal() {
+        let process = StochasticWorm::new(500, 0.8, 0.0, 1).unwrap();
+        let path = process.sample_path(100.0, 3);
+        assert!((path.final_value() - 1.0).abs() < 1e-9);
+        // Monotone: no removal events.
+        let mut prev = 0.0;
+        for (_, v) in path.iter() {
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn paths_are_deterministic_per_seed() {
+        let process = StochasticWorm::new(300, 0.8, 0.1, 2).unwrap();
+        assert_eq!(process.sample_path(50.0, 9), process.sample_path(50.0, 9));
+        assert_ne!(process.sample_path(50.0, 9), process.sample_path(50.0, 10));
+    }
+
+    #[test]
+    fn subcritical_process_goes_extinct() {
+        // beta < mu: every trajectory dies out quickly.
+        let process = StochasticWorm::new(1000, 0.1, 0.5, 3).unwrap();
+        for seed in 0..10 {
+            let path = process.sample_path(500.0, seed);
+            assert!(path.final_value() < 0.02, "seed {seed}");
+        }
+        assert_eq!(process.extinction_probability_estimate(), 1.0);
+    }
+
+    #[test]
+    fn extinction_rate_matches_branching_estimate() {
+        // beta = 0.8, mu = 0.4: extinction prob ~ 0.5 for one seed.
+        let process = StochasticWorm::new(2000, 0.8, 0.4, 1).unwrap();
+        let estimate = process.extinction_probability_estimate();
+        assert!((estimate - 0.5).abs() < 1e-12);
+        let mut extinct = 0;
+        let runs = 200;
+        for seed in 0..runs {
+            let path = process.sample_path(300.0, seed);
+            // A removed-compartment epidemic always burns out eventually;
+            // "extinct" means it never took off (tiny peak).
+            if path.max_value() < 0.05 {
+                extinct += 1;
+            }
+        }
+        let measured = extinct as f64 / runs as f64;
+        assert!(
+            (measured - estimate).abs() < 0.12,
+            "measured extinction {measured} vs estimate {estimate}"
+        );
+    }
+
+    #[test]
+    fn sample_path_ends_at_horizon() {
+        let process = StochasticWorm::new(100, 0.8, 0.0, 1).unwrap();
+        let path = process.sample_path(30.0, 1);
+        assert!((path.last().unwrap().0 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(StochasticWorm::new(0, 0.8, 0.0, 1).is_err());
+        assert!(StochasticWorm::new(10, 0.8, 0.0, 0).is_err());
+        assert!(StochasticWorm::new(10, 0.8, 0.0, 10).is_err());
+        assert!(StochasticWorm::new(10, -0.8, 0.0, 1).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Time-to-level and slowdown-factor utilities.
+//!
+//! Every comparison in the paper boils down to "how much later does the
+//! infection reach level α under strategy X than under strategy Y". These
+//! helpers compute that uniformly for analytic and simulated
+//! [`TimeSeries`] curves.
+
+use crate::error::Error;
+use crate::series::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// The slowdown of `limited` relative to `baseline` at infection level
+/// `level`: `t_limited(level) / t_baseline(level)`.
+///
+/// # Errors
+///
+/// Returns [`Error::UnreachableLevel`] when either curve never reaches
+/// `level` (a curve that never gets there is *infinitely* slowed — callers
+/// that want to treat that as success should check
+/// [`TimeSeries::time_to_reach`] directly).
+pub fn slowdown_factor(
+    baseline: &TimeSeries,
+    limited: &TimeSeries,
+    level: f64,
+) -> Result<f64, Error> {
+    let tb = baseline
+        .time_to_reach(level)
+        .ok_or(Error::UnreachableLevel { level })?;
+    let tl = limited
+        .time_to_reach(level)
+        .ok_or(Error::UnreachableLevel { level })?;
+    if tb <= 0.0 {
+        return Err(Error::UnreachableLevel { level });
+    }
+    Ok(tl / tb)
+}
+
+/// A compact summary of one propagation curve, as reported in
+/// EXPERIMENTS.md tables.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurveSummary {
+    /// Time to 10 % infection (`None` if never reached).
+    pub t10: Option<f64>,
+    /// Time to 50 % infection.
+    pub t50: Option<f64>,
+    /// Time to 90 % infection.
+    pub t90: Option<f64>,
+    /// Final value of the curve.
+    pub final_value: f64,
+    /// Maximum value of the curve.
+    pub max_value: f64,
+}
+
+impl CurveSummary {
+    /// Summarizes a curve.
+    pub fn of(series: &TimeSeries) -> Self {
+        CurveSummary {
+            t10: series.time_to_reach(0.1),
+            t50: series.time_to_reach(0.5),
+            t90: series.time_to_reach(0.9),
+            final_value: series.final_value(),
+            max_value: series.max_value(),
+        }
+    }
+}
+
+impl std::fmt::Display for CurveSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn opt(v: Option<f64>) -> String {
+            v.map_or_else(|| "-".to_string(), |t| format!("{t:.2}"))
+        }
+        write!(
+            f,
+            "t10={} t50={} t90={} final={:.3} max={:.3}",
+            opt(self.t10),
+            opt(self.t50),
+            opt(self.t90),
+            self.final_value,
+            self.max_value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::Logistic;
+
+    #[test]
+    fn slowdown_of_half_rate_is_two() {
+        let fast = Logistic::new(1000.0, 0.8, 1.0).unwrap().series(0.0, 100.0, 0.01);
+        let slow = Logistic::new(1000.0, 0.4, 1.0).unwrap().series(0.0, 100.0, 0.01);
+        let f = slowdown_factor(&fast, &slow, 0.5).unwrap();
+        assert!((f - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn slowdown_errors_when_unreached() {
+        let fast = Logistic::new(1000.0, 0.8, 1.0).unwrap().series(0.0, 100.0, 0.1);
+        let flat: TimeSeries = [(0.0, 0.0), (100.0, 0.01)].into_iter().collect();
+        assert!(slowdown_factor(&fast, &flat, 0.5).is_err());
+        assert!(slowdown_factor(&flat, &fast, 0.5).is_err());
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Logistic::new(1000.0, 0.8, 1.0).unwrap().series(0.0, 60.0, 0.01);
+        let sum = CurveSummary::of(&s);
+        assert!(sum.t10.unwrap() < sum.t50.unwrap());
+        assert!(sum.t50.unwrap() < sum.t90.unwrap());
+        assert!(sum.final_value > 0.99);
+        let rendered = sum.to_string();
+        assert!(rendered.contains("t50="));
+    }
+
+    #[test]
+    fn summary_of_flat_curve_uses_dashes() {
+        let flat: TimeSeries = [(0.0, 0.0), (10.0, 0.05)].into_iter().collect();
+        let sum = CurveSummary::of(&flat);
+        assert!(sum.t50.is_none());
+        assert!(sum.to_string().contains("t50=-"));
+    }
+}

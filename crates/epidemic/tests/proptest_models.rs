@@ -1,0 +1,98 @@
+//! Property-based tests on the analytical models.
+
+use dynaquar_epidemic::backbone::BackboneRateLimit;
+use dynaquar_epidemic::immunization::DelayedImmunization;
+use dynaquar_epidemic::logistic::Logistic;
+use dynaquar_epidemic::ode::{solve_adaptive, solve_fixed, FnSystem, Rk4};
+use dynaquar_epidemic::si::HomogeneousSi;
+use dynaquar_epidemic::star::HubRateLimit;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// RK4 on the SI system agrees with the logistic closed form for any
+    /// valid parameter combination.
+    #[test]
+    fn rk4_matches_logistic_closed_form(
+        n in 50.0..50_000.0f64,
+        beta in 0.05..3.0f64,
+        i0_frac in 0.0005..0.3f64,
+    ) {
+        let i0 = (n * i0_frac).max(1e-3);
+        prop_assume!(i0 < n);
+        let numeric = HomogeneousSi::new(n, beta, i0).unwrap().series(30.0, 0.02);
+        let closed = Logistic::new(n, beta, i0).unwrap().series(0.0, 30.0, 0.02);
+        prop_assert!(numeric.max_abs_difference(&closed) < 1e-4);
+    }
+
+    /// The adaptive integrator agrees with RK4 at a tight step on a
+    /// parameterized linear system.
+    #[test]
+    fn adaptive_matches_rk4(rate in 0.1..3.0f64, y0 in 0.1..10.0f64) {
+        let sys = FnSystem::new(1, move |_t, y, dy| dy[0] = -rate * y[0]);
+        let fixed = solve_fixed(&sys, &mut Rk4::new(1), 0.0, &[y0], 5.0, 1e-3);
+        let adaptive = solve_adaptive(&sys, 0.0, &[y0], 5.0, 1e-10).unwrap();
+        let (_, yf) = fixed.last().unwrap();
+        let (_, ya) = adaptive.last().unwrap();
+        prop_assert!((yf[0] - ya[0]).abs() < 1e-6);
+    }
+
+    /// Hub-model trajectories are monotone, bounded, and slower than the
+    /// uncapped logistic.
+    #[test]
+    fn hub_model_is_bounded_by_logistic(
+        gamma in 0.05..1.0f64,
+        cap_frac in 0.001..0.5f64,
+    ) {
+        let n = 300.0;
+        let hub = HubRateLimit::new(n, gamma, cap_frac * n, 1.0).unwrap();
+        let hub_series = hub.series(100.0, 0.1);
+        let logistic = Logistic::new(n, gamma, 1.0).unwrap().series(0.0, 100.0, 0.1);
+        let mut prev = 0.0;
+        for ((t, h), (_, l)) in hub_series.iter().zip(logistic.iter()) {
+            prop_assert!(h >= prev - 1e-12, "not monotone at t = {t}");
+            prop_assert!(h <= l + 1e-9, "hub exceeds uncapped logistic at t = {t}");
+            prop_assert!(h <= 1.0 + 1e-9);
+            prev = h;
+        }
+    }
+
+    /// Equation 6: infection time to 50% is non-decreasing in coverage α.
+    #[test]
+    fn backbone_slowdown_monotone_in_alpha(a1 in 0.0..0.95f64, a2 in 0.0..0.95f64) {
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        let t = |alpha: f64| {
+            BackboneRateLimit::new(1000.0, 0.8, alpha, 0.0, 1.0)
+                .unwrap()
+                .time_to_fraction(0.5, 50_000.0, 1.0)
+                .unwrap()
+        };
+        prop_assert!(t(lo) <= t(hi) + 1e-6);
+    }
+
+    /// Later immunization never reduces the total ever-infected.
+    #[test]
+    fn immunization_damage_monotone_in_delay(d1 in 1.0..30.0f64, d2 in 1.0..30.0f64) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let m = DelayedImmunization::new(1000.0, 0.8, 0.1, 1.0).unwrap();
+        let ever = |d: f64| m.ever_infected_series(d, 200.0, 0.05).final_value();
+        prop_assert!(ever(lo) <= ever(hi) + 1e-6);
+    }
+
+    /// Ever-infected is always within [current infected, 1].
+    #[test]
+    fn immunization_fractions_consistent(
+        delay in 0.0..40.0f64,
+        mu in 0.01..0.5f64,
+    ) {
+        let m = DelayedImmunization::new(500.0, 0.8, mu, 1.0).unwrap();
+        let inf = m.series(delay, 100.0, 0.05);
+        let ever = m.ever_infected_series(delay, 100.0, 0.05);
+        for ((t, i), (_, e)) in inf.iter().zip(ever.iter()) {
+            prop_assert!(e >= i - 1e-9, "t = {t}: ever {e} < infected {i}");
+            prop_assert!(e <= 1.0 + 1e-9);
+            prop_assert!(i >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Background legitimate traffic.
+//!
+//! The paper's weighted link caps exist so that "most normal traffic
+//! gets routed through" while worm scan floods saturate the filters.
+//! To measure that collateral impact inside the simulator, a scenario
+//! can inject a steady load of legitimate host-to-host flows and track
+//! their delivery delay under each rate-limiting plan.
+
+use serde::{Deserialize, Serialize};
+
+/// A constant-rate legitimate-traffic workload: on average
+/// `packets_per_tick` packets per tick, each from a uniformly random
+/// host to a uniformly random other host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundTraffic {
+    /// Expected legitimate packets injected per tick (fractional rates
+    /// are honoured in expectation).
+    pub packets_per_tick: f64,
+}
+
+impl BackgroundTraffic {
+    /// Creates a workload of `packets_per_tick` expected packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or not finite.
+    pub fn new(packets_per_tick: f64) -> Self {
+        assert!(
+            packets_per_tick.is_finite() && packets_per_tick >= 0.0,
+            "background rate must be non-negative"
+        );
+        BackgroundTraffic { packets_per_tick }
+    }
+}
+
+/// Delivery statistics for background traffic over one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BackgroundStats {
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered by the end of the run.
+    pub delivered: u64,
+    /// Sum of delivery delays in ticks (delay = delivery − emission,
+    /// minimum is the hop count).
+    pub total_delay_ticks: u64,
+    /// Largest single delivery delay in ticks.
+    pub max_delay_ticks: u64,
+    /// Sum over delivered packets of the shortest-path hop count (the
+    /// uncongested lower bound on delay).
+    pub total_hops: u64,
+}
+
+impl BackgroundStats {
+    /// Mean delivery delay in ticks (`0` when nothing was delivered).
+    pub fn mean_delay(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_delay_ticks as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean queueing overhead: delay beyond the shortest-path hop count,
+    /// in ticks per delivered packet.
+    pub fn mean_queueing_delay(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_delay_ticks.saturating_sub(self.total_hops) as f64
+                / self.delivered as f64
+        }
+    }
+
+    /// Fraction of injected packets delivered by the end of the run.
+    pub fn delivery_fraction(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+}
+
+impl std::fmt::Display for BackgroundStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected={} delivered={} ({:.1}%) mean_delay={:.2} ticks (queueing {:.2}), max={}",
+            self.injected,
+            self.delivered,
+            self.delivery_fraction() * 100.0,
+            self.mean_delay(),
+            self.mean_queueing_delay(),
+            self.max_delay_ticks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_arithmetic() {
+        let s = BackgroundStats {
+            injected: 10,
+            delivered: 8,
+            total_delay_ticks: 24,
+            max_delay_ticks: 7,
+            total_hops: 16,
+        };
+        assert!((s.mean_delay() - 3.0).abs() < 1e-12);
+        assert!((s.mean_queueing_delay() - 1.0).abs() < 1e-12);
+        assert!((s.delivery_fraction() - 0.8).abs() < 1e-12);
+        assert!(s.to_string().contains("80.0%"));
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = BackgroundStats::default();
+        assert_eq!(s.mean_delay(), 0.0);
+        assert_eq!(s.mean_queueing_delay(), 0.0);
+        assert_eq!(s.delivery_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_rate() {
+        BackgroundTraffic::new(-1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for simulator configuration.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error returned by configuration builders.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the valid domain.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { name, reason } => {
+                write!(f, "invalid simulator config {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_parameter() {
+        let e = Error::InvalidConfig {
+            name: "beta",
+            reason: "must be in (0, 1]",
+        };
+        assert!(e.to_string().contains("beta"));
+    }
+}

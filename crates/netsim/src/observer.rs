@@ -1,0 +1,83 @@
+//! Observer hooks: per-event callbacks for custom instrumentation.
+//!
+//! The built-in [`SimResult`](crate::sim::SimResult) series cover the
+//! paper's figures; an [`SimObserver`] lets downstream users collect
+//! anything else (infection trees, per-subnet curves, detection
+//! latencies) without forking the engine.
+
+use dynaquar_topology::NodeId;
+
+/// Callbacks invoked by [`crate::sim::Simulator::run_observed`].
+///
+/// All methods have empty default implementations; implement only what
+/// you need. Callbacks run synchronously inside the simulation loop —
+/// keep them cheap.
+pub trait SimObserver {
+    /// Called once per tick after all processing, with the tick's
+    /// aggregate state.
+    fn on_tick(&mut self, tick: u64, snapshot: TickSnapshot) {
+        let _ = (tick, snapshot);
+    }
+
+    /// Called when `victim` becomes infected.
+    fn on_infection(&mut self, tick: u64, victim: NodeId) {
+        let _ = (tick, victim);
+    }
+
+    /// Called when `host` is cut off by the detection-driven quarantine.
+    fn on_quarantine(&mut self, tick: u64, host: NodeId) {
+        let _ = (tick, host);
+    }
+
+    /// Called when `host` is patched by the immunization process or by a
+    /// self-patching worm instance.
+    fn on_patch(&mut self, tick: u64, host: NodeId) {
+        let _ = (tick, host);
+    }
+}
+
+/// Aggregate state handed to [`SimObserver::on_tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickSnapshot {
+    /// Currently infected hosts.
+    pub infected: usize,
+    /// Hosts ever infected.
+    pub ever_infected: usize,
+    /// Immunized (patched or quarantined) hosts.
+    pub immunized: usize,
+    /// Packets currently queued in the network.
+    pub in_flight: usize,
+}
+
+/// The no-op observer used by [`crate::sim::Simulator::run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_methods_are_callable() {
+        let mut o = NullObserver;
+        o.on_tick(
+            1,
+            TickSnapshot {
+                infected: 1,
+                ever_infected: 1,
+                immunized: 0,
+                in_flight: 0,
+            },
+        );
+        o.on_infection(1, NodeId::new(0));
+        o.on_quarantine(1, NodeId::new(0));
+        o.on_patch(1, NodeId::new(0));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_o: &mut dyn SimObserver) {}
+    }
+}

@@ -1,0 +1,174 @@
+//! Multi-run averaging.
+//!
+//! "Unless specified otherwise, each simulation is averaged over 10
+//! individual runs" (Section 5.4). Runs differ only in their RNG seed and
+//! share the (expensive, immutable) [`World`], so they parallelize
+//! trivially.
+
+use crate::config::{SimConfig, WormBehavior};
+use crate::sim::{SimResult, Simulator};
+use crate::world::World;
+use dynaquar_epidemic::TimeSeries;
+
+/// The averaged outcome of several seeded runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedResult {
+    /// Mean infected fraction per tick.
+    pub infected_fraction: TimeSeries,
+    /// Mean ever-infected fraction per tick.
+    pub ever_infected_fraction: TimeSeries,
+    /// Mean immunized fraction per tick.
+    pub immunized_fraction: TimeSeries,
+    /// The individual runs, in seed order.
+    pub runs: Vec<SimResult>,
+}
+
+impl AveragedResult {
+    /// The pointwise `(min, max)` envelope of the infected-fraction
+    /// curves across runs — the run-to-run spread behind the mean.
+    pub fn infected_envelope(&self) -> (TimeSeries, TimeSeries) {
+        envelope(self.runs.iter().map(|r| &r.infected_fraction))
+    }
+}
+
+/// Pointwise min/max over series sampled on identical grids (truncated
+/// to the shortest).
+fn envelope<'a, I: Iterator<Item = &'a TimeSeries> + Clone>(series: I) -> (TimeSeries, TimeSeries) {
+    let len = series.clone().map(TimeSeries::len).min().unwrap_or(0);
+    let mut lo = TimeSeries::with_capacity(len);
+    let mut hi = TimeSeries::with_capacity(len);
+    for i in 0..len {
+        let mut t = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in series.clone() {
+            let (pt, v) = s.points()[i];
+            t = pt;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        lo.push(t, min);
+        hi.push(t, max);
+    }
+    (lo, hi)
+}
+
+/// Runs the simulation once per seed (in parallel) and averages the
+/// resulting series pointwise.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty, or propagates a panic from a worker run.
+pub fn run_averaged(
+    world: &World,
+    config: &SimConfig,
+    behavior: WormBehavior,
+    seeds: &[u64],
+) -> AveragedResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let runs: Vec<SimResult> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move |_| Simulator::new(world, config, behavior, seed).run())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation run panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    let infected: Vec<TimeSeries> = runs.iter().map(|r| r.infected_fraction.clone()).collect();
+    let ever: Vec<TimeSeries> = runs
+        .iter()
+        .map(|r| r.ever_infected_fraction.clone())
+        .collect();
+    let immune: Vec<TimeSeries> = runs.iter().map(|r| r.immunized_fraction.clone()).collect();
+
+    AveragedResult {
+        infected_fraction: TimeSeries::mean_of(&infected),
+        ever_infected_fraction: TimeSeries::mean_of(&ever),
+        immunized_fraction: TimeSeries::mean_of(&immune),
+        runs,
+    }
+}
+
+/// The paper's default seed set: ten runs.
+pub fn default_seeds() -> Vec<u64> {
+    (0..10).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynaquar_topology::generators;
+
+    fn world() -> World {
+        World::from_star(generators::star(49).unwrap())
+    }
+
+    fn config() -> SimConfig {
+        SimConfig::builder()
+            .beta(0.8)
+            .horizon(50)
+            .initial_infected(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn average_of_identical_seeds_equals_single_run() {
+        let w = world();
+        let avg = run_averaged(&w, &config(), WormBehavior::random(), &[5, 5]);
+        let single = Simulator::new(&w, &config(), WormBehavior::random(), 5).run();
+        assert_eq!(avg.infected_fraction, single.infected_fraction);
+    }
+
+    #[test]
+    fn average_smooths_between_runs() {
+        let w = world();
+        let avg = run_averaged(&w, &config(), WormBehavior::random(), &[1, 2, 3, 4]);
+        assert_eq!(avg.runs.len(), 4);
+        // The average lies between the min and max of the individual runs
+        // at every recorded tick.
+        for (i, (t, v)) in avg.infected_fraction.iter().enumerate() {
+            let values: Vec<f64> = avg
+                .runs
+                .iter()
+                .map(|r| r.infected_fraction.points()[i].1)
+                .collect();
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "tick {t}");
+        }
+    }
+
+    #[test]
+    fn envelope_brackets_the_mean() {
+        let w = world();
+        let avg = run_averaged(&w, &config(), WormBehavior::random(), &[1, 2, 3]);
+        let (lo, hi) = avg.infected_envelope();
+        assert_eq!(lo.len(), avg.infected_fraction.len());
+        for (((_, l), (_, m)), (_, h)) in lo
+            .iter()
+            .zip(avg.infected_fraction.iter())
+            .zip(hi.iter())
+        {
+            assert!(l <= m + 1e-12 && m <= h + 1e-12);
+        }
+    }
+
+    #[test]
+    fn default_seeds_are_ten() {
+        assert_eq!(default_seeds().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_panics() {
+        let w = world();
+        run_averaged(&w, &config(), WormBehavior::random(), &[]);
+    }
+}

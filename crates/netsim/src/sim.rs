@@ -1,0 +1,1160 @@
+//! The tick-driven simulation engine.
+//!
+//! Each tick:
+//!
+//! 1. **Immunization** (if triggered): every unpatched host is patched
+//!    with probability µ; patched hosts stop scanning and leave the
+//!    susceptible pool. Welchia-style worms additionally self-patch
+//!    hosts whose infection age exceeds the configured delay.
+//! 2. **Scan generation**: every infected host draws `scans_per_tick`
+//!    targets from its selector; each scan emits an infection packet with
+//!    probability β, subject to the host's egress filter (if any) —
+//!    blocked scans are dropped or queued per the filter discipline, and
+//!    an overflowing throttle queue triggers the optional per-host
+//!    quarantine. Previously throttled scans whose delay elapsed are
+//!    released, and background legitimate flows are injected.
+//! 3. **Packet forwarding**: every in-flight packet advances one hop
+//!    along the shortest path, subject to per-link and per-node transit
+//!    token budgets (fractional caps accumulate credit); packets that
+//!    find their link full wait in FIFO order (the paper "queu\[es\] the
+//!    remaining packets").
+//! 4. **Delivery**: a worm packet reaching a susceptible host infects
+//!    it; a background packet updates the collateral statistics.
+
+use crate::background::BackgroundStats;
+use crate::config::{ImmunizationTrigger, SimConfig, WormBehavior};
+use crate::observer::{NullObserver, SimObserver, TickSnapshot};
+use crate::plan::{FilterDiscipline, HostFilter};
+use crate::world::World;
+use dynaquar_epidemic::TimeSeries;
+use dynaquar_ratelimit::window::UniqueIpWindow;
+use dynaquar_ratelimit::{RateLimiter, RemoteKey};
+use dynaquar_topology::NodeId;
+use dynaquar_worms::scanner::{ScanContext, TargetSelector};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-node infection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    Susceptible,
+    Infected,
+    Immunized,
+}
+
+/// What a packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PacketKind {
+    /// A worm infection attempt.
+    Worm,
+    /// A legitimate background flow (measured, never infects).
+    Background,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    kind: PacketKind,
+    src: NodeId,
+    current: NodeId,
+    dst: NodeId,
+    /// Tick at which the packet entered the network.
+    emitted: u64,
+}
+
+/// Aggregate outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Fraction of hosts currently infected, per tick.
+    pub infected_fraction: TimeSeries,
+    /// Fraction of hosts ever infected, per tick (Figure 8's y-axis).
+    pub ever_infected_fraction: TimeSeries,
+    /// Fraction of hosts immunized, per tick.
+    pub immunized_fraction: TimeSeries,
+    /// Packets queued in the network per tick (worm + background) — the
+    /// network-level congestion signature of a throttled flood.
+    pub backlog: TimeSeries,
+    /// Infection packets delivered to their destination.
+    pub delivered_packets: u64,
+    /// Packets dropped outright by host egress filters.
+    pub filtered_packets: u64,
+    /// Packets delayed by throttling host filters (released later).
+    pub delayed_packets: u64,
+    /// Hosts quarantined by the detection-driven response.
+    pub quarantined_hosts: u64,
+    /// Emitted worm scans as `(tick, scanner, target)` — empty unless
+    /// the config enables scan logging.
+    pub scan_log: Vec<(u64, NodeId, NodeId)>,
+    /// Packets still queued when the run ended.
+    pub residual_packets: u64,
+    /// Background legitimate-traffic delivery statistics (all zeros when
+    /// no background workload was configured).
+    pub background: BackgroundStats,
+}
+
+/// One seeded simulation run over a shared [`World`].
+pub struct Simulator<'w> {
+    world: &'w World,
+    config: SimConfig,
+    behavior: WormBehavior,
+    rng: SmallRng,
+    state: Vec<NodeState>,
+    /// Tick at which each currently infected host was infected (for
+    /// Welchia-style self-patching).
+    infected_since: Vec<u64>,
+    selectors: Vec<Option<Box<dyn TargetSelector>>>,
+    host_filter_cfg: Vec<Option<HostFilter>>,
+    host_limiters: Vec<Option<UniqueIpWindow>>,
+    link_caps: Vec<Option<f64>>,
+    /// Token accumulator per capped link: refilled by `cap` each tick,
+    /// clamped to `max(cap, 1)` so fractional caps (e.g. 0.2 packets per
+    /// tick) accumulate credit across ticks.
+    link_tokens: Vec<f64>,
+    node_caps: Vec<Option<f64>>,
+    /// Token accumulator per capped node (same scheme as links).
+    node_tokens: Vec<f64>,
+    in_flight: VecDeque<Packet>,
+    immunization_active: bool,
+    ever_infected: usize,
+    delivered: u64,
+    filtered: u64,
+    background: BackgroundStats,
+    /// Carry-over of the fractional background injection rate.
+    background_credit: f64,
+    /// Per-host throttle queues: scans awaiting delayed release, as
+    /// `(release_tick, target)`, ordered by release tick.
+    delay_queues: Vec<VecDeque<(u64, NodeId)>>,
+    delayed: u64,
+    quarantined: u64,
+    scan_log: Vec<(u64, NodeId, NodeId)>,
+}
+
+impl std::fmt::Debug for Simulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.state.len())
+            .field("in_flight", &self.in_flight.len())
+            .finish()
+    }
+}
+
+impl<'w> Simulator<'w> {
+    /// Prepares a run: `seed` fixes all randomness (initial infections,
+    /// target selection, immunization draws).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world has fewer hosts than
+    /// `config.initial_infected()`.
+    pub fn new(world: &'w World, config: &SimConfig, behavior: WormBehavior, seed: u64) -> Self {
+        let n = world.graph().node_count();
+        assert!(
+            world.hosts().len() >= config.initial_infected(),
+            "more initial infections than hosts"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut state = vec![NodeState::Susceptible; n];
+        let infected_since = vec![0u64; n];
+        let mut selectors: Vec<Option<Box<dyn TargetSelector>>> =
+            (0..n).map(|_| None).collect();
+
+        // Seed the infection.
+        let mut pool: Vec<NodeId> = world.hosts().to_vec();
+        for _ in 0..config.initial_infected() {
+            let k = rng.gen_range(0..pool.len());
+            let node = pool.swap_remove(k);
+            state[node.index()] = NodeState::Infected;
+            selectors[node.index()] = Some(behavior.make_selector());
+        }
+
+        let host_filter_cfg = config.plan().dense_host_filters(world.graph());
+        let host_limiters = host_filter_cfg
+            .iter()
+            .map(|f| {
+                f.map(|f| {
+                    UniqueIpWindow::new(f.window_ticks as f64, f.max_new_targets)
+                        .expect("plan-validated filter")
+                })
+            })
+            .collect();
+        let link_caps = config.plan().dense_link_caps(world.graph());
+        let link_tokens = link_caps
+            .iter()
+            .map(|c| c.map_or(0.0, |cap| cap.max(1.0)))
+            .collect();
+        let node_caps = config.plan().dense_node_caps(world.graph());
+        let node_tokens = node_caps
+            .iter()
+            .map(|c| c.map_or(0.0, |cap| cap.max(1.0)))
+            .collect();
+        let ever_infected = config.initial_infected();
+
+        Simulator {
+            world,
+            config: config.clone(),
+            behavior,
+            rng,
+            state,
+            infected_since,
+            selectors,
+            host_filter_cfg,
+            host_limiters,
+            link_caps,
+            link_tokens,
+            node_tokens,
+            node_caps,
+            in_flight: VecDeque::new(),
+            immunization_active: false,
+            ever_infected,
+            delivered: 0,
+            filtered: 0,
+            background: BackgroundStats::default(),
+            background_credit: 0.0,
+            delay_queues: vec![VecDeque::new(); n],
+            delayed: 0,
+            quarantined: 0,
+            scan_log: Vec::new(),
+        }
+    }
+
+    fn host_count(&self) -> usize {
+        self.world.hosts().len()
+    }
+
+    fn count_state(&self, s: NodeState) -> usize {
+        self.world
+            .hosts()
+            .iter()
+            .filter(|h| self.state[h.index()] == s)
+            .count()
+    }
+
+    fn infect_at(&mut self, node: NodeId, tick: u64, observer: &mut dyn SimObserver) {
+        if self.state[node.index()] == NodeState::Susceptible {
+            self.state[node.index()] = NodeState::Infected;
+            self.infected_since[node.index()] = tick;
+            self.selectors[node.index()] = Some(self.behavior.make_selector());
+            self.ever_infected += 1;
+            observer.on_infection(tick, node);
+        }
+    }
+
+    /// Welchia-style self-patching: instances older than the configured
+    /// delay patch their host and leave the population.
+    fn self_patch_step(&mut self, tick: u64, observer: &mut dyn SimObserver) {
+        let Some(delay) = self.behavior.self_patch_after else {
+            return;
+        };
+        for &h in self.world.hosts() {
+            if self.state[h.index()] == NodeState::Infected
+                && tick.saturating_sub(self.infected_since[h.index()]) >= delay
+            {
+                self.state[h.index()] = NodeState::Immunized;
+                self.selectors[h.index()] = None;
+                self.delay_queues[h.index()].clear();
+                observer.on_patch(tick, h);
+            }
+        }
+    }
+
+    fn immunization_step(
+        &mut self,
+        tick: u64,
+        infected_fraction: f64,
+        observer: &mut dyn SimObserver,
+    ) {
+        let Some(imm) = self.config.immunization() else {
+            return;
+        };
+        if !self.immunization_active {
+            self.immunization_active = match imm.trigger {
+                ImmunizationTrigger::AtTick(t) => tick >= t,
+                ImmunizationTrigger::AtInfectedFraction(f) => infected_fraction >= f,
+            };
+        }
+        if !self.immunization_active {
+            return;
+        }
+        for &h in self.world.hosts() {
+            let s = self.state[h.index()];
+            if s != NodeState::Immunized && self.rng.gen_bool(imm.mu) {
+                self.state[h.index()] = NodeState::Immunized;
+                self.selectors[h.index()] = None;
+                observer.on_patch(tick, h);
+            }
+        }
+    }
+
+    fn generate_scans(&mut self, tick: u64, observer: &mut dyn SimObserver) {
+        let hosts = self.world.hosts();
+        // Collect scans first to avoid borrowing conflicts with selectors.
+        let mut emissions: Vec<(NodeId, NodeId)> = Vec::new();
+        for &node in hosts {
+            if self.state[node.index()] != NodeState::Infected {
+                continue;
+            }
+            let ctx = ScanContext {
+                scanner: node,
+                hosts: self.world.hosts(),
+                subnet_of: self.world.subnet_of(),
+                subnet_hosts: self.world.subnet_hosts(),
+            };
+            let selector = self.selectors[node.index()]
+                .as_mut()
+                .expect("infected nodes have selectors");
+            for _ in 0..self.behavior.scans_per_tick {
+                if let Some(target) = selector.next_target(&ctx, &mut self.rng) {
+                    if target != node && self.rng.gen_bool(self.config.beta()) {
+                        emissions.push((node, target));
+                    }
+                }
+            }
+        }
+        for (src, dst) in emissions {
+            // Host egress filter.
+            if let Some(limiter) = self.host_limiters[src.index()].as_mut() {
+                let decision = limiter.check(tick as f64, RemoteKey::new(dst.index() as u64));
+                if decision.is_blocked() {
+                    match self.host_filter_cfg[src.index()]
+                        .expect("limiter implies filter config")
+                        .discipline
+                    {
+                        FilterDiscipline::Drop => {
+                            self.filtered += 1;
+                        }
+                        FilterDiscipline::Delay {
+                            release_period_ticks,
+                        } => {
+                            // Williamson semantics: queue the scan; the
+                            // queue drains one entry per period.
+                            let queue = &mut self.delay_queues[src.index()];
+                            let last = queue.back().map(|&(t, _)| t).unwrap_or(tick);
+                            let release =
+                                last.max(tick) + release_period_ticks.max(1);
+                            queue.push_back((release, dst));
+                            self.delayed += 1;
+                            // Dynamic quarantine: a swollen throttle
+                            // queue is the detection signal.
+                            if let Some(q) = self.config.quarantine() {
+                                if queue.len() >= q.queue_threshold {
+                                    self.state[src.index()] = NodeState::Immunized;
+                                    self.selectors[src.index()] = None;
+                                    self.delay_queues[src.index()].clear();
+                                    self.quarantined += 1;
+                                    observer.on_quarantine(tick, src);
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
+            if self.config.log_scans() {
+                self.scan_log.push((tick, src, dst));
+            }
+            self.in_flight.push_back(Packet {
+                kind: PacketKind::Worm,
+                src,
+                current: src,
+                dst,
+                emitted: tick,
+            });
+        }
+    }
+
+    /// Releases throttled scans whose delay has elapsed. A host that was
+    /// patched while scans sat in its queue releases nothing (the
+    /// throttle process died with the worm instance).
+    fn release_delayed_scans(&mut self, tick: u64) {
+        for i in 0..self.delay_queues.len() {
+            if self.delay_queues[i].is_empty() {
+                continue;
+            }
+            if self.state[i] != NodeState::Infected {
+                self.delay_queues[i].clear();
+                continue;
+            }
+            while let Some(&(release, dst)) = self.delay_queues[i].front() {
+                if release > tick {
+                    break;
+                }
+                self.delay_queues[i].pop_front();
+                self.in_flight.push_back(Packet {
+                    kind: PacketKind::Worm,
+                    src: NodeId::from(i),
+                    current: NodeId::from(i),
+                    dst,
+                    emitted: tick,
+                });
+            }
+        }
+    }
+
+    /// Injects this tick's share of background legitimate flows.
+    fn generate_background(&mut self, tick: u64) {
+        let Some(bg) = self.config.background() else {
+            return;
+        };
+        let hosts = self.world.hosts();
+        if hosts.len() < 2 {
+            return;
+        }
+        self.background_credit += bg.packets_per_tick;
+        while self.background_credit >= 1.0 {
+            self.background_credit -= 1.0;
+            let src = hosts[self.rng.gen_range(0..hosts.len())];
+            let mut dst = hosts[self.rng.gen_range(0..hosts.len())];
+            while dst == src {
+                dst = hosts[self.rng.gen_range(0..hosts.len())];
+            }
+            self.background.injected += 1;
+            self.in_flight.push_back(Packet {
+                kind: PacketKind::Background,
+                src,
+                current: src,
+                dst,
+                emitted: tick,
+            });
+        }
+    }
+
+    fn forward_packets(&mut self, tick: u64, observer: &mut dyn SimObserver) {
+        let graph = self.world.graph();
+        let routing = self.world.routing();
+        // Refill link token accumulators (fractional caps accumulate
+        // credit; burst bounded by max(cap, 1)).
+        for (i, cap) in self.link_caps.iter().enumerate() {
+            if let Some(cap) = cap {
+                self.link_tokens[i] = (self.link_tokens[i] + cap).min(cap.max(1.0));
+            }
+        }
+        for (i, cap) in self.node_caps.iter().enumerate() {
+            if let Some(cap) = cap {
+                self.node_tokens[i] = (self.node_tokens[i] + cap).min(cap.max(1.0));
+            }
+        }
+        let mut retained = VecDeque::with_capacity(self.in_flight.len());
+        while let Some(mut p) = self.in_flight.pop_front() {
+            let Some(next) = routing.next_hop(p.current, p.dst) else {
+                // Unroutable (disconnected) — drop.
+                continue;
+            };
+            let edge = graph
+                .edge_between(p.current, next)
+                .expect("next hop is adjacent");
+            // Link cap: needs a full token.
+            let capped = self.link_caps[edge.index()].is_some();
+            if capped && self.link_tokens[edge.index()] < 1.0 {
+                retained.push_back(p);
+                continue;
+            }
+            // Node transit cap (only charged when forwarding, not when
+            // originating).
+            let transit = p.current != p.src;
+            let node_capped = transit && self.node_caps[p.current.index()].is_some();
+            if node_capped && self.node_tokens[p.current.index()] < 1.0 {
+                retained.push_back(p);
+                continue;
+            }
+            if capped {
+                self.link_tokens[edge.index()] -= 1.0;
+            }
+            if node_capped {
+                self.node_tokens[p.current.index()] -= 1.0;
+            }
+            p.current = next;
+            if p.current == p.dst {
+                match p.kind {
+                    PacketKind::Worm => {
+                        self.delivered += 1;
+                        self.infect_at(p.dst, tick, observer);
+                    }
+                    PacketKind::Background => {
+                        // The packet's first hop happens in its emission
+                        // tick, so it has been in flight for
+                        // (tick - emitted + 1) tick-hops.
+                        let delay = tick.saturating_sub(p.emitted) + 1;
+                        self.background.delivered += 1;
+                        self.background.total_delay_ticks += delay;
+                        self.background.max_delay_ticks =
+                            self.background.max_delay_ticks.max(delay);
+                        let hops = routing
+                            .distance(p.src, p.dst)
+                            .map(u64::from)
+                            .unwrap_or(0);
+                        self.background.total_hops += hops;
+                    }
+                }
+            } else {
+                retained.push_back(p);
+            }
+        }
+        self.in_flight = retained;
+    }
+
+    /// Runs the simulation to its horizon and returns the result.
+    pub fn run(self) -> SimResult {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Like [`Simulator::run`], with per-event callbacks delivered to
+    /// `observer`.
+    ///
+    /// The initial seed infections happen at construction time and are
+    /// *not* reported through [`SimObserver::on_infection`]; every
+    /// infection during the run is.
+    pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimResult {
+        let hosts = self.host_count() as f64;
+        let mut infected = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
+        let mut ever = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
+        let mut immune = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
+        let mut backlog = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
+
+        let record =
+            |sim: &Simulator<'_>, t: u64, inf: &mut TimeSeries, ev: &mut TimeSeries, im: &mut TimeSeries| {
+                let i = sim.count_state(NodeState::Infected) as f64 / hosts;
+                inf.push(t as f64, i);
+                ev.push(t as f64, sim.ever_infected as f64 / hosts);
+                im.push(t as f64, sim.count_state(NodeState::Immunized) as f64 / hosts);
+                i
+            };
+
+        let mut infected_fraction = record(&self, 0, &mut infected, &mut ever, &mut immune);
+        backlog.push(0.0, 0.0);
+        for tick in 1..=self.config.horizon() {
+            self.immunization_step(tick, infected_fraction, observer);
+            self.self_patch_step(tick, observer);
+            self.generate_scans(tick, observer);
+            self.release_delayed_scans(tick);
+            self.generate_background(tick);
+            self.forward_packets(tick, observer);
+            infected_fraction = record(&self, tick, &mut infected, &mut ever, &mut immune);
+            backlog.push(tick as f64, self.in_flight.len() as f64);
+            observer.on_tick(
+                tick,
+                TickSnapshot {
+                    infected: self.count_state(NodeState::Infected),
+                    ever_infected: self.ever_infected,
+                    immunized: self.count_state(NodeState::Immunized),
+                    in_flight: self.in_flight.len(),
+                },
+            );
+        }
+
+        SimResult {
+            infected_fraction: infected,
+            ever_infected_fraction: ever,
+            immunized_fraction: immune,
+            backlog,
+            delivered_packets: self.delivered,
+            filtered_packets: self.filtered,
+            delayed_packets: self.delayed,
+            quarantined_hosts: self.quarantined,
+            scan_log: std::mem::take(&mut self.scan_log),
+            residual_packets: self.in_flight.len() as u64,
+            background: self.background,
+        }
+    }
+
+    /// The configured host filter of `node`, if any (for tests).
+    pub fn host_filter(&self, node: NodeId) -> Option<HostFilter> {
+        self.host_filter_cfg[node.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ImmunizationConfig, ImmunizationTrigger};
+    use crate::plan::RateLimitPlan;
+    use dynaquar_topology::generators;
+
+    fn small_world() -> World {
+        World::from_star(generators::star(49).unwrap())
+    }
+
+    fn base_config(horizon: u64) -> SimConfig {
+        SimConfig::builder()
+            .beta(0.8)
+            .horizon(horizon)
+            .initial_infected(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unlimited_worm_saturates_star() {
+        let w = small_world();
+        let r = Simulator::new(&w, &base_config(120), WormBehavior::random(), 1).run();
+        assert!(r.infected_fraction.final_value() > 0.95);
+        assert!(r.delivered_packets > 0);
+        assert_eq!(r.filtered_packets, 0);
+    }
+
+    #[test]
+    fn series_are_monotone_without_immunization() {
+        let w = small_world();
+        let r = Simulator::new(&w, &base_config(60), WormBehavior::random(), 2).run();
+        let mut prev = 0.0;
+        for (_, v) in r.infected_fraction.iter() {
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+        assert_eq!(r.infected_fraction.len(), 61);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = small_world();
+        let a = Simulator::new(&w, &base_config(40), WormBehavior::random(), 7).run();
+        let b = Simulator::new(&w, &base_config(40), WormBehavior::random(), 7).run();
+        let c = Simulator::new(&w, &base_config(40), WormBehavior::random(), 8).run();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hub_node_cap_slows_infection() {
+        let star = generators::star(199).unwrap();
+        let hub = star.hub;
+        let w = World::from_star(star);
+        let free = Simulator::new(&w, &base_config(150), WormBehavior::random(), 3)
+            .run()
+            .infected_fraction;
+        let mut plan = RateLimitPlan::none();
+        plan.limit_node_forwarding(hub, 2.0);
+        let capped_cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(150)
+            .initial_infected(1)
+            .plan(plan)
+            .build()
+            .unwrap();
+        let capped = Simulator::new(&w, &capped_cfg, WormBehavior::random(), 3)
+            .run()
+            .infected_fraction;
+        let t_free = free.time_to_reach(0.6).expect("unlimited saturates");
+        if let Some(t_capped) = capped.time_to_reach(0.6) {
+            assert!(t_capped > 2.0 * t_free, "{t_capped} vs {t_free}");
+        } // else: even stronger suppression
+    }
+
+    #[test]
+    fn host_filters_reduce_emissions() {
+        let star = generators::star(99).unwrap();
+        let w = World::from_star(star);
+        let hosts = w.hosts().to_vec();
+        let mut plan = RateLimitPlan::none();
+        plan.filter_hosts(
+            &hosts,
+            crate::plan::HostFilter::dropping(100, 1),
+        );
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(80)
+            .initial_infected(1)
+            .plan(plan)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 4).run();
+        assert!(r.filtered_packets > 0);
+        // Universal tight filtering keeps the infection small.
+        assert!(r.infected_fraction.final_value() < 0.5);
+    }
+
+    #[test]
+    fn immunization_at_tick_caps_ever_infected() {
+        let w = small_world();
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(100)
+            .initial_infected(1)
+            .immunization(ImmunizationConfig {
+                trigger: ImmunizationTrigger::AtTick(3),
+                mu: 0.3,
+            })
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 5).run();
+        // Ever-infected stays below full saturation, infected drains to 0.
+        assert!(r.ever_infected_fraction.final_value() < 1.0);
+        assert!(r.infected_fraction.final_value() < 0.05);
+        assert!(r.immunized_fraction.final_value() > 0.9);
+    }
+
+    #[test]
+    fn ever_infected_is_monotone_with_immunization() {
+        let w = small_world();
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(80)
+            .initial_infected(1)
+            .immunization(ImmunizationConfig {
+                trigger: ImmunizationTrigger::AtInfectedFraction(0.2),
+                mu: 0.1,
+            })
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 6).run();
+        let mut prev = 0.0;
+        for (_, v) in r.ever_infected_fraction.iter() {
+            assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn later_immunization_means_more_damage() {
+        let w = World::from_star(generators::star(199).unwrap());
+        let ever_at = |trigger: f64, seed: u64| {
+            let cfg = SimConfig::builder()
+                .beta(0.8)
+                .horizon(150)
+                .initial_infected(2)
+                .immunization(ImmunizationConfig {
+                    trigger: ImmunizationTrigger::AtInfectedFraction(trigger),
+                    mu: 0.1,
+                })
+                .build()
+                .unwrap();
+            Simulator::new(&w, &cfg, WormBehavior::random(), seed)
+                .run()
+                .ever_infected_fraction
+                .final_value()
+        };
+        // Average a few seeds to tame variance.
+        let early: f64 = (0..4).map(|s| ever_at(0.2, s)).sum::<f64>() / 4.0;
+        let late: f64 = (0..4).map(|s| ever_at(0.8, s)).sum::<f64>() / 4.0;
+        assert!(early < late, "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn local_preferential_worm_on_subnets() {
+        let topo = generators::SubnetTopologyBuilder::new()
+            .backbone_routers(2)
+            .subnets(5)
+            .hosts_per_subnet(10)
+            .build()
+            .unwrap();
+        let w = World::from_subnets(topo);
+        let r = Simulator::new(
+            &w,
+            &base_config(200),
+            WormBehavior::local_preferential(0.9),
+            9,
+        )
+        .run();
+        assert!(r.infected_fraction.final_value() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "more initial infections than hosts")]
+    fn too_many_initial_infections_panics() {
+        let w = small_world();
+        let cfg = SimConfig::builder()
+            .initial_infected(1000)
+            .build()
+            .unwrap();
+        let _ = Simulator::new(&w, &cfg, WormBehavior::random(), 0);
+    }
+
+    #[test]
+    fn background_traffic_is_delivered_and_measured() {
+        use crate::background::BackgroundTraffic;
+        let w = small_world();
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(100)
+            .initial_infected(1)
+            .background(BackgroundTraffic::new(2.5))
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 11).run();
+        // ~250 expected injections over 100 ticks.
+        assert!((200..=300).contains(&(r.background.injected as i64)));
+        // Without caps every injected packet (except the last ticks'
+        // in-flight tail) is delivered at the 2-hop shortest path.
+        assert!(r.background.delivery_fraction() > 0.9);
+        assert!(r.background.mean_queueing_delay() < 0.5);
+    }
+
+    #[test]
+    fn background_never_infects() {
+        use crate::background::BackgroundTraffic;
+        let w = small_world();
+        // beta tiny so the worm itself spreads negligibly; flood
+        // background traffic.
+        let cfg = SimConfig::builder()
+            .beta(0.01)
+            .horizon(50)
+            .initial_infected(1)
+            .background(BackgroundTraffic::new(10.0))
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 12).run();
+        assert!(r.background.delivered > 300);
+        // Infections stay at ~the seed despite heavy background load.
+        assert!(r.ever_infected_fraction.final_value() < 0.2);
+    }
+
+    #[test]
+    fn caps_sized_for_legitimate_load_pass_it_cleanly() {
+        // The paper's design intent: caps sized above the legitimate
+        // load are invisible to it when no worm floods the network.
+        use crate::background::BackgroundTraffic;
+        let star = generators::star(99).unwrap();
+        let hub = star.hub;
+        let w = World::from_star(star);
+        let mut plan = RateLimitPlan::none();
+        plan.limit_links_at_node(w.graph(), hub, 0.3);
+        let cfg = SimConfig::builder()
+            .beta(0.01) // essentially no worm traffic
+            .horizon(200)
+            .initial_infected(1)
+            .background(BackgroundTraffic::new(0.5))
+            .plan(plan)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 13).run();
+        assert!(r.background.delivery_fraction() > 0.9);
+        assert!(r.background.mean_queueing_delay() < 2.0);
+    }
+
+    #[test]
+    fn worm_flood_saturates_caps_and_queues_background() {
+        // With a worm flooding the same capped links, the worm is
+        // throttled hard and legitimate traffic measurably queues
+        // behind it — the collateral the BackgroundStats quantify.
+        use crate::background::BackgroundTraffic;
+        let star = generators::star(99).unwrap();
+        let hub = star.hub;
+        let w = World::from_star(star);
+        let mut plan = RateLimitPlan::none();
+        plan.limit_links_at_node(w.graph(), hub, 0.3);
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(200)
+            .initial_infected(1)
+            .background(BackgroundTraffic::new(0.5))
+            .plan(plan.clone())
+            .build()
+            .unwrap();
+        let capped = Simulator::new(&w, &cfg, WormBehavior::random(), 13).run();
+        let free_cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(200)
+            .initial_infected(1)
+            .build()
+            .unwrap();
+        let free = Simulator::new(&w, &free_cfg, WormBehavior::random(), 13).run();
+        let t_free = free.infected_fraction.time_to_reach(0.5).unwrap();
+        let t_capped = capped
+            .infected_fraction
+            .time_to_reach(0.5)
+            .unwrap_or(f64::INFINITY);
+        assert!(t_capped > 1.5 * t_free, "{t_capped} vs {t_free}");
+        // Background pays a visible queueing cost under the flood.
+        assert!(capped.background.mean_queueing_delay() > 1.0);
+    }
+
+    #[test]
+    fn delaying_filter_slows_but_does_not_stop_the_worm() {
+        use crate::plan::HostFilter;
+        let w = World::from_star(generators::star(79).unwrap());
+        let hosts = w.hosts().to_vec();
+
+        let run_with = |filter: HostFilter, seed: u64| {
+            let mut plan = RateLimitPlan::none();
+            plan.filter_hosts(&hosts, filter);
+            let cfg = SimConfig::builder()
+                .beta(0.8)
+                .horizon(400)
+                .initial_infected(1)
+                .plan(plan)
+                .build()
+                .unwrap();
+            Simulator::new(&w, &cfg, WormBehavior::random(), seed).run()
+        };
+
+        // Dropping filter: blocked scans are lost forever.
+        let dropped = run_with(HostFilter::dropping(50, 1), 3);
+        // Delaying filter (same admission budget, releases one blocked
+        // scan every 10 ticks): the worm still reaches everyone, slower.
+        let delayed = run_with(HostFilter::delaying(50, 1, 10), 3);
+        let free_cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(400)
+            .initial_infected(1)
+            .build()
+            .unwrap();
+        let free = Simulator::new(&w, &free_cfg, WormBehavior::random(), 3).run();
+
+        assert!(delayed.delayed_packets > 0);
+        assert_eq!(free.delayed_packets, 0);
+        let t_free = free.infected_fraction.time_to_reach(0.6).unwrap();
+        let t_delayed = delayed
+            .infected_fraction
+            .time_to_reach(0.6)
+            .unwrap_or(f64::INFINITY);
+        assert!(t_delayed > 1.5 * t_free, "{t_delayed} vs {t_free}");
+        // Delaying leaks more infection than dropping over a long run.
+        assert!(
+            delayed.ever_infected_fraction.final_value()
+                >= dropped.ever_infected_fraction.final_value() - 0.05
+        );
+    }
+
+    #[test]
+    fn patched_hosts_abandon_their_delay_queues() {
+        use crate::config::{ImmunizationConfig, ImmunizationTrigger};
+        use crate::plan::HostFilter;
+        let w = World::from_star(generators::star(39).unwrap());
+        let hosts = w.hosts().to_vec();
+        let mut plan = RateLimitPlan::none();
+        plan.filter_hosts(&hosts, HostFilter::delaying(50, 1, 5));
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(200)
+            .initial_infected(1)
+            .plan(plan)
+            .immunization(ImmunizationConfig {
+                trigger: ImmunizationTrigger::AtTick(5),
+                mu: 0.4,
+            })
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 8).run();
+        // Aggressive patching + throttling contains the outbreak well
+        // below saturation: queued scans die with their hosts.
+        assert!(r.ever_infected_fraction.final_value() < 0.8);
+        assert!(r.infected_fraction.final_value() < 0.05);
+    }
+
+    #[test]
+    fn dynamic_quarantine_contains_the_outbreak() {
+        use crate::config::QuarantineConfig;
+        use crate::plan::HostFilter;
+        let w = World::from_star(generators::star(199).unwrap());
+        let hosts = w.hosts().to_vec();
+        let mut plan = RateLimitPlan::none();
+        // Delaying throttles on every host: the queue is the detector.
+        plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(200)
+            .initial_infected(2)
+            .plan(plan)
+            .quarantine(QuarantineConfig { queue_threshold: 3 })
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 21).run();
+        // A scanning host fills its 3-slot queue within ~4 ticks of
+        // infection and is cut off having emitted roughly one successful
+        // scan — the effective reproduction number hovers near the
+        // epidemic threshold and the outbreak sputters out far below
+        // saturation.
+        assert!(r.quarantined_hosts >= 2);
+        assert!(
+            r.ever_infected_fraction.final_value() < 0.35,
+            "quarantine failed: {}",
+            r.ever_infected_fraction.final_value()
+        );
+        assert!(r.infected_fraction.final_value() < 0.05);
+    }
+
+    #[test]
+    fn quarantine_without_delaying_filters_never_fires() {
+        use crate::config::QuarantineConfig;
+        let w = small_world();
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(60)
+            .initial_infected(1)
+            .quarantine(QuarantineConfig { queue_threshold: 3 })
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 22).run();
+        assert_eq!(r.quarantined_hosts, 0);
+        assert!(r.infected_fraction.final_value() > 0.9);
+    }
+
+    #[test]
+    fn quarantine_threshold_zero_rejected_at_build() {
+        use crate::config::QuarantineConfig;
+        assert!(SimConfig::builder()
+            .quarantine(QuarantineConfig { queue_threshold: 0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn welchia_style_worm_burns_itself_out() {
+        let w = World::from_star(generators::star(199).unwrap());
+        // Fast scanner that patches its host 12 ticks after infection.
+        let welchia = WormBehavior::random()
+            .with_scan_rate(3)
+            .with_self_patch_after(12);
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(300)
+            .initial_infected(2)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, welchia, 31).run();
+        // The infection wave passes through and extinguishes: currently
+        // infected returns to ~zero while immunized (patched) is large.
+        assert!(r.infected_fraction.final_value() < 0.05);
+        assert!(r.immunized_fraction.final_value() > 0.5);
+        // The wave peaked well above its final level.
+        assert!(r.infected_fraction.max_value() > 0.2);
+    }
+
+    #[test]
+    fn slow_self_patching_worm_can_go_extinct_early() {
+        // A slow scanner that patches quickly is subcritical: it patches
+        // faster than it spreads and the outbreak dies with few ever hit
+        // (the SIR threshold, reproduced in the packet simulator).
+        let w = World::from_star(generators::star(199).unwrap());
+        let worm = WormBehavior::random().with_self_patch_after(2);
+        let cfg = SimConfig::builder()
+            .beta(0.2) // ~0.2 scans/tick * 2 ticks alive * 2-hop latency
+            .horizon(200)
+            .initial_infected(2)
+            .build()
+            .unwrap();
+        // Average several seeds: extinction is stochastic.
+        let mut total_ever = 0.0;
+        for seed in 0..6 {
+            let r = Simulator::new(&w, &cfg, worm, seed).run();
+            total_ever += r.ever_infected_fraction.final_value();
+        }
+        assert!(total_ever / 6.0 < 0.3, "mean ever-infected {}", total_ever / 6.0);
+    }
+
+    #[test]
+    fn backlog_series_tracks_congestion() {
+        let star = generators::star(99).unwrap();
+        let hub = star.hub;
+        let w = World::from_star(star);
+        // Uncapped: packets clear within two hops, backlog stays small.
+        let free = Simulator::new(&w, &base_config(100), WormBehavior::random(), 17).run();
+        assert!(free.backlog.max_value() < 150.0);
+        // Harshly capped hub: the flood piles up behind the filter.
+        let mut plan = RateLimitPlan::none();
+        plan.limit_node_forwarding(hub, 0.5);
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(100)
+            .initial_infected(5)
+            .plan(plan)
+            .build()
+            .unwrap();
+        let capped = Simulator::new(&w, &cfg, WormBehavior::random(), 17).run();
+        assert!(
+            capped.backlog.max_value() > 3.0 * free.backlog.max_value(),
+            "capped backlog {} vs free {}",
+            capped.backlog.max_value(),
+            free.backlog.max_value()
+        );
+        // Backlog is reported for every tick.
+        assert_eq!(capped.backlog.len(), 101);
+    }
+
+    #[test]
+    fn observer_sees_every_infection_and_tick() {
+        use crate::observer::{SimObserver, TickSnapshot};
+
+        #[derive(Default)]
+        struct Recorder {
+            infections: Vec<(u64, NodeId)>,
+            ticks: u64,
+            last_ever: usize,
+            monotone: bool,
+        }
+        impl Recorder {
+            fn new() -> Self {
+                Recorder {
+                    monotone: true,
+                    ..Default::default()
+                }
+            }
+        }
+        impl SimObserver for Recorder {
+            fn on_tick(&mut self, _tick: u64, snap: TickSnapshot) {
+                self.ticks += 1;
+                if snap.ever_infected < self.last_ever {
+                    self.monotone = false;
+                }
+                self.last_ever = snap.ever_infected;
+            }
+            fn on_infection(&mut self, tick: u64, victim: NodeId) {
+                self.infections.push((tick, victim));
+            }
+        }
+
+        let w = small_world();
+        let cfg = base_config(80);
+        let mut rec = Recorder::new();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 41).run_observed(&mut rec);
+        // Every run-time infection reported (seed infection excluded).
+        let total_infected = (r.ever_infected_fraction.final_value() * 49.0).round() as usize;
+        assert_eq!(rec.infections.len(), total_infected - 1);
+        // Events arrive in chronological order and victims are unique.
+        assert!(rec.infections.windows(2).all(|w| w[0].0 <= w[1].0));
+        let distinct: std::collections::HashSet<_> =
+            rec.infections.iter().map(|&(_, v)| v).collect();
+        assert_eq!(distinct.len(), rec.infections.len());
+        assert_eq!(rec.ticks, 80);
+        assert!(rec.monotone);
+    }
+
+    #[test]
+    fn observer_sees_quarantines_and_patches() {
+        use crate::config::QuarantineConfig;
+        use crate::observer::SimObserver;
+        use crate::plan::HostFilter;
+
+        #[derive(Default)]
+        struct Counter {
+            quarantines: u64,
+            patches: u64,
+        }
+        impl SimObserver for Counter {
+            fn on_quarantine(&mut self, _tick: u64, _host: NodeId) {
+                self.quarantines += 1;
+            }
+            fn on_patch(&mut self, _tick: u64, _host: NodeId) {
+                self.patches += 1;
+            }
+        }
+
+        let w = World::from_star(generators::star(79).unwrap());
+        let hosts = w.hosts().to_vec();
+        let mut plan = RateLimitPlan::none();
+        plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(150)
+            .initial_infected(2)
+            .plan(plan)
+            .quarantine(QuarantineConfig { queue_threshold: 3 })
+            .build()
+            .unwrap();
+        let mut counter = Counter::default();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 42)
+            .run_observed(&mut counter);
+        assert_eq!(counter.quarantines, r.quarantined_hosts);
+        assert!(counter.quarantines > 0);
+        assert_eq!(counter.patches, 0, "no immunization configured");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let w = small_world();
+        let s = Simulator::new(&w, &base_config(10), WormBehavior::random(), 0);
+        assert!(!format!("{s:?}").is_empty());
+        assert!(s.host_filter(NodeId::new(1)).is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests on simulator invariants.
+
+use dynaquar_netsim::background::BackgroundTraffic;
+use dynaquar_netsim::config::{ImmunizationConfig, ImmunizationTrigger, SimConfig, WormBehavior};
+use dynaquar_netsim::plan::{HostFilter, RateLimitPlan};
+use dynaquar_netsim::sim::Simulator;
+use dynaquar_netsim::world::World;
+use dynaquar_topology::generators;
+use proptest::prelude::*;
+
+fn star_world(leaves: usize) -> World {
+    World::from_star(generators::star(leaves).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Without immunization the infected series is monotone and
+    /// ever-infected equals currently-infected.
+    #[test]
+    fn monotone_without_immunization(seed in 0u64..50, beta in 0.1..1.0f64) {
+        let w = star_world(30);
+        let cfg = SimConfig::builder()
+            .beta(beta)
+            .horizon(60)
+            .initial_infected(1)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), seed).run();
+        let mut prev = 0.0;
+        for ((t, i), (_, e)) in r.infected_fraction.iter().zip(r.ever_infected_fraction.iter()) {
+            prop_assert!(i >= prev - 1e-12, "t = {t}");
+            prop_assert!((i - e).abs() < 1e-12, "no immunization: infected == ever");
+            prev = i;
+        }
+    }
+
+    /// Host filters only reduce infections (same seed, pointwise), since
+    /// they drop scan packets before any state diverges nondeterministically.
+    #[test]
+    fn universal_filters_never_help_the_worm(seed in 0u64..30) {
+        let w = star_world(40);
+        let free_cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(80)
+            .initial_infected(1)
+            .build()
+            .unwrap();
+        let mut plan = RateLimitPlan::none();
+        plan.filter_hosts(
+            w.hosts(),
+            HostFilter::dropping(50, 1),
+        );
+        let filtered_cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(80)
+            .initial_infected(1)
+            .plan(plan)
+            .build()
+            .unwrap();
+        let free = Simulator::new(&w, &free_cfg, WormBehavior::random(), seed).run();
+        let filtered = Simulator::new(&w, &filtered_cfg, WormBehavior::random(), seed).run();
+        // Compare final outcomes (pointwise comparison is invalid after
+        // stochastic divergence, but the final saturation level and the
+        // time to any level can only get worse for the worm).
+        prop_assert!(
+            filtered.ever_infected_fraction.final_value()
+                <= free.ever_infected_fraction.final_value() + 1e-12
+        );
+        let t_free = free.infected_fraction.time_to_reach(0.4);
+        let t_filtered = filtered.infected_fraction.time_to_reach(0.4);
+        if let (Some(a), Some(b)) = (t_free, t_filtered) {
+            prop_assert!(b >= a - 5.0, "filtering should not dramatically accelerate the worm");
+        }
+    }
+
+    /// Packet accounting: delivered, filtered, and residual counts are
+    /// consistent with what the worm could have emitted.
+    #[test]
+    fn packet_accounting(seed in 0u64..30, beta in 0.2..1.0f64) {
+        let w = star_world(25);
+        let cfg = SimConfig::builder()
+            .beta(beta)
+            .horizon(50)
+            .initial_infected(1)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), seed).run();
+        // At one scan per tick per infected node, emissions are bounded
+        // by hosts * horizon.
+        let bound = 25u64 * 50;
+        prop_assert!(r.delivered_packets + r.filtered_packets + r.residual_packets <= bound);
+        prop_assert!(r.delivered_packets >= 24, "star saturates: every other host was infected once");
+    }
+
+    /// Background statistics are internally consistent for any rate.
+    #[test]
+    fn background_accounting(seed in 0u64..30, rate in 0.0..5.0f64) {
+        let w = star_world(20);
+        let cfg = SimConfig::builder()
+            .beta(0.5)
+            .horizon(60)
+            .initial_infected(1)
+            .background(BackgroundTraffic::new(rate))
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), seed).run();
+        let bg = r.background;
+        prop_assert!(bg.delivered <= bg.injected);
+        prop_assert!(bg.total_hops <= bg.total_delay_ticks);
+        prop_assert!(bg.max_delay_ticks as f64 >= bg.mean_delay() - 1e-9);
+        // Expected injections within a couple of the deterministic-credit bound.
+        let expected = rate * 60.0;
+        prop_assert!((bg.injected as f64 - expected).abs() <= 2.0);
+    }
+
+    /// With immunization, the three compartments stay consistent.
+    #[test]
+    fn immunization_compartments(seed in 0u64..30, mu in 0.05..0.5f64) {
+        let w = star_world(30);
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(60)
+            .initial_infected(1)
+            .immunization(ImmunizationConfig {
+                trigger: ImmunizationTrigger::AtTick(5),
+                mu,
+            })
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), seed).run();
+        for (((t, i), (_, e)), (_, m)) in r
+            .infected_fraction
+            .iter()
+            .zip(r.ever_infected_fraction.iter())
+            .zip(r.immunized_fraction.iter())
+        {
+            prop_assert!(i + m <= 1.0 + 1e-12, "t = {t}");
+            prop_assert!(e >= i - 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&m));
+        }
+        // Heavy patching wins in the end.
+        prop_assert!(r.infected_fraction.final_value() < 0.6);
+    }
+}

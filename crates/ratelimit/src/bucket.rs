@@ -1,0 +1,166 @@
+//! Classic token bucket, used for per-link packet caps in the simulator.
+//!
+//! The paper's simulated links are "limited to 10 packets per second";
+//! the bucket is the mechanism that enforces such a cap while allowing
+//! short bursts up to its capacity.
+
+use crate::{Decision, Error, RateLimiter, RemoteKey};
+
+/// A token bucket with `capacity` tokens refilled at `rate` tokens per
+/// second. Each contact consumes one token; an empty bucket denies.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_ratelimit::{RateLimiter, RemoteKey};
+/// use dynaquar_ratelimit::bucket::TokenBucket;
+///
+/// # fn main() -> Result<(), dynaquar_ratelimit::Error> {
+/// let mut b = TokenBucket::new(10.0, 10.0)?; // 10 pkt/s, burst 10
+/// let mut sent = 0;
+/// for i in 0..100 {
+///     if b.check(i as f64 * 0.001, RemoteKey::new(i)).is_allow() {
+///         sent += 1;
+///     }
+/// }
+/// assert_eq!(sent, 10); // only the burst capacity in 0.1 s
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    rate: f64,
+    tokens: f64,
+    last_refill: f64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket with burst `capacity` and refill `rate`
+    /// (tokens per second), starting full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `capacity <= 0` or
+    /// `rate <= 0`.
+    pub fn new(capacity: f64, rate: f64) -> Result<Self, Error> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberately rejects NaN too
+        if !(capacity > 0.0) {
+            return Err(Error::InvalidConfig {
+                name: "capacity",
+                reason: "must be a positive token count",
+            });
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberately rejects NaN too
+        if !(rate > 0.0) {
+            return Err(Error::InvalidConfig {
+                name: "rate",
+                reason: "must be a positive tokens-per-second rate",
+            });
+        }
+        Ok(TokenBucket {
+            capacity,
+            rate,
+            tokens: capacity,
+            last_refill: 0.0,
+        })
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: f64) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Consumes `n` tokens if available, returning whether it succeeded.
+    pub fn try_consume(&mut self, now: f64, n: f64) -> bool {
+        self.refill(now);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn refill(&mut self, now: f64) {
+        if now > self.last_refill {
+            self.tokens = (self.tokens + (now - self.last_refill) * self.rate).min(self.capacity);
+            self.last_refill = now;
+        }
+    }
+}
+
+impl RateLimiter for TokenBucket {
+    fn check(&mut self, now: f64, _dst: RemoteKey) -> Decision {
+        if self.try_consume(now, 1.0) {
+            Decision::Allow
+        } else {
+            Decision::Deny
+        }
+    }
+
+    fn reset(&mut self) {
+        self.tokens = self.capacity;
+        self.last_refill = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_refill() {
+        let mut b = TokenBucket::new(3.0, 1.0).unwrap();
+        assert!(b.try_consume(0.0, 3.0));
+        assert!(!b.try_consume(0.0, 1.0));
+        // One token back after a second.
+        assert!(b.try_consume(1.0, 1.0));
+        assert!(!b.try_consume(1.0, 1.0));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut b = TokenBucket::new(5.0, 100.0).unwrap();
+        assert!(b.try_consume(0.0, 5.0));
+        // A long idle period refills to capacity, not beyond.
+        assert_eq!(b.available(100.0), 5.0);
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        let mut b = TokenBucket::new(10.0, 10.0).unwrap();
+        let mut sent = 0;
+        // 1000 attempts over 10 seconds.
+        for i in 0..1000 {
+            if b.check(i as f64 * 0.01, RemoteKey::new(0)).is_allow() {
+                sent += 1;
+            }
+        }
+        // Burst (10) + 10 s * 10/s = ~110.
+        assert!((100..=115).contains(&sent), "sent = {sent}");
+    }
+
+    #[test]
+    fn clock_regression_is_harmless() {
+        let mut b = TokenBucket::new(2.0, 1.0).unwrap();
+        assert!(b.try_consume(5.0, 2.0));
+        // Going back in time neither refills nor panics.
+        assert!(!b.try_consume(4.0, 1.0));
+    }
+
+    #[test]
+    fn reset_restores_full_bucket() {
+        let mut b = TokenBucket::new(2.0, 1.0).unwrap();
+        assert!(b.try_consume(0.0, 2.0));
+        b.reset();
+        assert_eq!(b.available(0.0), 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(TokenBucket::new(0.0, 1.0).is_err());
+        assert!(TokenBucket::new(1.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Deployment wrappers: per-host and aggregate (edge-router) limiting.
+//!
+//! Section 7's central operational finding is that the same mechanism
+//! behaves very differently per host versus aggregated at the edge: 1,128
+//! hosts each allowed "four unique IPs per five seconds" could jointly
+//! emit far more worm traffic than one edge filter allowing 16 — "per-host
+//! rate limits are a poor way to protect the external Internet", while
+//! aggregate limits can't protect hosts from each other *inside* the
+//! network.
+
+use crate::{Decision, RateLimiter, RemoteKey};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a protected host behind a deployment wrapper.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct HostId(u32);
+
+impl HostId {
+    /// Creates a host id from a raw index.
+    pub fn new(v: u32) -> Self {
+        HostId(v)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for HostId {
+    fn from(v: u32) -> Self {
+        HostId(v)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A deployment of rate limiting over a population of hosts.
+pub trait Deployment {
+    /// Judges a contact from `src` to `dst` at `now`.
+    fn check(&mut self, now: f64, src: HostId, dst: RemoteKey) -> Decision;
+
+    /// Clears all state.
+    fn reset(&mut self);
+}
+
+/// One limiter instance per host, created on demand by a factory — the
+/// Williamson/Ganger "in host network stacks, on smart network cards or
+/// switches" deployment.
+pub struct PerHost<L, F> {
+    factory: F,
+    limiters: HashMap<HostId, L>,
+}
+
+impl<L, F> fmt::Debug for PerHost<L, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PerHost")
+            .field("hosts", &self.limiters.len())
+            .finish()
+    }
+}
+
+impl<L: RateLimiter, F: FnMut() -> L> PerHost<L, F> {
+    /// Creates a per-host deployment; `factory` builds the limiter for a
+    /// host on its first contact.
+    pub fn new(factory: F) -> Self {
+        PerHost {
+            factory,
+            limiters: HashMap::new(),
+        }
+    }
+
+    /// Number of hosts that have been seen so far.
+    pub fn host_count(&self) -> usize {
+        self.limiters.len()
+    }
+
+    /// Access a specific host's limiter, if it exists yet.
+    pub fn limiter(&self, host: HostId) -> Option<&L> {
+        self.limiters.get(&host)
+    }
+}
+
+impl<L: RateLimiter, F: FnMut() -> L> Deployment for PerHost<L, F> {
+    fn check(&mut self, now: f64, src: HostId, dst: RemoteKey) -> Decision {
+        let limiter = self
+            .limiters
+            .entry(src)
+            .or_insert_with(&mut self.factory);
+        limiter.check(now, dst)
+    }
+
+    fn reset(&mut self) {
+        self.limiters.clear();
+    }
+}
+
+/// One shared limiter for the whole population — the edge-router
+/// deployment ("aggregate limits at the edge routers").
+pub struct Aggregate<L> {
+    limiter: L,
+}
+
+impl<L> fmt::Debug for Aggregate<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Aggregate {{ .. }}")
+    }
+}
+
+impl<L: RateLimiter> Aggregate<L> {
+    /// Wraps `limiter` as an aggregate deployment.
+    pub fn new(limiter: L) -> Self {
+        Aggregate { limiter }
+    }
+
+    /// The wrapped limiter.
+    pub fn limiter(&self) -> &L {
+        &self.limiter
+    }
+
+    /// Consumes the wrapper, returning the limiter.
+    pub fn into_inner(self) -> L {
+        self.limiter
+    }
+}
+
+impl<L: RateLimiter> Deployment for Aggregate<L> {
+    fn check(&mut self, now: f64, _src: HostId, dst: RemoteKey) -> Decision {
+        self.limiter.check(now, dst)
+    }
+
+    fn reset(&mut self) {
+        self.limiter.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::UniqueIpWindow;
+
+    fn window(max: usize) -> UniqueIpWindow {
+        UniqueIpWindow::new(5.0, max).unwrap()
+    }
+
+    #[test]
+    fn per_host_budgets_are_independent() {
+        let mut d = PerHost::new(|| window(1));
+        assert!(d.check(0.0, HostId::new(0), RemoteKey::new(100)).is_allow());
+        // Host 0 exhausted; host 1 unaffected.
+        assert!(d.check(0.0, HostId::new(0), RemoteKey::new(101)).is_blocked());
+        assert!(d.check(0.0, HostId::new(1), RemoteKey::new(102)).is_allow());
+        assert_eq!(d.host_count(), 2);
+    }
+
+    #[test]
+    fn aggregate_budget_is_shared() {
+        let mut d = Aggregate::new(window(2));
+        assert!(d.check(0.0, HostId::new(0), RemoteKey::new(100)).is_allow());
+        assert!(d.check(0.0, HostId::new(1), RemoteKey::new(101)).is_allow());
+        // A third host finds the shared budget gone.
+        assert!(d.check(0.0, HostId::new(2), RemoteKey::new(102)).is_blocked());
+    }
+
+    #[test]
+    fn per_host_leaks_more_worm_traffic_than_aggregate() {
+        // The Section 7 argument, in miniature: 10 infected hosts behind
+        // per-host limits of 4 emit up to 40 contacts/window; an
+        // aggregate limit of 16 emits 16.
+        let mut per_host = PerHost::new(|| window(4));
+        let mut aggregate = Aggregate::new(window(16));
+        let mut out_per_host = 0;
+        let mut out_aggregate = 0;
+        let mut key = 0u64;
+        for host in 0..10u32 {
+            for _ in 0..50 {
+                key += 1;
+                if per_host
+                    .check(0.0, HostId::new(host), RemoteKey::new(key))
+                    .is_allow()
+                {
+                    out_per_host += 1;
+                }
+                if aggregate
+                    .check(0.0, HostId::new(host), RemoteKey::new(key))
+                    .is_allow()
+                {
+                    out_aggregate += 1;
+                }
+            }
+        }
+        assert_eq!(out_per_host, 40);
+        assert_eq!(out_aggregate, 16);
+    }
+
+    #[test]
+    fn reset_clears_deployments() {
+        let mut d = PerHost::new(|| window(1));
+        d.check(0.0, HostId::new(0), RemoteKey::new(1));
+        d.reset();
+        assert_eq!(d.host_count(), 0);
+        let mut a = Aggregate::new(window(1));
+        a.check(0.0, HostId::new(0), RemoteKey::new(1));
+        a.reset();
+        assert!(a.check(0.0, HostId::new(0), RemoteKey::new(2)).is_allow());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = PerHost::new(|| window(1));
+        assert!(d.limiter(HostId::new(0)).is_none());
+        let a = Aggregate::new(window(3));
+        assert_eq!(a.limiter().max_unique(), 3);
+        assert_eq!(a.into_inner().max_unique(), 3);
+        assert_eq!(HostId::new(4).to_string(), "h4");
+        assert_eq!(HostId::from(2u32).index(), 2);
+    }
+}

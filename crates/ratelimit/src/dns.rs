@@ -1,0 +1,212 @@
+//! The DNS-based scheme of Ganger, Economou & Bielski (CMU-CS-02-144).
+//!
+//! Self-propagating worms typically pick pseudo-random 32-bit values as
+//! target addresses, performing no DNS translation. The self-securing-NIC
+//! scheme therefore lets contacts flow freely to destinations that
+//!
+//! * have a valid (unexpired) DNS translation in the host's cache, or
+//! * initiated contact with the host first;
+//!
+//! and limits contacts to all other ("unknown") destinations — the
+//! paper's default being six per minute.
+
+use crate::window::UniqueIpWindow;
+use crate::{Decision, Error, RateLimiter, RemoteKey};
+use std::collections::HashMap;
+
+/// DNS-translation-aware rate limiter.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_ratelimit::{Decision, RateLimiter, RemoteKey};
+/// use dynaquar_ratelimit::dns::DnsGuard;
+///
+/// # fn main() -> Result<(), dynaquar_ratelimit::Error> {
+/// let mut g = DnsGuard::new(60.0, 6, 300.0)?;
+/// // The browser resolved www.example.com -> ip#1: unlimited.
+/// g.record_dns_lookup(0.0, RemoteKey::new(1));
+/// assert_eq!(g.check(0.1, RemoteKey::new(1)), Decision::Allow);
+/// // Raw-IP contacts burn the unknown-destination budget.
+/// for k in 100..106 {
+///     assert!(g.check(1.0, RemoteKey::new(k)).is_allow());
+/// }
+/// assert_eq!(g.check(1.5, RemoteKey::new(200)), Decision::Deny);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DnsGuard {
+    /// Budget for unknown destinations.
+    unknown_window: UniqueIpWindow,
+    /// DNS cache: destination -> translation expiry time.
+    dns_cache: HashMap<RemoteKey, f64>,
+    /// Peers that initiated contact first -> last-seen time.
+    inbound_peers: HashMap<RemoteKey, f64>,
+    /// Lifetime of a DNS cache entry (TTL), seconds.
+    dns_ttl: f64,
+    /// How long an inbound peer stays whitelisted, seconds.
+    inbound_ttl: f64,
+}
+
+impl DnsGuard {
+    /// Default whitelist lifetime for peers that contacted us first.
+    const DEFAULT_INBOUND_TTL: f64 = 600.0;
+
+    /// Creates a guard limiting unknown destinations to `max_unknown`
+    /// distinct addresses per `window` seconds, with DNS entries valid
+    /// for `dns_ttl` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `window <= 0`,
+    /// `max_unknown == 0`, or `dns_ttl <= 0`.
+    pub fn new(window: f64, max_unknown: usize, dns_ttl: f64) -> Result<Self, Error> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberately rejects NaN too
+        if !(dns_ttl > 0.0) {
+            return Err(Error::InvalidConfig {
+                name: "dns_ttl",
+                reason: "must be a positive number of seconds",
+            });
+        }
+        Ok(DnsGuard {
+            unknown_window: UniqueIpWindow::new(window, max_unknown)?,
+            dns_cache: HashMap::new(),
+            inbound_peers: HashMap::new(),
+            dns_ttl,
+            inbound_ttl: Self::DEFAULT_INBOUND_TTL,
+        })
+    }
+
+    /// The paper's default: six unknown destinations per minute, with a
+    /// five-minute DNS TTL.
+    pub fn ganger_default() -> Self {
+        DnsGuard::new(60.0, 6, 300.0).expect("defaults are valid")
+    }
+
+    /// Records a successful DNS translation for `dst` at time `now`
+    /// (e.g. observed from the host's resolver traffic).
+    pub fn record_dns_lookup(&mut self, now: f64, dst: RemoteKey) {
+        self.dns_cache.insert(dst, now + self.dns_ttl);
+    }
+
+    /// Records that `dst` initiated contact with the protected host at
+    /// time `now` (responses to it are then unrestricted).
+    pub fn record_inbound(&mut self, now: f64, dst: RemoteKey) {
+        self.inbound_peers.insert(dst, now + self.inbound_ttl);
+    }
+
+    /// Whether `dst` is currently "known" (valid DNS entry or recent
+    /// inbound peer).
+    pub fn is_known(&self, now: f64, dst: RemoteKey) -> bool {
+        self.dns_cache.get(&dst).is_some_and(|&exp| exp > now)
+            || self.inbound_peers.get(&dst).is_some_and(|&exp| exp > now)
+    }
+
+    /// Number of live DNS cache entries at time `now`.
+    pub fn dns_cache_len(&self, now: f64) -> usize {
+        self.dns_cache.values().filter(|&&exp| exp > now).count()
+    }
+}
+
+impl RateLimiter for DnsGuard {
+    fn check(&mut self, now: f64, dst: RemoteKey) -> Decision {
+        if self.is_known(now, dst) {
+            return Decision::Allow;
+        }
+        self.unknown_window.check(now, dst)
+    }
+
+    fn reset(&mut self) {
+        self.unknown_window.reset();
+        self.dns_cache.clear();
+        self.inbound_peers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dns_translated_destinations_unlimited() {
+        let mut g = DnsGuard::new(60.0, 1, 300.0).unwrap();
+        for k in 0..50 {
+            g.record_dns_lookup(0.0, RemoteKey::new(k));
+        }
+        for k in 0..50 {
+            assert!(g.check(1.0, RemoteKey::new(k)).is_allow());
+        }
+    }
+
+    #[test]
+    fn dns_entries_expire() {
+        let mut g = DnsGuard::new(60.0, 1, 10.0).unwrap();
+        g.record_dns_lookup(0.0, RemoteKey::new(1));
+        assert!(g.is_known(5.0, RemoteKey::new(1)));
+        assert!(!g.is_known(10.1, RemoteKey::new(1)));
+        // After expiry the destination consumes unknown budget.
+        assert!(g.check(11.0, RemoteKey::new(1)).is_allow());
+        assert_eq!(g.check(11.5, RemoteKey::new(2)), Decision::Deny);
+    }
+
+    #[test]
+    fn inbound_peers_whitelisted() {
+        let mut g = DnsGuard::new(60.0, 1, 300.0).unwrap();
+        g.record_inbound(0.0, RemoteKey::new(9));
+        assert!(g.check(1.0, RemoteKey::new(9)).is_allow());
+        // Unknown budget untouched.
+        assert!(g.check(1.0, RemoteKey::new(10)).is_allow());
+        assert_eq!(g.check(1.0, RemoteKey::new(11)), Decision::Deny);
+    }
+
+    #[test]
+    fn worm_random_scans_blocked_after_budget() {
+        let mut g = DnsGuard::ganger_default();
+        let mut allowed = 0;
+        // 1000 random-address probes within one minute.
+        for k in 0..1000u64 {
+            if g.check(k as f64 * 0.05, RemoteKey::new(500_000 + k)).is_allow() {
+                allowed += 1;
+            }
+        }
+        // Budget is 6/min over ~50 s: at most 12 in the worst alignment.
+        assert!(allowed <= 12, "allowed = {allowed}");
+    }
+
+    #[test]
+    fn budget_refreshes_across_windows() {
+        let mut g = DnsGuard::new(60.0, 2, 300.0).unwrap();
+        assert!(g.check(0.0, RemoteKey::new(1)).is_allow());
+        assert!(g.check(0.0, RemoteKey::new(2)).is_allow());
+        assert!(g.check(0.0, RemoteKey::new(3)).is_blocked());
+        assert!(g.check(61.0, RemoteKey::new(3)).is_allow());
+    }
+
+    #[test]
+    fn cache_len_counts_live_entries() {
+        let mut g = DnsGuard::new(60.0, 6, 10.0).unwrap();
+        g.record_dns_lookup(0.0, RemoteKey::new(1));
+        g.record_dns_lookup(5.0, RemoteKey::new(2));
+        assert_eq!(g.dns_cache_len(6.0), 2);
+        assert_eq!(g.dns_cache_len(12.0), 1);
+        assert_eq!(g.dns_cache_len(20.0), 0);
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let mut g = DnsGuard::new(60.0, 1, 300.0).unwrap();
+        g.record_dns_lookup(0.0, RemoteKey::new(1));
+        g.check(0.0, RemoteKey::new(2));
+        g.reset();
+        assert!(!g.is_known(0.0, RemoteKey::new(1)));
+        assert!(g.check(0.0, RemoteKey::new(3)).is_allow());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(DnsGuard::new(0.0, 6, 300.0).is_err());
+        assert!(DnsGuard::new(60.0, 0, 300.0).is_err());
+        assert!(DnsGuard::new(60.0, 6, 0.0).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Leaky bucket — the smoothing counterpart of the token bucket.
+//!
+//! Where a [token bucket](crate::bucket::TokenBucket) permits bursts up
+//! to its capacity, a leaky bucket enforces a *smooth* output rate: each
+//! contact adds a unit of water; water drains at a constant rate; a full
+//! bucket overflows (denies). Useful where the operator wants a hard
+//! bound on instantaneous rate rather than on a window average.
+
+use crate::{Decision, Error, RateLimiter, RemoteKey};
+
+/// A leaky bucket with `capacity` queue depth draining at `rate` units
+/// per second.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_ratelimit::{RateLimiter, RemoteKey};
+/// use dynaquar_ratelimit::leaky::LeakyBucket;
+///
+/// # fn main() -> Result<(), dynaquar_ratelimit::Error> {
+/// let mut b = LeakyBucket::new(2.0, 1.0)?; // depth 2, 1 unit/s drain
+/// assert!(b.check(0.0, RemoteKey::new(1)).is_allow());
+/// assert!(b.check(0.0, RemoteKey::new(2)).is_allow());
+/// // Bucket full: the third simultaneous contact overflows.
+/// assert!(b.check(0.0, RemoteKey::new(3)).is_blocked());
+/// // One second later a unit has drained.
+/// assert!(b.check(1.0, RemoteKey::new(3)).is_allow());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeakyBucket {
+    capacity: f64,
+    rate: f64,
+    level: f64,
+    last_drain: f64,
+}
+
+impl LeakyBucket {
+    /// Creates a bucket with queue depth `capacity` draining at `rate`
+    /// units per second, starting empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `capacity < 1` or
+    /// `rate <= 0`.
+    pub fn new(capacity: f64, rate: f64) -> Result<Self, Error> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberately rejects NaN too
+        if !(capacity >= 1.0) {
+            return Err(Error::InvalidConfig {
+                name: "capacity",
+                reason: "must hold at least one unit",
+            });
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberately rejects NaN too
+        if !(rate > 0.0) {
+            return Err(Error::InvalidConfig {
+                name: "rate",
+                reason: "must be a positive drain rate",
+            });
+        }
+        Ok(LeakyBucket {
+            capacity,
+            rate,
+            level: 0.0,
+            last_drain: 0.0,
+        })
+    }
+
+    /// Current water level (after draining to `now`).
+    pub fn level(&mut self, now: f64) -> f64 {
+        self.drain(now);
+        self.level
+    }
+
+    fn drain(&mut self, now: f64) {
+        if now > self.last_drain {
+            self.level = (self.level - (now - self.last_drain) * self.rate).max(0.0);
+            self.last_drain = now;
+        }
+    }
+}
+
+impl RateLimiter for LeakyBucket {
+    fn check(&mut self, now: f64, _dst: RemoteKey) -> Decision {
+        self.drain(now);
+        if self.level + 1.0 <= self.capacity {
+            self.level += 1.0;
+            Decision::Allow
+        } else {
+            Decision::Deny
+        }
+    }
+
+    fn reset(&mut self) {
+        self.level = 0.0;
+        self.last_drain = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enforces_smooth_rate() {
+        let mut b = LeakyBucket::new(1.0, 2.0).unwrap(); // 2/s, no burst
+        let mut allowed = 0;
+        // 100 attempts over 10 seconds (10/s offered).
+        for i in 0..100 {
+            if b.check(i as f64 * 0.1, RemoteKey::new(0)).is_allow() {
+                allowed += 1;
+            }
+        }
+        // Drain-bound: ~2/s * 10 s = ~20 (+1 initial).
+        assert!((18..=23).contains(&allowed), "allowed = {allowed}");
+    }
+
+    #[test]
+    fn depth_allows_short_bursts_only() {
+        let mut b = LeakyBucket::new(5.0, 1.0).unwrap();
+        let mut burst = 0;
+        for k in 0..10 {
+            if b.check(0.0, RemoteKey::new(k)).is_allow() {
+                burst += 1;
+            }
+        }
+        assert_eq!(burst, 5);
+    }
+
+    #[test]
+    fn drains_to_empty_when_idle() {
+        let mut b = LeakyBucket::new(3.0, 1.0).unwrap();
+        for k in 0..3 {
+            assert!(b.check(0.0, RemoteKey::new(k)).is_allow());
+        }
+        assert!((b.level(10.0) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clock_regression_is_harmless() {
+        let mut b = LeakyBucket::new(1.0, 1.0).unwrap();
+        assert!(b.check(5.0, RemoteKey::new(0)).is_allow());
+        assert!(b.check(4.0, RemoteKey::new(0)).is_blocked());
+    }
+
+    #[test]
+    fn reset_empties_bucket() {
+        let mut b = LeakyBucket::new(1.0, 0.001).unwrap();
+        assert!(b.check(0.0, RemoteKey::new(0)).is_allow());
+        assert!(b.check(0.0, RemoteKey::new(1)).is_blocked());
+        b.reset();
+        assert!(b.check(0.0, RemoteKey::new(2)).is_allow());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(LeakyBucket::new(0.5, 1.0).is_err());
+        assert!(LeakyBucket::new(2.0, 0.0).is_err());
+        assert!(LeakyBucket::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Rate-limiting mechanisms studied in *Dynamic Quarantine of Internet
+//! Worms* (DSN 2004).
+//!
+//! The paper analyzes *where* to deploy rate control; this crate
+//! implements the *mechanisms* being deployed:
+//!
+//! * [`throttle::VirusThrottle`] — Williamson's virus throttle (HPL-2002-172):
+//!   a small working set of recent destinations plus a delay queue drained
+//!   at a fixed rate (the paper's default: five new destinations per
+//!   second).
+//! * [`dns::DnsGuard`] — Ganger, Economou & Bielski's self-securing NIC
+//!   scheme (CMU-CS-02-144): connections to destinations with a valid DNS
+//!   translation (or that initiated contact first) pass freely; contacts
+//!   to "unknown" addresses are limited (default: six per minute).
+//! * [`window::UniqueIpWindow`] — the generic distinct-destinations-per-
+//!   window primitive used by the trace study of Section 7 (e.g. "16 per
+//!   five seconds at the edge router").
+//! * [`bucket::TokenBucket`] — classic token bucket, used for per-link
+//!   caps in the simulator; [`leaky::LeakyBucket`] — its smoothing
+//!   counterpart.
+//! * [`hybrid::HybridWindow`] — the paper's suggested combination of "one
+//!   short window to prevent long delays and one longer window to provide
+//!   better rate-limiting".
+//! * [`deploy`] — per-host vs aggregate (edge-router) deployment wrappers.
+//!
+//! All limiters implement the [`RateLimiter`] trait and are driven by a
+//! monotonically non-decreasing clock expressed in seconds (`f64`).
+//!
+//! # Example
+//!
+//! ```
+//! use dynaquar_ratelimit::{Decision, RateLimiter, RemoteKey};
+//! use dynaquar_ratelimit::window::UniqueIpWindow;
+//!
+//! # fn main() -> Result<(), dynaquar_ratelimit::Error> {
+//! // "four unique IP addresses per five seconds" (Section 7, per host).
+//! let mut limiter = UniqueIpWindow::new(5.0, 4)?;
+//! for k in 0..4 {
+//!     assert_eq!(limiter.check(0.0, RemoteKey::new(k)), Decision::Allow);
+//! }
+//! assert_eq!(limiter.check(0.1, RemoteKey::new(99)), Decision::Deny);
+//! // Re-contacting a known destination is always fine.
+//! assert_eq!(limiter.check(0.2, RemoteKey::new(0)), Decision::Allow);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bucket;
+pub mod deploy;
+pub mod leaky;
+pub mod dns;
+pub mod hybrid;
+pub mod stats;
+pub mod throttle;
+pub mod window;
+
+use serde::{Deserialize, Serialize};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// An opaque destination identity (an anonymized IP address).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RemoteKey(u64);
+
+impl RemoteKey {
+    /// Creates a key from a raw value.
+    pub fn new(v: u64) -> Self {
+        RemoteKey(v)
+    }
+
+    /// The raw value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for RemoteKey {
+    fn from(v: u64) -> Self {
+        RemoteKey(v)
+    }
+}
+
+impl fmt::Display for RemoteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ip#{}", self.0)
+    }
+}
+
+/// A rate limiter's verdict on one attempted contact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Decision {
+    /// The contact may proceed now.
+    Allow,
+    /// The contact is queued and will be released at the given time
+    /// (Williamson-style throttling delays rather than drops).
+    Delay {
+        /// Absolute release time in seconds.
+        until: f64,
+    },
+    /// The contact is dropped.
+    Deny,
+}
+
+impl Decision {
+    /// Whether the contact proceeds immediately.
+    pub fn is_allow(self) -> bool {
+        matches!(self, Decision::Allow)
+    }
+
+    /// Whether the contact was blocked (delayed or denied).
+    pub fn is_blocked(self) -> bool {
+        !self.is_allow()
+    }
+}
+
+/// A rate-limiting mechanism.
+///
+/// Implementations require `now` to be non-decreasing across calls;
+/// behaviour on clock regressions is unspecified (but never panics).
+pub trait RateLimiter {
+    /// Judges an attempted contact from the protected host/network to
+    /// `dst` at time `now` (seconds).
+    fn check(&mut self, now: f64, dst: RemoteKey) -> Decision;
+
+    /// Clears all internal state.
+    fn reset(&mut self);
+}
+
+/// Error returned by limiter constructors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was outside its valid domain.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the valid domain.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { name, reason } => {
+                write!(f, "invalid limiter config {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_predicates() {
+        assert!(Decision::Allow.is_allow());
+        assert!(!Decision::Allow.is_blocked());
+        assert!(Decision::Deny.is_blocked());
+        assert!(Decision::Delay { until: 1.0 }.is_blocked());
+    }
+
+    #[test]
+    fn remote_key_roundtrip() {
+        let k = RemoteKey::new(42);
+        assert_eq!(k.value(), 42);
+        assert_eq!(RemoteKey::from(42u64), k);
+        assert_eq!(k.to_string(), "ip#42");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Error::InvalidConfig {
+            name: "window",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains("window"));
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_l: &mut dyn RateLimiter) {}
+    }
+}

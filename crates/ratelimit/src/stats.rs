@@ -1,0 +1,180 @@
+//! Instrumentation for rate limiters: decision counters and delay
+//! accounting, used by the trace study to quantify "impact on legitimate
+//! communications".
+
+use crate::{Decision, RateLimiter, RemoteKey};
+use serde::{Deserialize, Serialize};
+
+/// Counters of a limiter's decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LimiterStats {
+    /// Contacts allowed immediately.
+    pub allowed: u64,
+    /// Contacts delayed (Williamson-style queuing).
+    pub delayed: u64,
+    /// Contacts denied outright.
+    pub denied: u64,
+    /// Sum of all imposed delays, seconds.
+    pub total_delay: f64,
+    /// Longest single imposed delay, seconds.
+    pub max_delay: f64,
+}
+
+impl LimiterStats {
+    /// Total contacts judged.
+    pub fn total(&self) -> u64 {
+        self.allowed + self.delayed + self.denied
+    }
+
+    /// Fraction of contacts that were blocked (delayed or denied);
+    /// `0.0` when nothing was judged.
+    pub fn blocked_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.delayed + self.denied) as f64 / total as f64
+        }
+    }
+
+    /// Records one decision made at time `now`.
+    pub fn record(&mut self, now: f64, decision: Decision) {
+        match decision {
+            Decision::Allow => self.allowed += 1,
+            Decision::Delay { until } => {
+                self.delayed += 1;
+                let d = (until - now).max(0.0);
+                self.total_delay += d;
+                self.max_delay = self.max_delay.max(d);
+            }
+            Decision::Deny => self.denied += 1,
+        }
+    }
+}
+
+impl std::fmt::Display for LimiterStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "allowed={} delayed={} denied={} blocked={:.4}%",
+            self.allowed,
+            self.delayed,
+            self.denied,
+            self.blocked_fraction() * 100.0
+        )
+    }
+}
+
+/// Wraps any limiter, recording its decisions.
+#[derive(Debug, Clone)]
+pub struct Instrumented<L> {
+    inner: L,
+    stats: LimiterStats,
+}
+
+impl<L: RateLimiter> Instrumented<L> {
+    /// Wraps `inner`.
+    pub fn new(inner: L) -> Self {
+        Instrumented {
+            inner,
+            stats: LimiterStats::default(),
+        }
+    }
+
+    /// The recorded statistics.
+    pub fn stats(&self) -> LimiterStats {
+        self.stats
+    }
+
+    /// The wrapped limiter.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped limiter (e.g. to feed a
+    /// [`crate::dns::DnsGuard`] its DNS-lookup observations; such calls
+    /// are not decisions and are not counted).
+    pub fn inner_mut(&mut self) -> &mut L {
+        &mut self.inner
+    }
+
+    /// Consumes the wrapper, returning `(limiter, stats)`.
+    pub fn into_parts(self) -> (L, LimiterStats) {
+        (self.inner, self.stats)
+    }
+}
+
+impl<L: RateLimiter> RateLimiter for Instrumented<L> {
+    fn check(&mut self, now: f64, dst: RemoteKey) -> Decision {
+        let d = self.inner.check(now, dst);
+        self.stats.record(now, d);
+        d
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.stats = LimiterStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::UniqueIpWindow;
+
+    #[test]
+    fn counters_track_decisions() {
+        let mut l = Instrumented::new(UniqueIpWindow::new(5.0, 2).unwrap());
+        l.check(0.0, RemoteKey::new(1));
+        l.check(0.0, RemoteKey::new(2));
+        l.check(0.0, RemoteKey::new(3));
+        let s = l.stats();
+        assert_eq!(s.allowed, 2);
+        assert_eq!(s.denied, 1);
+        assert_eq!(s.total(), 3);
+        assert!((s.blocked_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_accounting() {
+        let mut s = LimiterStats::default();
+        s.record(1.0, Decision::Delay { until: 3.0 });
+        s.record(1.0, Decision::Delay { until: 1.5 });
+        assert_eq!(s.delayed, 2);
+        assert!((s.total_delay - 2.5).abs() < 1e-12);
+        assert!((s.max_delay - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_fractions() {
+        let s = LimiterStats::default();
+        assert_eq!(s.blocked_fraction(), 0.0);
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn display_includes_percentages() {
+        let mut s = LimiterStats::default();
+        s.record(0.0, Decision::Allow);
+        s.record(0.0, Decision::Deny);
+        assert!(s.to_string().contains("50.0000%"));
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let mut l = Instrumented::new(UniqueIpWindow::new(5.0, 1).unwrap());
+        l.check(0.0, RemoteKey::new(1));
+        l.reset();
+        assert_eq!(l.stats().total(), 0);
+        assert!(l.check(0.0, RemoteKey::new(2)).is_allow());
+    }
+
+    #[test]
+    fn into_parts_returns_both() {
+        let mut l = Instrumented::new(UniqueIpWindow::new(5.0, 1).unwrap());
+        l.check(0.0, RemoteKey::new(1));
+        assert_eq!(l.inner().max_unique(), 1);
+        let (_inner, stats) = l.into_parts();
+        assert_eq!(stats.allowed, 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Williamson's virus throttle (HPL-2002-172).
+//!
+//! The throttle keeps a small *working set* of recently contacted
+//! destinations. A contact to a working-set member passes immediately.
+//! A contact to a *new* destination is put on a delay queue; the queue is
+//! processed at a fixed rate (default one new destination per 0.2 s —
+//! "five per second"), and each processed destination replaces the
+//! least-recently-used working-set entry.
+//!
+//! Normal traffic, which revisits a few destinations, rarely queues;
+//! a scanning worm, which touches fresh addresses continuously, piles up
+//! an ever-growing queue — its effective contact rate collapses to the
+//! drain rate.
+
+use crate::{Decision, Error, RateLimiter, RemoteKey};
+use std::collections::VecDeque;
+
+/// Williamson virus throttle.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_ratelimit::{RateLimiter, RemoteKey};
+/// use dynaquar_ratelimit::throttle::VirusThrottle;
+///
+/// # fn main() -> Result<(), dynaquar_ratelimit::Error> {
+/// let mut t = VirusThrottle::new(5, 5.0)?; // 5-entry set, 5 new/s
+/// // A worm scanning 100 addresses per second backs up in the queue.
+/// let mut delayed = 0;
+/// for k in 0..100u64 {
+///     if t.check(k as f64 * 0.01, RemoteKey::new(1000 + k)).is_blocked() {
+///         delayed += 1;
+///     }
+/// }
+/// assert!(delayed > 80);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirusThrottle {
+    /// Working set, most-recently-used last.
+    working_set: VecDeque<RemoteKey>,
+    capacity: usize,
+    /// Seconds between queue drains (1 / rate).
+    drain_period: f64,
+    /// Pending new destinations with their arrival times.
+    queue: VecDeque<(f64, RemoteKey)>,
+    /// Next time the drain process runs.
+    next_drain: f64,
+}
+
+impl VirusThrottle {
+    /// Creates a throttle with a working set of `capacity` destinations
+    /// and a drain rate of `rate` new destinations per second
+    /// (Williamson's defaults: `capacity = 5`, `rate = 5.0` — "five per
+    /// second").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `capacity == 0` or
+    /// `rate <= 0`.
+    pub fn new(capacity: usize, rate: f64) -> Result<Self, Error> {
+        if capacity == 0 {
+            return Err(Error::InvalidConfig {
+                name: "capacity",
+                reason: "the working set needs at least one slot",
+            });
+        }
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberately rejects NaN too
+        if !(rate > 0.0) {
+            return Err(Error::InvalidConfig {
+                name: "rate",
+                reason: "the drain rate must be positive",
+            });
+        }
+        Ok(VirusThrottle {
+            working_set: VecDeque::with_capacity(capacity),
+            capacity,
+            drain_period: 1.0 / rate,
+            queue: VecDeque::new(),
+            next_drain: 0.0,
+        })
+    }
+
+    /// Williamson's published defaults: a five-entry working set drained
+    /// at five new destinations per second.
+    pub fn williamson_default() -> Self {
+        VirusThrottle::new(5, 5.0).expect("defaults are valid")
+    }
+
+    /// Current delay-queue length — Williamson's worm-detection signal
+    /// (a long queue means scanning behaviour).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The destinations currently in the working set (LRU first).
+    pub fn working_set(&self) -> impl Iterator<Item = RemoteKey> + '_ {
+        self.working_set.iter().copied()
+    }
+
+    fn in_working_set(&self, dst: RemoteKey) -> bool {
+        self.working_set.contains(&dst)
+    }
+
+    fn touch(&mut self, dst: RemoteKey) {
+        if let Some(pos) = self.working_set.iter().position(|&k| k == dst) {
+            self.working_set.remove(pos);
+        }
+        self.working_set.push_back(dst);
+        while self.working_set.len() > self.capacity {
+            self.working_set.pop_front();
+        }
+    }
+
+    /// Drains queue entries whose release time has passed.
+    fn drain(&mut self, now: f64) {
+        while !self.queue.is_empty() && self.next_drain <= now {
+            let (_, key) = self.queue.pop_front().expect("checked non-empty");
+            self.touch(key);
+            self.next_drain += self.drain_period;
+        }
+    }
+}
+
+impl RateLimiter for VirusThrottle {
+    fn check(&mut self, now: f64, dst: RemoteKey) -> Decision {
+        self.drain(now);
+        if self.in_working_set(dst) {
+            self.touch(dst);
+            return Decision::Allow;
+        }
+        // Duplicate queue entries don't lengthen the queue.
+        if let Some(pos) = self.queue.iter().position(|&(_, k)| k == dst) {
+            let until = self.next_drain + pos as f64 * self.drain_period;
+            return Decision::Delay { until };
+        }
+        // Fast path: working set not yet full and queue empty — admit.
+        if self.working_set.len() < self.capacity && self.queue.is_empty() {
+            self.touch(dst);
+            return Decision::Allow;
+        }
+        if self.queue.is_empty() {
+            // A newly queued item is released one period after arrival,
+            // not instantly.
+            self.next_drain = now + self.drain_period;
+        }
+        let until = self.next_drain + self.queue.len() as f64 * self.drain_period;
+        self.queue.push_back((now, dst));
+        Decision::Delay { until }
+    }
+
+    fn reset(&mut self) {
+        self.working_set.clear();
+        self.queue.clear();
+        self.next_drain = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn working_set_members_pass_freely() {
+        let mut t = VirusThrottle::new(3, 1.0).unwrap();
+        for k in 0..3 {
+            assert!(t.check(0.0, RemoteKey::new(k)).is_allow());
+        }
+        // Revisits are free forever.
+        for i in 0..50 {
+            assert!(t.check(i as f64 * 0.1, RemoteKey::new(i % 3)).is_allow());
+        }
+        assert_eq!(t.queue_len(), 0);
+    }
+
+    #[test]
+    fn new_destination_is_delayed_when_set_full() {
+        let mut t = VirusThrottle::new(2, 1.0).unwrap();
+        assert!(t.check(0.0, RemoteKey::new(1)).is_allow());
+        assert!(t.check(0.0, RemoteKey::new(2)).is_allow());
+        match t.check(0.0, RemoteKey::new(3)) {
+            Decision::Delay { until } => assert!(until >= 0.0),
+            other => panic!("expected delay, got {other:?}"),
+        }
+        assert_eq!(t.queue_len(), 1);
+    }
+
+    #[test]
+    fn queue_drains_at_configured_rate() {
+        let mut t = VirusThrottle::new(1, 1.0).unwrap(); // 1 new/s
+        assert!(t.check(0.0, RemoteKey::new(0)).is_allow());
+        // Queue three scans at t=0.
+        for k in 1..=3 {
+            assert!(t.check(0.0, RemoteKey::new(k)).is_blocked());
+        }
+        assert_eq!(t.queue_len(), 3);
+        // After 1s the first queued key has drained into the working set
+        // (probing with that key does not disturb the queue).
+        assert!(t.check(1.0, RemoteKey::new(1)).is_allow());
+        assert_eq!(t.queue_len(), 2);
+        // After 3s all have drained.
+        assert!(t.check(3.0, RemoteKey::new(3)).is_allow());
+        assert_eq!(t.queue_len(), 0);
+    }
+
+    #[test]
+    fn drained_destination_becomes_working_set_member() {
+        let mut t = VirusThrottle::new(1, 1.0).unwrap();
+        assert!(t.check(0.0, RemoteKey::new(0)).is_allow());
+        assert!(t.check(0.0, RemoteKey::new(7)).is_blocked());
+        // After the drain, 7 is in the set and passes.
+        assert!(t.check(1.5, RemoteKey::new(7)).is_allow());
+    }
+
+    #[test]
+    fn duplicate_queue_entries_collapse() {
+        let mut t = VirusThrottle::new(1, 1.0).unwrap();
+        assert!(t.check(0.0, RemoteKey::new(0)).is_allow());
+        assert!(t.check(0.0, RemoteKey::new(7)).is_blocked());
+        assert!(t.check(0.1, RemoteKey::new(7)).is_blocked());
+        assert_eq!(t.queue_len(), 1);
+    }
+
+    #[test]
+    fn worm_effective_rate_equals_drain_rate() {
+        // 100 scans/s against a 5/s throttle: ~5 distinct contacts per
+        // second actually proceed (via drains), modulo startup.
+        let mut t = VirusThrottle::new(5, 5.0).unwrap();
+        let mut immediate = 0;
+        for k in 0..1000u64 {
+            let now = k as f64 * 0.01; // 10 s of scanning
+            if t.check(now, RemoteKey::new(k)).is_allow() {
+                immediate += 1;
+            }
+        }
+        // Only the initial working-set fill passes immediately.
+        assert!(immediate <= 5, "immediate = {immediate}");
+        // The queue has absorbed almost everything beyond the drained ~50.
+        assert!(t.queue_len() > 900);
+    }
+
+    #[test]
+    fn normal_traffic_unimpeded() {
+        // A client cycling among 4 favourite servers at 2 contacts/s
+        // never blocks with Williamson defaults.
+        let mut t = VirusThrottle::williamson_default();
+        for i in 0..200u64 {
+            let now = i as f64 * 0.5;
+            let dst = RemoteKey::new(i % 4);
+            assert!(t.check(now, dst).is_allow(), "blocked at i={i}");
+        }
+    }
+
+    #[test]
+    fn delay_estimates_are_monotone() {
+        let mut t = VirusThrottle::new(1, 1.0).unwrap();
+        assert!(t.check(0.0, RemoteKey::new(0)).is_allow());
+        let mut last_until = 0.0;
+        for k in 1..10u64 {
+            match t.check(0.0, RemoteKey::new(k)) {
+                Decision::Delay { until } => {
+                    assert!(until >= last_until);
+                    last_until = until;
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = VirusThrottle::new(1, 1.0).unwrap();
+        t.check(0.0, RemoteKey::new(0));
+        t.check(0.0, RemoteKey::new(1));
+        t.reset();
+        assert_eq!(t.queue_len(), 0);
+        assert_eq!(t.working_set().count(), 0);
+        assert!(t.check(0.0, RemoteKey::new(2)).is_allow());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(VirusThrottle::new(0, 5.0).is_err());
+        assert!(VirusThrottle::new(5, 0.0).is_err());
+        assert!(VirusThrottle::new(5, -1.0).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Sliding-window distinct-destination limiter.
+//!
+//! The primitive behind the paper's trace study: "limiting the rate of
+//! unique IP addresses contacted ... to no more than 16 (total contacts)
+//! per five-second period" (Section 7). Contacts to destinations already
+//! seen inside the window are free; only *new* distinct destinations
+//! count against the budget.
+
+use crate::{Decision, Error, RateLimiter, RemoteKey};
+use std::collections::{HashMap, VecDeque};
+
+/// Limits the number of distinct destinations contacted per sliding
+/// window.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_ratelimit::{Decision, RateLimiter, RemoteKey};
+/// use dynaquar_ratelimit::window::UniqueIpWindow;
+///
+/// # fn main() -> Result<(), dynaquar_ratelimit::Error> {
+/// let mut w = UniqueIpWindow::new(5.0, 2)?;
+/// assert!(w.check(0.0, RemoteKey::new(1)).is_allow());
+/// assert!(w.check(1.0, RemoteKey::new(2)).is_allow());
+/// assert_eq!(w.check(2.0, RemoteKey::new(3)), Decision::Deny);
+/// // After the window slides past the first contact, budget frees up.
+/// assert!(w.check(5.5, RemoteKey::new(3)).is_allow());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniqueIpWindow {
+    window: f64,
+    max_unique: usize,
+    /// First-seen time of each destination currently inside the window.
+    seen: HashMap<RemoteKey, f64>,
+    /// Expiry queue ordered by first-seen time.
+    order: VecDeque<(f64, RemoteKey)>,
+}
+
+impl UniqueIpWindow {
+    /// Creates a window limiter allowing `max_unique` distinct
+    /// destinations per `window` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `window <= 0` or
+    /// `max_unique == 0`.
+    pub fn new(window: f64, max_unique: usize) -> Result<Self, Error> {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberately rejects NaN too
+        if !(window > 0.0) {
+            return Err(Error::InvalidConfig {
+                name: "window",
+                reason: "must be a positive number of seconds",
+            });
+        }
+        if max_unique == 0 {
+            return Err(Error::InvalidConfig {
+                name: "max_unique",
+                reason: "must allow at least one destination",
+            });
+        }
+        Ok(UniqueIpWindow {
+            window,
+            max_unique,
+            seen: HashMap::new(),
+            order: VecDeque::new(),
+        })
+    }
+
+    /// The window length in seconds.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// The distinct-destination budget per window.
+    pub fn max_unique(&self) -> usize {
+        self.max_unique
+    }
+
+    /// Number of distinct destinations currently inside the window.
+    pub fn current_unique(&self) -> usize {
+        self.seen.len()
+    }
+
+    fn expire(&mut self, now: f64) {
+        while let Some(&(t, key)) = self.order.front() {
+            if now - t >= self.window {
+                self.order.pop_front();
+                // Only remove if this entry is still the live one (the
+                // key may have been re-inserted after a previous expiry).
+                if self.seen.get(&key) == Some(&t) {
+                    self.seen.remove(&key);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl RateLimiter for UniqueIpWindow {
+    fn check(&mut self, now: f64, dst: RemoteKey) -> Decision {
+        self.expire(now);
+        if self.seen.contains_key(&dst) {
+            return Decision::Allow;
+        }
+        if self.seen.len() < self.max_unique {
+            self.seen.insert(dst, now);
+            self.order.push_back((now, dst));
+            Decision::Allow
+        } else {
+            Decision::Deny
+        }
+    }
+
+    fn reset(&mut self) {
+        self.seen.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_up_to_budget() {
+        let mut w = UniqueIpWindow::new(5.0, 3).unwrap();
+        for k in 0..3 {
+            assert!(w.check(0.0, RemoteKey::new(k)).is_allow());
+        }
+        assert_eq!(w.check(0.0, RemoteKey::new(3)), Decision::Deny);
+        assert_eq!(w.current_unique(), 3);
+    }
+
+    #[test]
+    fn repeat_contacts_are_free() {
+        let mut w = UniqueIpWindow::new(5.0, 1).unwrap();
+        assert!(w.check(0.0, RemoteKey::new(7)).is_allow());
+        for t in 1..100 {
+            assert!(w.check(t as f64 * 0.01, RemoteKey::new(7)).is_allow());
+        }
+    }
+
+    #[test]
+    fn budget_recovers_after_window() {
+        let mut w = UniqueIpWindow::new(5.0, 1).unwrap();
+        assert!(w.check(0.0, RemoteKey::new(1)).is_allow());
+        assert_eq!(w.check(4.9, RemoteKey::new(2)), Decision::Deny);
+        assert!(w.check(5.0, RemoteKey::new(2)).is_allow());
+    }
+
+    #[test]
+    fn refresh_does_not_extend_window() {
+        // A destination's window slot expires based on *first* contact.
+        let mut w = UniqueIpWindow::new(5.0, 1).unwrap();
+        assert!(w.check(0.0, RemoteKey::new(1)).is_allow());
+        assert!(w.check(4.0, RemoteKey::new(1)).is_allow());
+        // At t=5 the original slot expired even though we re-contacted
+        // at t=4.
+        assert!(w.check(5.0, RemoteKey::new(2)).is_allow());
+    }
+
+    #[test]
+    fn reinserted_key_not_clobbered_by_stale_expiry() {
+        let mut w = UniqueIpWindow::new(5.0, 2).unwrap();
+        assert!(w.check(0.0, RemoteKey::new(1)).is_allow());
+        // Key 1 expires at t=5; re-admit it at t=6.
+        assert!(w.check(6.0, RemoteKey::new(1)).is_allow());
+        // The stale (0.0, key1) entry must not remove the fresh one.
+        assert!(w.check(6.1, RemoteKey::new(2)).is_allow());
+        assert_eq!(w.current_unique(), 2);
+        assert_eq!(w.check(6.2, RemoteKey::new(3)), Decision::Deny);
+    }
+
+    #[test]
+    fn worm_scan_is_choked() {
+        // A Blaster-style scanner hitting fresh addresses every 10 ms
+        // gets only max_unique contacts per window.
+        let mut w = UniqueIpWindow::new(5.0, 16).unwrap();
+        let mut allowed = 0;
+        for k in 0..500u64 {
+            if w.check(k as f64 * 0.01, RemoteKey::new(k)).is_allow() {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 16);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut w = UniqueIpWindow::new(5.0, 1).unwrap();
+        assert!(w.check(0.0, RemoteKey::new(1)).is_allow());
+        w.reset();
+        assert!(w.check(0.0, RemoteKey::new(2)).is_allow());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(UniqueIpWindow::new(0.0, 4).is_err());
+        assert!(UniqueIpWindow::new(-1.0, 4).is_err());
+        assert!(UniqueIpWindow::new(5.0, 0).is_err());
+        assert!(UniqueIpWindow::new(f64::NAN, 4).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let w = UniqueIpWindow::new(5.0, 4).unwrap();
+        assert_eq!(w.window(), 5.0);
+        assert_eq!(w.max_unique(), 4);
+        assert_eq!(w.current_unique(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests on rate-limiter invariants.
+
+use dynaquar_ratelimit::bucket::TokenBucket;
+use dynaquar_ratelimit::dns::DnsGuard;
+use dynaquar_ratelimit::hybrid::HybridWindow;
+use dynaquar_ratelimit::throttle::VirusThrottle;
+use dynaquar_ratelimit::{Decision, RateLimiter, RemoteKey};
+use proptest::prelude::*;
+
+/// A random but time-ordered contact workload.
+fn workload() -> impl Strategy<Value = Vec<(f64, u64)>> {
+    prop::collection::vec((0.0..500.0f64, 0u64..60), 1..400).prop_map(|mut v| {
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The token bucket never lets more through than capacity + rate·T.
+    #[test]
+    fn token_bucket_long_run_rate(
+        capacity in 1.0..20.0f64,
+        rate in 0.5..20.0f64,
+        events in workload(),
+    ) {
+        let mut bucket = TokenBucket::new(capacity, rate).unwrap();
+        let mut allowed = 0u64;
+        let t_end = events.last().map(|e| e.0).unwrap_or(0.0);
+        for (t, key) in events {
+            if bucket.check(t, RemoteKey::new(key)).is_allow() {
+                allowed += 1;
+            }
+        }
+        let budget = capacity + rate * t_end + 1.0;
+        prop_assert!((allowed as f64) <= budget, "allowed {allowed} > budget {budget}");
+    }
+
+    /// The virus throttle keeps its working set at or below capacity, and
+    /// never denies outright (it only delays).
+    #[test]
+    fn throttle_never_denies_and_bounds_working_set(
+        capacity in 1usize..8,
+        rate in 0.5..10.0f64,
+        events in workload(),
+    ) {
+        let mut throttle = VirusThrottle::new(capacity, rate).unwrap();
+        for (t, key) in events {
+            let d = throttle.check(t, RemoteKey::new(key));
+            prop_assert!(!matches!(d, Decision::Deny));
+            if let Decision::Delay { until } = d {
+                prop_assert!(until >= t - 1e-9, "release before request");
+            }
+            prop_assert!(throttle.working_set().count() <= capacity);
+        }
+    }
+
+    /// Whatever the workload, a DNS-whitelisted destination is always
+    /// allowed.
+    #[test]
+    fn dns_whitelisted_destination_always_allowed(events in workload()) {
+        let mut guard = DnsGuard::new(60.0, 2, 1e9).unwrap();
+        let vip = RemoteKey::new(1_000_000);
+        guard.record_dns_lookup(0.0, vip);
+        for (t, key) in events {
+            let _ = guard.check(t, RemoteKey::new(key));
+            prop_assert!(guard.check(t, vip).is_allow(), "vip denied at t = {t}");
+        }
+    }
+
+    /// The hybrid window is at least as strict as each component alone.
+    #[test]
+    fn hybrid_is_stricter_than_components(events in workload()) {
+        use dynaquar_ratelimit::window::UniqueIpWindow;
+        let mut hybrid = HybridWindow::new(1.0, 3, 30.0, 10).unwrap();
+        let mut short = UniqueIpWindow::new(1.0, 3).unwrap();
+        let mut hybrid_allowed = 0u64;
+        let mut short_allowed = 0u64;
+        for (t, key) in events {
+            if hybrid.check(t, RemoteKey::new(key)).is_allow() {
+                hybrid_allowed += 1;
+            }
+            if short.check(t, RemoteKey::new(key)).is_allow() {
+                short_allowed += 1;
+            }
+        }
+        prop_assert!(hybrid_allowed <= short_allowed);
+    }
+
+    /// Resetting any limiter restores its initial generosity.
+    #[test]
+    fn reset_restores_initial_behaviour(keys in prop::collection::vec(0u64..50, 1..50)) {
+        let mut throttle = VirusThrottle::williamson_default();
+        let first: Vec<Decision> = keys.iter().map(|&k| throttle.check(0.0, RemoteKey::new(k))).collect();
+        throttle.reset();
+        let second: Vec<Decision> = keys.iter().map(|&k| throttle.check(0.0, RemoteKey::new(k))).collect();
+        prop_assert_eq!(first, second);
+    }
+}

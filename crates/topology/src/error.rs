@@ -1,0 +1,81 @@
+//! Error type for graph construction and topology generation.
+
+use crate::graph::NodeId;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error returned by graph mutation and topology generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A node id referenced a node that does not exist.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Current node count of the graph.
+        node_count: usize,
+    },
+    /// Self-loops are not allowed.
+    SelfLoop {
+        /// The node an edge tried to connect to itself.
+        node: NodeId,
+    },
+    /// The edge already exists (the graphs here are simple).
+    DuplicateEdge {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A generator parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the valid domain.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            Error::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            Error::DuplicateEdge { a, b } => write!(f, "duplicate edge {a}-{b}"),
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = Error::NodeOutOfRange {
+            node: NodeId::new(7),
+            node_count: 3,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(Error::SelfLoop { node: NodeId::new(1) }.to_string().contains("self-loop"));
+        assert!(Error::DuplicateEdge {
+            a: NodeId::new(0),
+            b: NodeId::new(1)
+        }
+        .to_string()
+        .contains("duplicate"));
+        assert!(Error::InvalidParameter {
+            name: "m",
+            reason: "must be >= 1"
+        }
+        .to_string()
+        .contains("m"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Graph export: edge lists and Graphviz DOT, for inspecting generated
+//! topologies with external tools.
+
+use crate::graph::Graph;
+use crate::roles::Role;
+use std::fmt::Write as _;
+
+/// Serializes the graph as a plain edge list (`a b` per line, node
+/// indices), the format BRITE-era tools exchanged.
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::with_capacity(graph.edge_count() * 8);
+    let _ = writeln!(out, "# nodes {} edges {}", graph.node_count(), graph.edge_count());
+    for (_, a, b) in graph.edges() {
+        let _ = writeln!(out, "{} {}", a.index(), b.index());
+    }
+    out
+}
+
+/// Parses a graph from the [`to_edge_list`] format (lines starting with
+/// `#` are comments).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed lines or out-of-range
+/// endpoints.
+pub fn from_edge_list(text: &str) -> Result<Graph, String> {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_node = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let a: usize = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing endpoint", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let b: usize = parts
+            .next()
+            .ok_or_else(|| format!("line {}: missing second endpoint", lineno + 1))?
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if parts.next().is_some() {
+            return Err(format!("line {}: trailing tokens", lineno + 1));
+        }
+        max_node = max_node.max(a).max(b);
+        edges.push((a, b));
+    }
+    let mut g = Graph::with_nodes(max_node + 1);
+    for (a, b) in edges {
+        g.add_edge(a.into(), b.into())
+            .map_err(|e| format!("bad edge {a}-{b}: {e}"))?;
+    }
+    Ok(g)
+}
+
+/// Serializes the graph as Graphviz DOT; when `roles` is given, backbone
+/// routers render as boxes and edge routers as diamonds.
+///
+/// # Panics
+///
+/// Panics if `roles` is `Some` with the wrong length.
+pub fn to_dot(graph: &Graph, roles: Option<&[Role]>) -> String {
+    if let Some(r) = roles {
+        assert_eq!(r.len(), graph.node_count(), "one role per node required");
+    }
+    let mut out = String::from("graph topology {\n  node [shape=circle];\n");
+    if let Some(roles) = roles {
+        for node in graph.nodes() {
+            let shape = match roles[node.index()] {
+                Role::Backbone => "box",
+                Role::EdgeRouter => "diamond",
+                Role::EndHost => "circle",
+            };
+            let _ = writeln!(out, "  n{} [shape={shape}];", node.index());
+        }
+    }
+    for (_, a, b) in graph.edges() {
+        let _ = writeln!(out, "  n{} -- n{};", a.index(), b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::roles::assign_by_degree;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = generators::barabasi_albert(50, 2, 3).unwrap();
+        let text = to_edge_list(&g);
+        let parsed = from_edge_list(&text).unwrap();
+        assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn edge_list_parses_comments_and_blanks() {
+        let g = from_edge_list("# header\n\n0 1\n1 2\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_malformed() {
+        assert!(from_edge_list("0").is_err());
+        assert!(from_edge_list("0 x").is_err());
+        assert!(from_edge_list("0 1 2").is_err());
+        assert!(from_edge_list("0 0").is_err()); // self-loop
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let star = generators::star(3).unwrap();
+        let roles = assign_by_degree(&star.graph, 0.25, 0.0);
+        let dot = to_dot(&star.graph, Some(&roles));
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.contains("n0 [shape=box];")); // hub has top degree
+        assert!(dot.contains("n0 -- n1;") || dot.contains("n1 -- n0;"));
+        assert!(dot.ends_with("}\n"));
+        // Without roles: no per-node shape overrides.
+        let plain = to_dot(&star.graph, None);
+        assert!(!plain.contains("[shape=box]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one role per node")]
+    fn dot_checks_role_length() {
+        let star = generators::star(3).unwrap();
+        to_dot(&star.graph, Some(&[Role::EndHost]));
+    }
+}

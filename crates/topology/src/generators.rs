@@ -1,0 +1,512 @@
+//! Topology generators: star, ring, full mesh, Barabási–Albert power-law
+//! (the BRITE substitute), and hierarchical subnet topologies.
+
+use crate::error::Error;
+use crate::graph::{Graph, NodeId};
+use crate::roles::Role;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A star graph: node `0` is the hub, nodes `1..=leaves` are leaves.
+///
+/// This is the Section 4 topology; the paper uses 200 nodes total
+/// (`star(199)`).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `leaves == 0`.
+pub fn star(leaves: usize) -> Result<StarTopology, Error> {
+    if leaves == 0 {
+        return Err(Error::InvalidParameter {
+            name: "leaves",
+            reason: "a star needs at least one leaf",
+        });
+    }
+    let mut g = Graph::with_nodes(leaves + 1);
+    let hub = NodeId::new(0);
+    for leaf in 1..=leaves {
+        g.add_edge(hub, NodeId::from(leaf))
+            .expect("constructed edges are unique");
+    }
+    Ok(StarTopology { graph: g, hub })
+}
+
+/// A star graph together with its hub id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StarTopology {
+    /// The underlying graph.
+    pub graph: Graph,
+    /// The hub node (always node `0`).
+    pub hub: NodeId,
+}
+
+impl StarTopology {
+    /// The leaf nodes (every node except the hub).
+    pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes().filter(move |&n| n != self.hub)
+    }
+}
+
+/// A ring of `n` nodes (used in tests as a sparse connected baseline).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `n < 3`.
+pub fn ring(n: usize) -> Result<Graph, Error> {
+    if n < 3 {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: "a ring needs at least three nodes",
+        });
+    }
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        g.add_edge(NodeId::from(i), NodeId::from((i + 1) % n))
+            .expect("constructed edges are unique");
+    }
+    Ok(g)
+}
+
+/// A complete graph on `n` nodes (used in tests as the homogeneous-mixing
+/// extreme).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `n < 2`.
+pub fn full_mesh(n: usize) -> Result<Graph, Error> {
+    if n < 2 {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: "a mesh needs at least two nodes",
+        });
+    }
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId::from(i), NodeId::from(j))
+                .expect("constructed edges are unique");
+        }
+    }
+    Ok(g)
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph with `n`
+/// nodes, each new node attaching `m` edges, seeded deterministically.
+///
+/// This substitutes for the paper's BRITE-generated 1,000-node power-law
+/// topology: BA yields the same power-law degree distribution and
+/// high-degree-core structure (BRITE itself offers BA as one of its
+/// models). The paper's experiments only depend on the degree-rank
+/// structure — the top 5 % / next 10 % of nodes by degree become backbone
+/// and edge routers.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Result<Graph, Error> {
+    if m == 0 {
+        return Err(Error::InvalidParameter {
+            name: "m",
+            reason: "each node must attach at least one edge",
+        });
+    }
+    if n <= m {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: "need more nodes than edges-per-node",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    // Seed clique of m+1 nodes so the first attachments have targets.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            g.add_edge(NodeId::from(i), NodeId::from(j))
+                .expect("seed clique edges are unique");
+        }
+    }
+    // Repeated-endpoints list: picking uniformly from it implements
+    // preferential attachment.
+    let mut endpoint_pool: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for (_, a, b) in g.edges() {
+        endpoint_pool.push(a);
+        endpoint_pool.push(b);
+    }
+    for new in (m + 1)..n {
+        let new_id = NodeId::from(new);
+        let mut targets = Vec::with_capacity(m);
+        while targets.len() < m {
+            let candidate = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+            if candidate != new_id && !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+        }
+        for t in targets {
+            g.add_edge(new_id, t).expect("targets are distinct");
+            endpoint_pool.push(new_id);
+            endpoint_pool.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// Builder for the hierarchical subnet topology used in the Figure 5
+/// within-subnet experiments: a backbone core (ring + chords), edge
+/// routers hanging off the core, and a star of end hosts behind every
+/// edge router.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_topology::generators::SubnetTopologyBuilder;
+///
+/// # fn main() -> Result<(), dynaquar_topology::Error> {
+/// let topo = SubnetTopologyBuilder::new()
+///     .backbone_routers(4)
+///     .subnets(10)
+///     .hosts_per_subnet(20)
+///     .build()?;
+/// assert_eq!(topo.graph.node_count(), 4 + 10 + 200);
+/// assert!(topo.graph.is_connected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubnetTopologyBuilder {
+    backbone_routers: usize,
+    subnets: usize,
+    hosts_per_subnet: usize,
+}
+
+impl Default for SubnetTopologyBuilder {
+    fn default() -> Self {
+        SubnetTopologyBuilder {
+            backbone_routers: 5,
+            subnets: 20,
+            hosts_per_subnet: 25,
+        }
+    }
+}
+
+impl SubnetTopologyBuilder {
+    /// Creates a builder with the defaults (5 backbone routers, 20
+    /// subnets of 25 hosts).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of backbone core routers.
+    pub fn backbone_routers(&mut self, n: usize) -> &mut Self {
+        self.backbone_routers = n;
+        self
+    }
+
+    /// Sets the number of subnets (each behind one edge router).
+    pub fn subnets(&mut self, n: usize) -> &mut Self {
+        self.subnets = n;
+        self
+    }
+
+    /// Sets the number of end hosts per subnet.
+    pub fn hosts_per_subnet(&mut self, n: usize) -> &mut Self {
+        self.hosts_per_subnet = n;
+        self
+    }
+
+    /// Builds the topology.
+    ///
+    /// Node layout: backbone routers first, then edge routers, then the
+    /// end hosts subnet by subnet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when any count is zero.
+    pub fn build(&self) -> Result<SubnetTopology, Error> {
+        if self.backbone_routers == 0 {
+            return Err(Error::InvalidParameter {
+                name: "backbone_routers",
+                reason: "need at least one backbone router",
+            });
+        }
+        if self.subnets == 0 {
+            return Err(Error::InvalidParameter {
+                name: "subnets",
+                reason: "need at least one subnet",
+            });
+        }
+        if self.hosts_per_subnet == 0 {
+            return Err(Error::InvalidParameter {
+                name: "hosts_per_subnet",
+                reason: "need at least one host per subnet",
+            });
+        }
+        let b = self.backbone_routers;
+        let s = self.subnets;
+        let m = self.hosts_per_subnet;
+        let total = b + s + s * m;
+        let mut g = Graph::with_nodes(total);
+        let mut roles = vec![Role::EndHost; total];
+        let mut subnet_of = vec![None; total];
+
+        // Backbone core: ring plus chords for redundancy.
+        roles[..b].fill(Role::Backbone);
+        for i in 0..b {
+            if b > 1 {
+                let j = (i + 1) % b;
+                if g.edge_between(NodeId::from(i), NodeId::from(j)).is_none() {
+                    g.add_edge(NodeId::from(i), NodeId::from(j))
+                        .expect("ring edges unique");
+                }
+            }
+        }
+        if b > 3 {
+            for i in 0..b / 2 {
+                let j = i + b / 2;
+                if g.edge_between(NodeId::from(i), NodeId::from(j)).is_none() {
+                    g.add_edge(NodeId::from(i), NodeId::from(j))
+                        .expect("chord edges unique");
+                }
+            }
+        }
+
+        // Edge routers: one per subnet, round-robin onto the backbone.
+        for k in 0..s {
+            let edge_router = b + k;
+            roles[edge_router] = Role::EdgeRouter;
+            subnet_of[edge_router] = Some(SubnetId::new(k as u32));
+            g.add_edge(NodeId::from(edge_router), NodeId::from(k % b))
+                .expect("edge-router uplinks unique");
+        }
+
+        // End hosts: star behind each edge router.
+        for k in 0..s {
+            let edge_router = b + k;
+            for h in 0..m {
+                let host = b + s + k * m + h;
+                subnet_of[host] = Some(SubnetId::new(k as u32));
+                g.add_edge(NodeId::from(host), NodeId::from(edge_router))
+                    .expect("host links unique");
+            }
+        }
+
+        Ok(SubnetTopology {
+            graph: g,
+            roles,
+            subnet_of,
+            backbone_routers: b,
+            subnets: s,
+            hosts_per_subnet: m,
+        })
+    }
+}
+
+/// Identifier of a subnet in a [`SubnetTopology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SubnetId(u32);
+
+impl SubnetId {
+    /// Creates a subnet id from a raw index.
+    pub fn new(index: u32) -> Self {
+        SubnetId(index)
+    }
+
+    /// The subnet's index into dense per-subnet arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for SubnetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A hierarchical enterprise-like topology with explicit roles and subnet
+/// membership.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubnetTopology {
+    /// The underlying graph.
+    pub graph: Graph,
+    /// Role of each node.
+    pub roles: Vec<Role>,
+    /// Subnet of each node (`None` for backbone routers).
+    pub subnet_of: Vec<Option<SubnetId>>,
+    /// Number of backbone routers.
+    pub backbone_routers: usize,
+    /// Number of subnets.
+    pub subnets: usize,
+    /// Hosts per subnet.
+    pub hosts_per_subnet: usize,
+}
+
+impl SubnetTopology {
+    /// The edge router of subnet `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn edge_router(&self, k: SubnetId) -> NodeId {
+        assert!(k.index() < self.subnets, "subnet out of range");
+        NodeId::from(self.backbone_routers + k.index())
+    }
+
+    /// The end hosts of subnet `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn hosts_of(&self, k: SubnetId) -> impl Iterator<Item = NodeId> + '_ {
+        assert!(k.index() < self.subnets, "subnet out of range");
+        let start = self.backbone_routers + self.subnets + k.index() * self.hosts_per_subnet;
+        (start..start + self.hosts_per_subnet).map(NodeId::from)
+    }
+
+    /// All end hosts across all subnets.
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let start = self.backbone_routers + self.subnets;
+        (start..self.graph.node_count()).map(NodeId::from)
+    }
+
+    /// Whether two nodes belong to the same subnet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn same_subnet(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.subnet_of[a.index()], self.subnet_of[b.index()]) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_shape() {
+        let s = star(199).unwrap();
+        assert_eq!(s.graph.node_count(), 200);
+        assert_eq!(s.graph.edge_count(), 199);
+        assert_eq!(s.graph.degree(s.hub), 199);
+        assert!(s.leaves().all(|l| s.graph.degree(l) == 1));
+        assert_eq!(s.leaves().count(), 199);
+        assert!(s.graph.is_connected());
+    }
+
+    #[test]
+    fn star_rejects_zero_leaves() {
+        assert!(star(0).is_err());
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(10).unwrap();
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.nodes().all(|n| g.degree(n) == 2));
+        assert!(ring(2).is_err());
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let g = full_mesh(5).unwrap();
+        assert_eq!(g.edge_count(), 10);
+        assert!(g.nodes().all(|n| g.degree(n) == 4));
+        assert!(full_mesh(1).is_err());
+    }
+
+    #[test]
+    fn ba_counts_and_connectivity() {
+        let g = barabasi_albert(1000, 2, 7).unwrap();
+        assert_eq!(g.node_count(), 1000);
+        // Seed clique of 3 has 3 edges; each of the remaining 997 adds 2.
+        assert_eq!(g.edge_count(), 3 + 997 * 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ba_is_deterministic_per_seed() {
+        let a = barabasi_albert(200, 2, 42).unwrap();
+        let b = barabasi_albert(200, 2, 42).unwrap();
+        let c = barabasi_albert(200, 2, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        let g = barabasi_albert(1000, 2, 7).unwrap();
+        let max_deg = g.nodes().map(|n| g.degree(n)).max().unwrap();
+        let mean_deg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        // A power-law graph's hub dwarfs the mean degree.
+        assert!(max_deg as f64 > 8.0 * mean_deg, "max {max_deg}, mean {mean_deg}");
+    }
+
+    #[test]
+    fn ba_rejects_bad_parameters() {
+        assert!(barabasi_albert(10, 0, 1).is_err());
+        assert!(barabasi_albert(2, 2, 1).is_err());
+    }
+
+    #[test]
+    fn subnet_topology_layout() {
+        let t = SubnetTopologyBuilder::new()
+            .backbone_routers(4)
+            .subnets(10)
+            .hosts_per_subnet(20)
+            .build()
+            .unwrap();
+        assert_eq!(t.graph.node_count(), 4 + 10 + 200);
+        assert!(t.graph.is_connected());
+        assert_eq!(t.roles.iter().filter(|r| **r == Role::Backbone).count(), 4);
+        assert_eq!(t.roles.iter().filter(|r| **r == Role::EdgeRouter).count(), 10);
+        assert_eq!(t.roles.iter().filter(|r| **r == Role::EndHost).count(), 200);
+        assert_eq!(t.hosts().count(), 200);
+    }
+
+    #[test]
+    fn subnet_membership() {
+        let t = SubnetTopologyBuilder::new()
+            .backbone_routers(2)
+            .subnets(3)
+            .hosts_per_subnet(4)
+            .build()
+            .unwrap();
+        let s0 = SubnetId::new(0);
+        let hosts: Vec<_> = t.hosts_of(s0).collect();
+        assert_eq!(hosts.len(), 4);
+        assert!(t.same_subnet(hosts[0], hosts[3]));
+        let s1_host = t.hosts_of(SubnetId::new(1)).next().unwrap();
+        assert!(!t.same_subnet(hosts[0], s1_host));
+        // Backbone routers belong to no subnet.
+        assert!(!t.same_subnet(NodeId::new(0), hosts[0]));
+        // Every host routes through its edge router.
+        assert!(t
+            .graph
+            .edge_between(hosts[0], t.edge_router(s0))
+            .is_some());
+    }
+
+    #[test]
+    fn subnet_builder_rejects_zeroes() {
+        assert!(SubnetTopologyBuilder::new().backbone_routers(0).build().is_err());
+        assert!(SubnetTopologyBuilder::new().subnets(0).build().is_err());
+        assert!(SubnetTopologyBuilder::new().hosts_per_subnet(0).build().is_err());
+    }
+
+    #[test]
+    fn single_backbone_router_topology_connected() {
+        let t = SubnetTopologyBuilder::new()
+            .backbone_routers(1)
+            .subnets(2)
+            .hosts_per_subnet(3)
+            .build()
+            .unwrap();
+        assert!(t.graph.is_connected());
+    }
+}

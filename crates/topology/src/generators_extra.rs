@@ -1,0 +1,207 @@
+//! Additional topology generators mirroring BRITE's model menu.
+//!
+//! The paper generated its graph with BRITE; BRITE offers Barabási–Albert
+//! (our default, in [`crate::generators`]), **Waxman** random geometric
+//! graphs, and **GLP** (generalized linear preference). Having all three
+//! lets the benches check that the paper's conclusions are not artifacts
+//! of one generator.
+
+use crate::error::Error;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Waxman random topology: `n` nodes placed uniformly in the
+/// unit square, each pair connected with probability
+/// `alpha * exp(-d / (beta * L))` where `d` is Euclidean distance and
+/// `L = √2` the maximum distance. A spanning chain over the placement
+/// order guarantees connectivity.
+///
+/// Classic parameters: `alpha = 0.4`, `beta = 0.14` (Waxman 1988), but
+/// at small `n` those leave the graph too sparse — BRITE's defaults of
+/// `alpha ≈ 0.15, beta ≈ 0.2` plus the connectivity chain behave well
+/// from a few dozen nodes up.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `n < 2`, or `alpha`/`beta`
+/// are outside `(0, 1]`.
+pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Result<Graph, Error> {
+    if n < 2 {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: "need at least two nodes",
+        });
+    }
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "alpha",
+            reason: "must be in (0, 1]",
+        });
+    }
+    if !(beta > 0.0 && beta <= 1.0) {
+        return Err(Error::InvalidParameter {
+            name: "beta",
+            reason: "must be in (0, 1]",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let l = std::f64::consts::SQRT_2;
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            let p = alpha * (-d / (beta * l)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(NodeId::from(i), NodeId::from(j))
+                    .expect("pairs visited once");
+            }
+        }
+    }
+    // Connectivity chain.
+    for i in 1..n {
+        if g.edge_between(NodeId::from(i - 1), NodeId::from(i)).is_none() {
+            g.add_edge(NodeId::from(i - 1), NodeId::from(i))
+                .expect("chain edge unique");
+        }
+    }
+    Ok(g)
+}
+
+/// Generates a GLP (generalized linear preference) graph — BRITE's
+/// power-law model tuned for Internet-like topologies (Bu & Towsley
+/// 2002). New nodes attach with probability proportional to
+/// `degree − β_glp`, which yields heavier tails than plain BA for
+/// `β_glp ∈ (−∞, 1)`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `m == 0`, `n <= m`, or
+/// `beta_glp >= 1`.
+pub fn glp(n: usize, m: usize, beta_glp: f64, seed: u64) -> Result<Graph, Error> {
+    if m == 0 {
+        return Err(Error::InvalidParameter {
+            name: "m",
+            reason: "each node must attach at least one edge",
+        });
+    }
+    if n <= m {
+        return Err(Error::InvalidParameter {
+            name: "n",
+            reason: "need more nodes than edges-per-node",
+        });
+    }
+    if beta_glp >= 1.0 {
+        return Err(Error::InvalidParameter {
+            name: "beta_glp",
+            reason: "must be below 1 (attachment weights must stay positive)",
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            g.add_edge(NodeId::from(i), NodeId::from(j))
+                .expect("seed clique edges unique");
+        }
+    }
+    let mut degrees: Vec<f64> = (0..n).map(|i| g.degree(NodeId::from(i)) as f64).collect();
+    for new in (m + 1)..n {
+        let new_id = NodeId::from(new);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+        while targets.len() < m {
+            // Weighted draw over existing nodes with weight (deg - β).
+            let total: f64 = degrees[..new]
+                .iter()
+                .map(|&d| (d - beta_glp).max(0.0))
+                .sum();
+            let mut pick = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+            let mut chosen = 0usize;
+            for (idx, &d) in degrees[..new].iter().enumerate() {
+                let w = (d - beta_glp).max(0.0);
+                if pick < w {
+                    chosen = idx;
+                    break;
+                }
+                pick -= w;
+            }
+            let candidate = NodeId::from(chosen);
+            if candidate != new_id && !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+        }
+        for t in targets {
+            g.add_edge(new_id, t).expect("targets distinct");
+            degrees[t.index()] += 1.0;
+            degrees[new] += 1.0;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::power_law_exponent;
+
+    #[test]
+    fn waxman_is_connected_and_deterministic() {
+        let a = waxman(150, 0.15, 0.2, 3).unwrap();
+        let b = waxman(150, 0.15, 0.2, 3).unwrap();
+        let c = waxman(150, 0.15, 0.2, 4).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.is_connected());
+        assert_eq!(a.node_count(), 150);
+    }
+
+    #[test]
+    fn waxman_density_grows_with_alpha() {
+        let sparse = waxman(150, 0.05, 0.2, 3).unwrap();
+        let dense = waxman(150, 0.6, 0.2, 3).unwrap();
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn waxman_rejects_bad_parameters() {
+        assert!(waxman(1, 0.4, 0.14, 0).is_err());
+        assert!(waxman(10, 0.0, 0.14, 0).is_err());
+        assert!(waxman(10, 0.4, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn glp_counts_and_connectivity() {
+        let g = glp(500, 2, 0.5, 11).unwrap();
+        assert_eq!(g.node_count(), 500);
+        assert_eq!(g.edge_count(), 3 + 497 * 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn glp_has_power_law_tail() {
+        let g = glp(1500, 2, 0.6, 11).unwrap();
+        let gamma = power_law_exponent(&g).unwrap();
+        assert!((1.2..=3.8).contains(&gamma), "gamma = {gamma}");
+        // GLP with positive beta concentrates degree harder than BA.
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg > 40, "max degree {max_deg}");
+    }
+
+    #[test]
+    fn glp_deterministic_per_seed() {
+        assert_eq!(glp(200, 2, 0.3, 5).unwrap(), glp(200, 2, 0.3, 5).unwrap());
+        assert_ne!(glp(200, 2, 0.3, 5).unwrap(), glp(200, 2, 0.3, 6).unwrap());
+    }
+
+    #[test]
+    fn glp_rejects_bad_parameters() {
+        assert!(glp(10, 0, 0.5, 0).is_err());
+        assert!(glp(2, 2, 0.5, 0).is_err());
+        assert!(glp(10, 2, 1.0, 0).is_err());
+    }
+}

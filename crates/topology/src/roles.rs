@@ -1,0 +1,148 @@
+//! Node roles and degree-based role assignment.
+//!
+//! The paper designates "the top 5% and 10% of nodes with the most number
+//! of connections as backbone and edge routers respectively. The
+//! remaining nodes are end hosts." (Section 5.4.)
+
+use crate::graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The role a node plays in the simulated Internet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Role {
+    /// An end host — can be infected.
+    #[default]
+    EndHost,
+    /// An edge router fronting a subnet.
+    EdgeRouter,
+    /// A backbone core router.
+    Backbone,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Role::EndHost => "end-host",
+            Role::EdgeRouter => "edge-router",
+            Role::Backbone => "backbone",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Assigns roles by degree rank: the top `backbone_fraction` of nodes
+/// become [`Role::Backbone`], the next `edge_fraction` become
+/// [`Role::EdgeRouter`], the rest are [`Role::EndHost`].
+///
+/// Ties are broken by node id (lower id ranks higher), which keeps the
+/// assignment deterministic for a given graph.
+///
+/// # Panics
+///
+/// Panics if either fraction is negative or their sum exceeds `1`.
+pub fn assign_by_degree(graph: &Graph, backbone_fraction: f64, edge_fraction: f64) -> Vec<Role> {
+    assert!(
+        backbone_fraction >= 0.0 && edge_fraction >= 0.0,
+        "fractions must be non-negative"
+    );
+    assert!(
+        backbone_fraction + edge_fraction <= 1.0,
+        "fractions must sum to at most 1"
+    );
+    let n = graph.node_count();
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by_key(|&node| (std::cmp::Reverse(graph.degree(node)), node));
+    let backbone_count = (n as f64 * backbone_fraction).round() as usize;
+    let edge_count = (n as f64 * edge_fraction).round() as usize;
+    let mut roles = vec![Role::EndHost; n];
+    for (rank, &node) in order.iter().enumerate() {
+        roles[node.index()] = if rank < backbone_count {
+            Role::Backbone
+        } else if rank < backbone_count + edge_count {
+            Role::EdgeRouter
+        } else {
+            Role::EndHost
+        };
+    }
+    roles
+}
+
+/// Convenience: the node ids holding `role` in a role assignment.
+pub fn nodes_with_role(roles: &[Role], role: Role) -> Vec<NodeId> {
+    roles
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| **r == role)
+        .map(|(i, _)| NodeId::from(i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn paper_fractions_on_power_law() {
+        let g = generators::barabasi_albert(1000, 2, 11).unwrap();
+        let roles = assign_by_degree(&g, 0.05, 0.10);
+        assert_eq!(roles.iter().filter(|r| **r == Role::Backbone).count(), 50);
+        assert_eq!(roles.iter().filter(|r| **r == Role::EdgeRouter).count(), 100);
+        assert_eq!(roles.iter().filter(|r| **r == Role::EndHost).count(), 850);
+    }
+
+    #[test]
+    fn backbone_nodes_have_highest_degrees() {
+        let g = generators::barabasi_albert(500, 2, 3).unwrap();
+        let roles = assign_by_degree(&g, 0.05, 0.10);
+        let min_backbone_degree = nodes_with_role(&roles, Role::Backbone)
+            .iter()
+            .map(|&n| g.degree(n))
+            .min()
+            .unwrap();
+        let max_host_degree = nodes_with_role(&roles, Role::EndHost)
+            .iter()
+            .map(|&n| g.degree(n))
+            .max()
+            .unwrap();
+        assert!(min_backbone_degree >= max_host_degree);
+    }
+
+    #[test]
+    fn zero_fractions_yield_all_hosts() {
+        let g = generators::ring(10).unwrap();
+        let roles = assign_by_degree(&g, 0.0, 0.0);
+        assert!(roles.iter().all(|r| *r == Role::EndHost));
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        // A ring has all-equal degrees: assignment must still be stable.
+        let g = generators::ring(10).unwrap();
+        let a = assign_by_degree(&g, 0.2, 0.3);
+        let b = assign_by_degree(&g, 0.2, 0.3);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|r| **r == Role::Backbone).count(), 2);
+        assert_eq!(a.iter().filter(|r| **r == Role::EdgeRouter).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn rejects_oversubscribed_fractions() {
+        let g = generators::ring(10).unwrap();
+        assign_by_degree(&g, 0.7, 0.5);
+    }
+
+    #[test]
+    fn role_display() {
+        assert_eq!(Role::Backbone.to_string(), "backbone");
+        assert_eq!(Role::EdgeRouter.to_string(), "edge-router");
+        assert_eq!(Role::EndHost.to_string(), "end-host");
+    }
+
+    #[test]
+    fn nodes_with_role_returns_ids() {
+        let roles = vec![Role::EndHost, Role::Backbone, Role::EndHost];
+        assert_eq!(nodes_with_role(&roles, Role::Backbone), vec![NodeId::new(1)]);
+    }
+}

@@ -1,0 +1,356 @@
+//! BFS shortest-path routing with per-link load counts.
+//!
+//! The paper's simulator routes infection packets "using a shortest path
+//! algorithm through the network" and weights each rate-limited link's
+//! budget "proportional to the number of routing table entries the link
+//! occupies". [`RoutingTable`] precomputes all-pairs next hops by running
+//! one BFS per node, and [`RoutingTable::link_loads`] counts, for every
+//! link, how many ordered node pairs route across it.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Sentinel meaning "no route / self".
+const NO_HOP: u32 = u32::MAX;
+
+/// All-pairs next-hop routing table.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_topology::generators;
+/// use dynaquar_topology::routing::RoutingTable;
+///
+/// let star = generators::star(4).expect("valid");
+/// let rt = RoutingTable::shortest_paths(&star.graph);
+/// // Leaf-to-leaf routes go through the hub.
+/// let path = rt.path(1.into(), 2.into()).expect("connected");
+/// assert_eq!(path, vec![1.into(), 0.into(), 2.into()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n: usize,
+    /// `next_hop[src * n + dst]` = first hop from `src` toward `dst`.
+    next_hop: Vec<u32>,
+    /// `distance[src * n + dst]` = hop count, `u32::MAX` if unreachable.
+    distance: Vec<u32>,
+}
+
+impl RoutingTable {
+    /// Computes shortest-path routing for `graph` (one BFS per node).
+    ///
+    /// BFS visits neighbors in adjacency order, so for a given graph the
+    /// table is deterministic.
+    pub fn shortest_paths(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut next_hop = vec![NO_HOP; n * n];
+        let mut distance = vec![u32::MAX; n * n];
+        let mut queue = VecDeque::new();
+        // BFS from each destination; record the parent pointer toward it.
+        // parent[u] on a BFS tree rooted at dst is u's next hop to dst.
+        for dst in 0..n {
+            let base = |src: usize| src * n + dst;
+            distance[base(dst)] = 0;
+            queue.clear();
+            queue.push_back(NodeId::from(dst));
+            while let Some(u) = queue.pop_front() {
+                let du = distance[base(u.index())];
+                for &v in graph.neighbors(u) {
+                    let slot = base(v.index());
+                    if distance[slot] == u32::MAX {
+                        distance[slot] = du + 1;
+                        next_hop[slot] = u.index() as u32;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        RoutingTable {
+            n,
+            next_hop,
+            distance,
+        }
+    }
+
+    /// Number of nodes the table covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The first hop from `src` toward `dst`, or `None` when unreachable
+    /// or `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        assert!(src.index() < self.n && dst.index() < self.n, "node out of range");
+        if src == dst {
+            return None;
+        }
+        let hop = self.next_hop[src.index() * self.n + dst.index()];
+        (hop != NO_HOP).then(|| NodeId::new(hop))
+    }
+
+    /// Hop distance from `src` to `dst` (`None` when unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        assert!(src.index() < self.n && dst.index() < self.n, "node out of range");
+        let d = self.distance[src.index() * self.n + dst.index()];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// The full path from `src` to `dst`, inclusive of both endpoints.
+    ///
+    /// Returns `None` when unreachable; `Some(vec![src])` when
+    /// `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        self.distance(src, dst)?;
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst).expect("distance was finite");
+            path.push(cur);
+        }
+        Some(path)
+    }
+
+    /// Counts, for each edge, how many *ordered* node pairs route across
+    /// it — the paper's "routing table entries" link weight.
+    ///
+    /// Cost is `O(n² · diameter)`; at the paper's 1,000-node scale this
+    /// is a few million pointer chases.
+    pub fn link_loads(&self, graph: &Graph) -> Vec<u64> {
+        let mut loads = vec![0u64; graph.edge_count()];
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if src == dst {
+                    continue;
+                }
+                let (s, d) = (NodeId::from(src), NodeId::from(dst));
+                if self.distance(s, d).is_none() {
+                    continue;
+                }
+                let mut cur = s;
+                while cur != d {
+                    let nxt = self.next_hop(cur, d).expect("finite distance");
+                    let edge = graph
+                        .edge_between(cur, nxt)
+                        .expect("next hop is a neighbor");
+                    loads[edge.index()] += 1;
+                    cur = nxt;
+                }
+            }
+        }
+        loads
+    }
+
+    /// Average shortest-path length over all reachable ordered pairs.
+    pub fn average_path_length(&self) -> f64 {
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if src == dst {
+                    continue;
+                }
+                let d = self.distance[src * self.n + dst];
+                if d != u32::MAX {
+                    total += u64::from(d);
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        }
+    }
+
+    /// The network diameter: the longest finite shortest-path distance
+    /// over all ordered pairs (`None` for graphs with < 2 nodes or no
+    /// reachable pairs).
+    pub fn diameter(&self) -> Option<u32> {
+        let mut max: Option<u32> = None;
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if src == dst {
+                    continue;
+                }
+                let d = self.distance[src * self.n + dst];
+                if d != u32::MAX {
+                    max = Some(max.map_or(d, |m| m.max(d)));
+                }
+            }
+        }
+        max
+    }
+
+    /// The edges along the route from `src` to `dst`.
+    ///
+    /// Returns an empty vector when `src == dst` or unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn path_edges(&self, graph: &Graph, src: NodeId, dst: NodeId) -> Vec<EdgeId> {
+        match self.path(src, dst) {
+            None => Vec::new(),
+            Some(p) => p
+                .windows(2)
+                .map(|w| graph.edge_between(w[0], w[1]).expect("consecutive hops"))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn star_routes_through_hub() {
+        let star = generators::star(5).unwrap();
+        let rt = RoutingTable::shortest_paths(&star.graph);
+        assert_eq!(rt.distance(1.into(), 2.into()), Some(2));
+        assert_eq!(rt.distance(0.into(), 3.into()), Some(1));
+        assert_eq!(
+            rt.path(1.into(), 2.into()).unwrap(),
+            vec![1.into(), 0.into(), 2.into()]
+        );
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let g = generators::ring(5).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        assert_eq!(rt.distance(2.into(), 2.into()), Some(0));
+        assert_eq!(rt.next_hop(2.into(), 2.into()), None);
+        assert_eq!(rt.path(2.into(), 2.into()).unwrap(), vec![2.into()]);
+    }
+
+    #[test]
+    fn disconnected_pairs_unreachable() {
+        let mut g = crate::Graph::with_nodes(4);
+        g.add_edge(0.into(), 1.into()).unwrap();
+        g.add_edge(2.into(), 3.into()).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        assert_eq!(rt.distance(0.into(), 2.into()), None);
+        assert!(rt.path(0.into(), 2.into()).is_none());
+        assert!(rt.next_hop(0.into(), 3.into()).is_none());
+    }
+
+    #[test]
+    fn ring_distances() {
+        let g = generators::ring(6).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        assert_eq!(rt.distance(0.into(), 3.into()), Some(3));
+        assert_eq!(rt.distance(0.into(), 5.into()), Some(1));
+    }
+
+    #[test]
+    fn paths_are_shortest() {
+        let g = generators::barabasi_albert(200, 2, 5).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        for &(s, d) in &[(0usize, 150usize), (10, 42), (199, 3)] {
+            let p = rt.path(s.into(), d.into()).unwrap();
+            assert_eq!(p.len() as u32 - 1, rt.distance(s.into(), d.into()).unwrap());
+            // Consecutive hops are adjacent.
+            for w in p.windows(2) {
+                assert!(g.neighbors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn star_link_loads_are_uniform() {
+        let star = generators::star(4).unwrap();
+        let rt = RoutingTable::shortest_paths(&star.graph);
+        let loads = rt.link_loads(&star.graph);
+        // Each leaf link carries: hub<->leaf (2 ordered pairs) plus
+        // leaf<->each other leaf (2 * 3 ordered pairs) = 8.
+        assert!(loads.iter().all(|&l| l == 8));
+    }
+
+    #[test]
+    fn hub_links_carry_more_load_in_hierarchy() {
+        let t = generators::SubnetTopologyBuilder::new()
+            .backbone_routers(2)
+            .subnets(4)
+            .hosts_per_subnet(5)
+            .build()
+            .unwrap();
+        let rt = RoutingTable::shortest_paths(&t.graph);
+        let loads = rt.link_loads(&t.graph);
+        // The edge-router uplinks must beat any host access link.
+        let uplink = t
+            .graph
+            .edge_between(t.edge_router(generators::SubnetId::new(0)), 0.into())
+            .unwrap();
+        let host = t.hosts_of(generators::SubnetId::new(0)).next().unwrap();
+        let host_link = t
+            .graph
+            .edge_between(host, t.edge_router(generators::SubnetId::new(0)))
+            .unwrap();
+        assert!(loads[uplink.index()] > loads[host_link.index()]);
+    }
+
+    #[test]
+    fn average_path_length_of_mesh_is_one() {
+        let g = generators::full_mesh(6).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        assert!((rt.average_path_length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_edges_match_path() {
+        let g = generators::ring(8).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        let edges = rt.path_edges(&g, 0.into(), 3.into());
+        assert_eq!(edges.len(), 3);
+        assert!(rt.path_edges(&g, 2.into(), 2.into()).is_empty());
+    }
+
+    #[test]
+    fn diameter_of_standard_graphs() {
+        let star = generators::star(6).unwrap();
+        let rt = RoutingTable::shortest_paths(&star.graph);
+        assert_eq!(rt.diameter(), Some(2));
+        let ring = generators::ring(8).unwrap();
+        assert_eq!(RoutingTable::shortest_paths(&ring).diameter(), Some(4));
+        let mesh = generators::full_mesh(5).unwrap();
+        assert_eq!(RoutingTable::shortest_paths(&mesh).diameter(), Some(1));
+        let lonely = crate::Graph::with_nodes(1);
+        assert_eq!(RoutingTable::shortest_paths(&lonely).diameter(), None);
+    }
+
+    #[test]
+    fn power_law_graphs_have_small_diameter() {
+        let g = generators::barabasi_albert(500, 2, 11).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        let d = rt.diameter().unwrap();
+        // Small-world: diameter grows ~log n.
+        assert!(d <= 12, "diameter {d}");
+        assert!(rt.average_path_length() < d as f64);
+    }
+
+    #[test]
+    fn deterministic_tables() {
+        let g = generators::barabasi_albert(100, 2, 9).unwrap();
+        let a = RoutingTable::shortest_paths(&g);
+        let b = RoutingTable::shortest_paths(&g);
+        assert_eq!(a.next_hop, b.next_hop);
+    }
+}

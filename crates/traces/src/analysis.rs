@@ -1,0 +1,254 @@
+//! Windowed contact-rate analysis with the paper's refinements.
+//!
+//! Figure 9 plots, for 5-second windows, the number of **distinct foreign
+//! IP addresses contacted**, under three progressively tighter
+//! definitions of "contact":
+//!
+//! 1. all distinct destinations ([`Refinement::All`]);
+//! 2. excluding destinations that initiated contact first
+//!    ([`Refinement::NoPriorContact`]);
+//! 3. additionally excluding destinations with a valid DNS translation
+//!    ([`Refinement::NoPriorNoDns`]).
+
+use crate::record::{FlowRecord, Trace};
+use dynaquar_ratelimit::deploy::HostId;
+use dynaquar_ratelimit::RemoteKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Which contacts count against a rate limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Refinement {
+    /// Count every distinct destination (solid line of Figure 9).
+    All,
+    /// Skip destinations that initiated contact first (dashed line).
+    NoPriorContact,
+    /// Skip prior-contact *and* DNS-translated destinations (dotted
+    /// line) — the Ganger scheme's definition of "unknown".
+    NoPriorNoDns,
+}
+
+impl Refinement {
+    /// All three refinements, in the paper's order.
+    pub fn all_three() -> [Refinement; 3] {
+        [
+            Refinement::All,
+            Refinement::NoPriorContact,
+            Refinement::NoPriorNoDns,
+        ]
+    }
+
+    /// Whether `record` counts under this refinement.
+    pub fn counts(self, record: &FlowRecord) -> bool {
+        match self {
+            Refinement::All => true,
+            Refinement::NoPriorContact => !record.prior_contact,
+            Refinement::NoPriorNoDns => !record.prior_contact && !record.dns_translated,
+        }
+    }
+
+    /// Figure-9 legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Refinement::All => "distinct IPs",
+            Refinement::NoPriorContact => "distinct IPs (no prior contact)",
+            Refinement::NoPriorNoDns => "distinct IPs (no prior contact, no DNS)",
+        }
+    }
+}
+
+fn window_counts(
+    trace: &Trace,
+    member: impl Fn(HostId) -> bool,
+    window: f64,
+    refinement: Refinement,
+    per_source: bool,
+) -> Vec<usize> {
+    assert!(window > 0.0, "window must be positive");
+    let buckets = (trace.duration() / window).ceil() as usize;
+    // Distinct (src?, dst) per bucket. `per_source` is used for per-host
+    // analysis where the set of sources is a single host anyway.
+    let mut sets: Vec<HashSet<(u32, RemoteKey)>> = vec![HashSet::new(); buckets.max(1)];
+    for r in trace.records() {
+        if !member(r.src) || !refinement.counts(r) {
+            continue;
+        }
+        let b = ((r.time / window) as usize).min(buckets.saturating_sub(1));
+        let src_key = if per_source { r.src.index() as u32 } else { 0 };
+        sets[b].insert((src_key, r.dst));
+    }
+    sets.into_iter().map(|s| s.len()).collect()
+}
+
+/// Distinct destinations contacted per tumbling `window` by the whole
+/// host set jointly (the edge-router view). One sample per window over
+/// the trace duration.
+///
+/// # Panics
+///
+/// Panics if `window <= 0`.
+pub fn aggregate_contact_samples(
+    trace: &Trace,
+    hosts: Vec<HostId>,
+    window: f64,
+    refinement: Refinement,
+) -> Vec<usize> {
+    let set: HashSet<HostId> = hosts.into_iter().collect();
+    window_counts(trace, |h| set.contains(&h), window, refinement, false)
+}
+
+/// Distinct destinations contacted per tumbling `window` by one host.
+///
+/// # Panics
+///
+/// Panics if `window <= 0`.
+pub fn per_host_contact_samples(
+    trace: &Trace,
+    host: HostId,
+    window: f64,
+    refinement: Refinement,
+) -> Vec<usize> {
+    window_counts(trace, |h| h == host, window, refinement, false)
+}
+
+/// Pools the per-window samples of every host in `hosts` (used for the
+/// per-host CDFs: each host contributes one sample per window).
+///
+/// # Panics
+///
+/// Panics if `window <= 0`.
+pub fn pooled_per_host_samples(
+    trace: &Trace,
+    hosts: &[HostId],
+    window: f64,
+    refinement: Refinement,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for &h in hosts {
+        out.extend(per_host_contact_samples(trace, h, window, refinement));
+    }
+    out
+}
+
+/// The highest distinct-destination count `host` achieves in any tumbling
+/// window of `window` seconds (the footnote's "scanned 7068 hosts in a
+/// minute" metric uses `window = 60`).
+///
+/// # Panics
+///
+/// Panics if `window <= 0`.
+pub fn peak_distinct_per_window(trace: &Trace, host: HostId, window: f64) -> usize {
+    per_host_contact_samples(trace, host, window, Refinement::All)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{HostClass, Protocol};
+
+    fn rec(t: f64, src: u32, dst: u64, dns: bool, prior: bool) -> FlowRecord {
+        FlowRecord {
+            time: t,
+            src: HostId::new(src),
+            dst: RemoteKey::new(dst),
+            protocol: Protocol::Tcp { dport: 80 },
+            dns_translated: dns,
+            prior_contact: prior,
+        }
+    }
+
+    fn toy_trace() -> Trace {
+        Trace::new(
+            vec![
+                rec(0.5, 0, 1, true, false),
+                rec(1.0, 0, 2, false, false),
+                rec(1.5, 0, 2, false, false), // repeat, same window
+                rec(2.0, 1, 3, false, true),
+                rec(6.0, 0, 4, true, false), // second window
+            ],
+            vec![HostClass::NormalClient, HostClass::NormalClient],
+            10.0,
+        )
+    }
+
+    #[test]
+    fn aggregate_counts_distinct_per_window() {
+        let t = toy_trace();
+        let s = aggregate_contact_samples(&t, t.hosts(), 5.0, Refinement::All);
+        assert_eq!(s, vec![3, 1]);
+    }
+
+    #[test]
+    fn refinements_reduce_counts() {
+        let t = toy_trace();
+        let all = aggregate_contact_samples(&t, t.hosts(), 5.0, Refinement::All);
+        let noprior =
+            aggregate_contact_samples(&t, t.hosts(), 5.0, Refinement::NoPriorContact);
+        let nodns = aggregate_contact_samples(&t, t.hosts(), 5.0, Refinement::NoPriorNoDns);
+        assert_eq!(noprior, vec![2, 1]); // dst 3 excluded
+        assert_eq!(nodns, vec![1, 0]); // only dst 2 counts
+        for i in 0..all.len() {
+            assert!(noprior[i] <= all[i]);
+            assert!(nodns[i] <= noprior[i]);
+        }
+    }
+
+    #[test]
+    fn per_host_sees_only_own_contacts() {
+        let t = toy_trace();
+        let h0 = per_host_contact_samples(&t, HostId::new(0), 5.0, Refinement::All);
+        let h1 = per_host_contact_samples(&t, HostId::new(1), 5.0, Refinement::All);
+        assert_eq!(h0, vec![2, 1]);
+        assert_eq!(h1, vec![1, 0]);
+    }
+
+    #[test]
+    fn pooled_samples_concatenate() {
+        let t = toy_trace();
+        let pooled = pooled_per_host_samples(&t, &t.hosts(), 5.0, Refinement::All);
+        assert_eq!(pooled.len(), 4); // 2 hosts x 2 windows
+        assert_eq!(pooled.iter().sum::<usize>(), (2 + 1 + 1));
+    }
+
+    #[test]
+    fn peak_window_metric() {
+        let t = toy_trace();
+        assert_eq!(peak_distinct_per_window(&t, HostId::new(0), 5.0), 2);
+        assert_eq!(peak_distinct_per_window(&t, HostId::new(1), 5.0), 1);
+    }
+
+    #[test]
+    fn same_dst_from_two_hosts_counts_once_in_aggregate() {
+        let t = Trace::new(
+            vec![rec(0.0, 0, 9, false, false), rec(1.0, 1, 9, false, false)],
+            vec![HostClass::NormalClient, HostClass::NormalClient],
+            5.0,
+        );
+        let s = aggregate_contact_samples(&t, t.hosts(), 5.0, Refinement::All);
+        assert_eq!(s, vec![1]);
+    }
+
+    #[test]
+    fn empty_host_set_yields_zero_windows() {
+        let t = toy_trace();
+        let s = aggregate_contact_samples(&t, vec![], 5.0, Refinement::All);
+        assert_eq!(s, vec![0, 0]);
+    }
+
+    #[test]
+    fn refinement_labels() {
+        assert_eq!(Refinement::All.label(), "distinct IPs");
+        assert!(Refinement::NoPriorNoDns.label().contains("no DNS"));
+        assert_eq!(Refinement::all_three().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_zero_window() {
+        let t = toy_trace();
+        aggregate_contact_samples(&t, t.hosts(), 0.0, Refinement::All);
+    }
+}

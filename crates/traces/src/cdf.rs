@@ -1,0 +1,174 @@
+//! Empirical CDFs — the y-axis of Figure 9 ("fraction of time").
+
+use dynaquar_epidemic::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over integer-valued samples
+/// (contacts per window).
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_traces::cdf::Ecdf;
+///
+/// let cdf = Ecdf::from_counts([1, 1, 2, 4]);
+/// assert_eq!(cdf.fraction_at_or_below(1.0), 0.5);
+/// assert_eq!(cdf.percentile(0.999), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds a CDF from integer samples.
+    pub fn from_counts<I: IntoIterator<Item = usize>>(samples: I) -> Self {
+        Ecdf::from_samples(samples.into_iter().map(|s| s as f64))
+    }
+
+    /// Builds a CDF from float samples (NaNs are dropped).
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns `true` when the CDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; `0.0` for an empty CDF.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The nearest-rank percentile: the smallest sample `v` with
+    /// `P(X <= v) >= p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `p` is not in `(0, 1]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "percentile of empty CDF");
+        assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+        let rank = ((p * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        self.sorted[rank - 1]
+    }
+
+    /// The maximum sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The mean of the samples (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Renders the CDF as a plottable step curve `(x, P(X <= x))`, one
+    /// point per distinct sample value — the Figure 9 series.
+    pub fn to_series(&self) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        let n = self.sorted.len() as f64;
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let v = self.sorted[i];
+            // Advance over duplicates.
+            let mut j = i;
+            while j < self.sorted.len() && self.sorted[j] == v {
+                j += 1;
+            }
+            out.push(v, j as f64 / n);
+            i = j;
+        }
+        out
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Ecdf::from_samples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_percentiles() {
+        let cdf = Ecdf::from_counts([1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(cdf.len(), 10);
+        assert_eq!(cdf.fraction_at_or_below(5.0), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(0.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(cdf.percentile(0.5), 5.0);
+        assert_eq!(cdf.percentile(1.0), 10.0);
+        assert_eq!(cdf.percentile(0.999), 10.0);
+        assert_eq!(cdf.percentile(0.05), 1.0);
+    }
+
+    #[test]
+    fn duplicates_collapse_in_series() {
+        let cdf = Ecdf::from_counts([2, 2, 2, 5]);
+        let s = cdf.to_series();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.points()[0], (2.0, 0.75));
+        assert_eq!(s.points()[1], (5.0, 1.0));
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let cdf = Ecdf::from_counts([1, 3, 5]);
+        assert_eq!(cdf.mean(), 3.0);
+        assert_eq!(cdf.max(), Some(5.0));
+        let empty = Ecdf::from_counts([]);
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.max().is_none());
+        assert!(empty.is_empty());
+        assert_eq!(empty.fraction_at_or_below(1.0), 0.0);
+    }
+
+    #[test]
+    fn nans_are_dropped() {
+        let cdf: Ecdf = [1.0, f64::NAN, 2.0].into_iter().collect();
+        assert_eq!(cdf.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        Ecdf::from_counts([]).percentile(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1]")]
+    fn percentile_rejects_bad_p() {
+        Ecdf::from_counts([1]).percentile(0.0);
+    }
+
+    #[test]
+    fn monotone_series() {
+        let cdf = Ecdf::from_counts([3, 1, 4, 1, 5, 9, 2, 6]);
+        let s = cdf.to_series();
+        let mut prev = 0.0;
+        for (_, f) in s.iter() {
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert_eq!(s.final_value(), 1.0);
+    }
+}

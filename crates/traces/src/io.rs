@@ -1,0 +1,180 @@
+//! Trace serialization: CSV import/export of flow records, so generated
+//! traces can be inspected with standard tooling or replayed by external
+//! analyzers (the role the paper's anonymized tcpdump-style traces
+//! played).
+
+use crate::record::{FlowRecord, HostClass, Protocol, Trace};
+use dynaquar_ratelimit::deploy::HostId;
+use dynaquar_ratelimit::RemoteKey;
+use std::fmt::Write as _;
+
+/// CSV header written by [`to_csv`].
+pub const CSV_HEADER: &str = "time,src,dst,proto,dport,dns_translated,prior_contact";
+
+fn proto_fields(p: Protocol) -> (&'static str, u16) {
+    match p {
+        Protocol::Tcp { dport } => ("tcp", dport),
+        Protocol::Udp { dport } => ("udp", dport),
+        Protocol::Icmp => ("icmp", 0),
+    }
+}
+
+/// Serializes the trace's records as CSV (header + one row per record).
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.records().len() * 40 + 64);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in trace.records() {
+        let (proto, dport) = proto_fields(r.protocol);
+        let _ = writeln!(
+            out,
+            "{},{},{},{proto},{dport},{},{}",
+            r.time,
+            r.src.index(),
+            r.dst.value(),
+            r.dns_translated as u8,
+            r.prior_contact as u8
+        );
+    }
+    out
+}
+
+/// Parses records from [`to_csv`] output. Host classes are not stored in
+/// the CSV; callers provide them (defaulting every host to
+/// [`HostClass::NormalClient`] via [`from_csv_unclassified`]).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed rows.
+pub fn from_csv(text: &str, classes: Vec<HostClass>, duration: f64) -> Result<Trace, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == CSV_HEADER => {}
+        other => return Err(format!("missing or bad header: {other:?}")),
+    }
+    let mut records = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let row = lineno + 2;
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 7 {
+            return Err(format!("row {row}: expected 7 fields, got {}", fields.len()));
+        }
+        let time: f64 = fields[0].parse().map_err(|e| format!("row {row}: {e}"))?;
+        let src: u32 = fields[1].parse().map_err(|e| format!("row {row}: {e}"))?;
+        let dst: u64 = fields[2].parse().map_err(|e| format!("row {row}: {e}"))?;
+        let dport: u16 = fields[4].parse().map_err(|e| format!("row {row}: {e}"))?;
+        let protocol = match fields[3] {
+            "tcp" => Protocol::Tcp { dport },
+            "udp" => Protocol::Udp { dport },
+            "icmp" => Protocol::Icmp,
+            other => return Err(format!("row {row}: unknown protocol {other}")),
+        };
+        let flag = |f: &str| match f {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(format!("row {row}: bad flag {other}")),
+        };
+        records.push(FlowRecord {
+            time,
+            src: HostId::new(src),
+            dst: RemoteKey::new(dst),
+            protocol,
+            dns_translated: flag(fields[5])?,
+            prior_contact: flag(fields[6])?,
+        });
+    }
+    // Trace::new validates src indices against classes and would panic;
+    // pre-validate to return an error instead.
+    let max_src = records.iter().map(|r| r.src.index()).max();
+    if let Some(max) = max_src {
+        if max >= classes.len() {
+            return Err(format!(
+                "record source {max} out of range for {} classes",
+                classes.len()
+            ));
+        }
+    }
+    Ok(Trace::new(records, classes, duration))
+}
+
+/// [`from_csv`] with every host defaulted to a normal client, sized from
+/// the largest source index present.
+///
+/// # Errors
+///
+/// Same conditions as [`from_csv`].
+pub fn from_csv_unclassified(text: &str, duration: f64) -> Result<Trace, String> {
+    // First pass to size the class vector.
+    let mut max_src = 0u32;
+    for line in text.lines().skip(1) {
+        if let Some(field) = line.split(',').nth(1) {
+            if let Ok(v) = field.parse::<u32>() {
+                max_src = max_src.max(v);
+            }
+        }
+    }
+    let classes = vec![HostClass::NormalClient; (max_src + 1) as usize];
+    from_csv(text, classes, duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TraceBuilder;
+
+    fn small_trace() -> Trace {
+        TraceBuilder::new()
+            .normal_clients(8)
+            .servers(1)
+            .p2p_clients(1)
+            .infected(2)
+            .duration_secs(300.0)
+            .seed(9)
+            .build()
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_records() {
+        let t = small_trace();
+        let csv = to_csv(&t);
+        let parsed = from_csv(csv.as_str(), t.classes().to_vec(), t.duration()).unwrap();
+        assert_eq!(t.records().len(), parsed.records().len());
+        for (a, b) in t.records().iter().zip(parsed.records()) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.dns_translated, b.dns_translated);
+            assert_eq!(a.prior_contact, b.prior_contact);
+            assert!((a.time - b.time).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unclassified_import_sizes_hosts() {
+        let t = small_trace();
+        let csv = to_csv(&t);
+        let parsed = from_csv_unclassified(&csv, t.duration()).unwrap();
+        assert!(parsed.host_count() >= 1);
+        assert!(parsed.records().len() == t.records().len());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_csv("nope\n", vec![], 1.0).is_err());
+        let bad_fields = format!("{CSV_HEADER}\n1.0,0,5\n");
+        assert!(from_csv(&bad_fields, vec![HostClass::NormalClient], 1.0).is_err());
+        let bad_proto = format!("{CSV_HEADER}\n1.0,0,5,xxx,0,0,0\n");
+        assert!(from_csv(&bad_proto, vec![HostClass::NormalClient], 1.0).is_err());
+        let bad_flag = format!("{CSV_HEADER}\n1.0,0,5,tcp,80,2,0\n");
+        assert!(from_csv(&bad_flag, vec![HostClass::NormalClient], 1.0).is_err());
+        let out_of_range = format!("{CSV_HEADER}\n1.0,9,5,tcp,80,0,0\n");
+        assert!(from_csv(&out_of_range, vec![HostClass::NormalClient], 1.0).is_err());
+    }
+
+    #[test]
+    fn icmp_roundtrips_without_port() {
+        let csv = format!("{CSV_HEADER}\n0.5,0,77,icmp,0,0,0\n");
+        let t = from_csv(&csv, vec![HostClass::InfectedWelchia], 1.0).unwrap();
+        assert_eq!(t.records()[0].protocol, Protocol::Icmp);
+    }
+}

@@ -1,0 +1,58 @@
+//! Synthetic campus-trace substrate for the paper's Section 7 study.
+//!
+//! The paper analyzes a 23-day anonymized trace of CMU's ECE department
+//! edge router: 1,128 hosts — 999 "normal desktop" clients, 17 servers,
+//! 33 peer-to-peer clients, and 79 hosts infected by Blaster and/or
+//! Welchia. That trace is private; this crate generates a synthetic
+//! equivalent whose *contact-rate statistics* reproduce the paper's
+//! published observations, and implements the full analysis pipeline the
+//! paper ran on the real data:
+//!
+//! * [`record`] — anonymized flow records with transport signature, DNS
+//!   translation flag, and who-initiated metadata;
+//! * [`workload`] — per-class behaviour generators and the
+//!   [`TraceBuilder`](workload::TraceBuilder) that assembles the full
+//!   department trace;
+//! * [`analysis`] — windowed distinct-destination counting with the
+//!   paper's three refinements (all contacts / no prior contact / no
+//!   prior contact and no DNS translation);
+//! * [`cdf`] — empirical CDFs (Figure 9);
+//! * [`limits`] — percentile-derived practical rate limits (the
+//!   "16 / 14 / 9 per five seconds" ladder) and the window-size scaling
+//!   study;
+//! * [`classify`] — behavioural host classification and the
+//!   Welchia-vs-Blaster peak-scan-rate comparison (footnote 1).
+//!
+//! # Example
+//!
+//! ```
+//! use dynaquar_traces::workload::TraceBuilder;
+//! use dynaquar_traces::analysis::{aggregate_contact_samples, Refinement};
+//!
+//! let trace = TraceBuilder::new()
+//!     .normal_clients(50)
+//!     .servers(2)
+//!     .p2p_clients(2)
+//!     .infected(0)
+//!     .duration_secs(600.0)
+//!     .seed(7)
+//!     .build();
+//! let samples = aggregate_contact_samples(&trace, trace.hosts(), 5.0, Refinement::All);
+//! assert!(!samples.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod cdf;
+pub mod classify;
+pub mod io;
+pub mod limits;
+pub mod record;
+pub mod replay;
+pub mod sweep;
+pub mod workload;
+
+pub use record::{FlowRecord, HostClass, Protocol, Trace};

@@ -1,0 +1,257 @@
+//! Percentile-derived practical rate limits — the paper's "reasonable
+//! rate limits for an enterprise network".
+//!
+//! Section 7 derives, from the 99.9th percentile of the contact-rate
+//! CDFs, the ladder of limits an administrator could deploy "to avoid
+//! having impact 99.9% of the time":
+//!
+//! | population | all | no prior | no prior, no DNS |
+//! |---|---|---|---|
+//! | normal clients (aggregate, 5 s) | 16 | 14 | 9 |
+//! | P2P clients (aggregate, 5 s) | 89 | 61 | 26 |
+//! | single normal client (5 s) | 4 | — | 1 |
+//!
+//! plus the window-scaling observation (aggregate non-DNS rates at
+//! 99.9 %): five for one second, twelve for five seconds, fifty for
+//! sixty seconds.
+
+use crate::analysis::{
+    aggregate_contact_samples, pooled_per_host_samples, Refinement,
+};
+use crate::cdf::Ecdf;
+use crate::record::{HostClass, Trace};
+use serde::{Deserialize, Serialize};
+
+/// The paper's headline percentile: impact at most 0.1 % of the time.
+pub const PAPER_PERCENTILE: f64 = 0.999;
+
+/// A derived rate limit: distinct destinations per window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DerivedLimit {
+    /// Window length, seconds.
+    pub window: f64,
+    /// Contact definition used.
+    pub refinement: Refinement,
+    /// The limit (99.9th-percentile count, rounded up).
+    pub limit: u64,
+}
+
+/// Derives the rate limit for an aggregate (edge-router) deployment over
+/// `class` hosts.
+///
+/// # Panics
+///
+/// Panics if the trace has no hosts of `class` or `window <= 0`.
+pub fn aggregate_limit(
+    trace: &Trace,
+    class: HostClass,
+    window: f64,
+    refinement: Refinement,
+    percentile: f64,
+) -> DerivedLimit {
+    let hosts = trace.hosts_of_class(class);
+    assert!(!hosts.is_empty(), "no hosts of class {class}");
+    let samples = aggregate_contact_samples(trace, hosts, window, refinement);
+    let limit = Ecdf::from_counts(samples).percentile(percentile).ceil() as u64;
+    DerivedLimit {
+        window,
+        refinement,
+        limit,
+    }
+}
+
+/// Derives the rate limit for a per-host deployment: the percentile over
+/// the pooled per-host-per-window samples of `class` hosts.
+///
+/// # Panics
+///
+/// Panics if the trace has no hosts of `class` or `window <= 0`.
+pub fn per_host_limit(
+    trace: &Trace,
+    class: HostClass,
+    window: f64,
+    refinement: Refinement,
+    percentile: f64,
+) -> DerivedLimit {
+    let hosts = trace.hosts_of_class(class);
+    assert!(!hosts.is_empty(), "no hosts of class {class}");
+    let samples = pooled_per_host_samples(trace, &hosts, window, refinement);
+    let limit = Ecdf::from_counts(samples).percentile(percentile).ceil() as u64;
+    DerivedLimit {
+        window,
+        refinement,
+        limit,
+    }
+}
+
+/// The full Section 7 limits table, computed from a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LimitsReport {
+    /// Aggregate limits for normal clients over 5 s, per refinement
+    /// (paper: 16 / 14 / 9).
+    pub normal_aggregate: [DerivedLimit; 3],
+    /// Aggregate limits for P2P clients over 5 s (paper: 89 / 61 / 26).
+    pub p2p_aggregate: [DerivedLimit; 3],
+    /// Per-host limits for a normal client over 5 s, `All` and
+    /// `NoPriorNoDns` (paper: 4 and 1).
+    pub normal_per_host: [DerivedLimit; 2],
+    /// Aggregate non-DNS limits at windows of 1 s / 5 s / 60 s across
+    /// normal clients (paper: 5 / 12 / 50).
+    pub window_scaling: [DerivedLimit; 3],
+}
+
+impl LimitsReport {
+    /// Computes the table at the paper's 99.9th percentile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace lacks normal-client or P2P hosts.
+    pub fn compute(trace: &Trace) -> Self {
+        let p = PAPER_PERCENTILE;
+        let refs = Refinement::all_three();
+        let normal_aggregate =
+            refs.map(|r| aggregate_limit(trace, HostClass::NormalClient, 5.0, r, p));
+        let p2p_aggregate = refs.map(|r| aggregate_limit(trace, HostClass::P2p, 5.0, r, p));
+        let normal_per_host = [
+            per_host_limit(trace, HostClass::NormalClient, 5.0, Refinement::All, p),
+            per_host_limit(
+                trace,
+                HostClass::NormalClient,
+                5.0,
+                Refinement::NoPriorNoDns,
+                p,
+            ),
+        ];
+        let window_scaling = [1.0, 5.0, 60.0].map(|w| {
+            aggregate_limit(
+                trace,
+                HostClass::NormalClient,
+                w,
+                Refinement::NoPriorNoDns,
+                p,
+            )
+        });
+        LimitsReport {
+            normal_aggregate,
+            p2p_aggregate,
+            normal_per_host,
+            window_scaling,
+        }
+    }
+}
+
+impl std::fmt::Display for LimitsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "normal aggregate /5s:  all={} no-prior={} no-prior-no-dns={}",
+            self.normal_aggregate[0].limit,
+            self.normal_aggregate[1].limit,
+            self.normal_aggregate[2].limit
+        )?;
+        writeln!(
+            f,
+            "p2p aggregate /5s:     all={} no-prior={} no-prior-no-dns={}",
+            self.p2p_aggregate[0].limit, self.p2p_aggregate[1].limit, self.p2p_aggregate[2].limit
+        )?;
+        writeln!(
+            f,
+            "normal per-host /5s:   all={} no-prior-no-dns={}",
+            self.normal_per_host[0].limit, self.normal_per_host[1].limit
+        )?;
+        write!(
+            f,
+            "window scaling (non-DNS aggregate): 1s={} 5s={} 60s={}",
+            self.window_scaling[0].limit,
+            self.window_scaling[1].limit,
+            self.window_scaling[2].limit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::TraceBuilder;
+
+    fn trace() -> Trace {
+        TraceBuilder::new()
+            .normal_clients(120)
+            .servers(3)
+            .p2p_clients(8)
+            .infected(0)
+            .duration_secs(2400.0)
+            .seed(21)
+            .build()
+    }
+
+    #[test]
+    fn refinement_ladder_is_monotone() {
+        let t = trace();
+        let r = LimitsReport::compute(&t);
+        assert!(r.normal_aggregate[0].limit >= r.normal_aggregate[1].limit);
+        assert!(r.normal_aggregate[1].limit >= r.normal_aggregate[2].limit);
+        assert!(r.p2p_aggregate[0].limit >= r.p2p_aggregate[1].limit);
+        assert!(r.p2p_aggregate[1].limit >= r.p2p_aggregate[2].limit);
+    }
+
+    #[test]
+    fn per_host_limits_are_small() {
+        let t = trace();
+        let r = LimitsReport::compute(&t);
+        // A normal desktop rarely exceeds a handful of contacts / 5 s.
+        assert!(r.normal_per_host[0].limit <= 10);
+        assert!(r.normal_per_host[1].limit <= r.normal_per_host[0].limit);
+    }
+
+    #[test]
+    fn longer_windows_allow_lower_per_second_rates() {
+        let t = trace();
+        let r = LimitsReport::compute(&t);
+        let per_second: Vec<f64> = r
+            .window_scaling
+            .iter()
+            .map(|d| d.limit as f64 / d.window)
+            .collect();
+        // The paper's burstiness observation: 5/1s > 12/5s > 50/60s in
+        // per-second terms.
+        assert!(per_second[0] >= per_second[1]);
+        assert!(per_second[1] >= per_second[2]);
+    }
+
+    #[test]
+    fn p2p_needs_higher_limits_than_normal() {
+        let t = trace();
+        let r = LimitsReport::compute(&t);
+        // Per capita the P2P population is far chattier; with 8 P2P vs
+        // 120 normal hosts the absolute aggregate should still exceed
+        // the normal tail or at least approach it.
+        assert!(
+            r.p2p_aggregate[0].limit as f64
+                > 0.5 * r.normal_aggregate[0].limit as f64
+        );
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let t = trace();
+        let r = LimitsReport::compute(&t);
+        let s = r.to_string();
+        assert!(s.contains("normal aggregate"));
+        assert!(s.contains("p2p aggregate"));
+        assert!(s.contains("window scaling"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no hosts of class")]
+    fn missing_class_panics() {
+        let t = TraceBuilder::new()
+            .normal_clients(5)
+            .servers(0)
+            .p2p_clients(0)
+            .infected(0)
+            .duration_secs(60.0)
+            .build();
+        aggregate_limit(&t, HostClass::P2p, 5.0, Refinement::All, 0.999);
+    }
+}

@@ -1,0 +1,232 @@
+//! Anonymized flow records — the unit of the synthetic trace.
+
+use dynaquar_ratelimit::deploy::HostId;
+use dynaquar_ratelimit::RemoteKey;
+use serde::{Deserialize, Serialize};
+
+/// Transport-level protocol of a flow (the trace recorded "all IP and
+/// common second layer headers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// TCP with a destination port.
+    Tcp {
+        /// Destination port.
+        dport: u16,
+    },
+    /// UDP with a destination port.
+    Udp {
+        /// Destination port.
+        dport: u16,
+    },
+    /// ICMP (echo requests in Welchia's ping sweeps).
+    Icmp,
+}
+
+/// The ground-truth class of a simulated host (used to generate its
+/// behaviour and to score the classifier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostClass {
+    /// A "normal desktop" client (HTTP, AFS, FTP, ... patterns).
+    NormalClient,
+    /// A network server (SMTP, DNS, IMAP/POP): mostly responds.
+    Server,
+    /// A peer-to-peer client (Kazaa, Gnutella, BitTorrent, eDonkey).
+    P2p,
+    /// Infected by Blaster.
+    InfectedBlaster,
+    /// Infected by Welchia.
+    InfectedWelchia,
+}
+
+impl HostClass {
+    /// Whether the class is worm-infected.
+    pub fn is_infected(self) -> bool {
+        matches!(self, HostClass::InfectedBlaster | HostClass::InfectedWelchia)
+    }
+}
+
+impl std::fmt::Display for HostClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HostClass::NormalClient => "normal-client",
+            HostClass::Server => "server",
+            HostClass::P2p => "p2p",
+            HostClass::InfectedBlaster => "infected-blaster",
+            HostClass::InfectedWelchia => "infected-welchia",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One outbound contact attempt from an inside host to a foreign address.
+///
+/// The paper's refinements need two pieces of metadata per contact:
+/// whether the destination had a valid DNS translation at contact time,
+/// and whether the destination initiated contact with the host first.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Seconds since trace start.
+    pub time: f64,
+    /// The inside host.
+    pub src: HostId,
+    /// The (anonymized) foreign destination.
+    pub dst: RemoteKey,
+    /// Transport signature.
+    pub protocol: Protocol,
+    /// Destination had a valid DNS cache entry when contacted.
+    pub dns_translated: bool,
+    /// Destination initiated contact with `src` earlier.
+    pub prior_contact: bool,
+}
+
+/// A complete synthetic trace: time-ordered records plus per-host ground
+/// truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<FlowRecord>,
+    classes: Vec<HostClass>,
+    duration: f64,
+}
+
+impl Trace {
+    /// Assembles a trace from parts, sorting records by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any record's `src` index is out of range for `classes`,
+    /// or `duration <= 0`.
+    pub fn new(mut records: Vec<FlowRecord>, classes: Vec<HostClass>, duration: f64) -> Self {
+        assert!(duration > 0.0, "trace duration must be positive");
+        for r in &records {
+            assert!(
+                r.src.index() < classes.len(),
+                "record source {} out of range",
+                r.src
+            );
+        }
+        records.sort_by(|a, b| a.time.total_cmp(&b.time));
+        Trace {
+            records,
+            classes,
+            duration,
+        }
+    }
+
+    /// All records, time-ordered.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// Ground-truth class per host.
+    pub fn classes(&self) -> &[HostClass] {
+        &self.classes
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    /// Total number of inside hosts.
+    pub fn host_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// All host ids.
+    pub fn hosts(&self) -> Vec<HostId> {
+        (0..self.classes.len() as u32).map(HostId::new).collect()
+    }
+
+    /// Hosts of a given ground-truth class.
+    pub fn hosts_of_class(&self, class: HostClass) -> Vec<HostId> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == class)
+            .map(|(i, _)| HostId::new(i as u32))
+            .collect()
+    }
+
+    /// Hosts infected by either worm.
+    pub fn infected_hosts(&self) -> Vec<HostId> {
+        self.classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_infected())
+            .map(|(i, _)| HostId::new(i as u32))
+            .collect()
+    }
+
+    /// Records emitted by `host`, time-ordered.
+    pub fn records_of(&self, host: HostId) -> impl Iterator<Item = &FlowRecord> {
+        self.records.iter().filter(move |r| r.src == host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, src: u32, dst: u64) -> FlowRecord {
+        FlowRecord {
+            time: t,
+            src: HostId::new(src),
+            dst: RemoteKey::new(dst),
+            protocol: Protocol::Tcp { dport: 80 },
+            dns_translated: true,
+            prior_contact: false,
+        }
+    }
+
+    #[test]
+    fn trace_sorts_records() {
+        let t = Trace::new(
+            vec![rec(5.0, 0, 1), rec(1.0, 0, 2)],
+            vec![HostClass::NormalClient],
+            10.0,
+        );
+        assert_eq!(t.records()[0].time, 1.0);
+        assert_eq!(t.records()[1].time, 5.0);
+    }
+
+    #[test]
+    fn class_queries() {
+        let t = Trace::new(
+            vec![],
+            vec![
+                HostClass::NormalClient,
+                HostClass::InfectedBlaster,
+                HostClass::InfectedWelchia,
+                HostClass::P2p,
+            ],
+            10.0,
+        );
+        assert_eq!(t.host_count(), 4);
+        assert_eq!(t.hosts_of_class(HostClass::P2p).len(), 1);
+        assert_eq!(t.infected_hosts().len(), 2);
+        assert!(HostClass::InfectedBlaster.is_infected());
+        assert!(!HostClass::Server.is_infected());
+    }
+
+    #[test]
+    fn records_of_filters_by_source() {
+        let t = Trace::new(
+            vec![rec(1.0, 0, 1), rec(2.0, 1, 2), rec(3.0, 0, 3)],
+            vec![HostClass::NormalClient, HostClass::Server],
+            10.0,
+        );
+        assert_eq!(t.records_of(HostId::new(0)).count(), 2);
+        assert_eq!(t.records_of(HostId::new(1)).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_source() {
+        Trace::new(vec![rec(1.0, 5, 1)], vec![HostClass::NormalClient], 10.0);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(HostClass::InfectedWelchia.to_string(), "infected-welchia");
+    }
+}

@@ -1,0 +1,137 @@
+//! Window-size sweeps — the data behind Section 7's closing observation
+//! that "longer windows accommodate lower long-term rate limits, because
+//! heavy-contact rates tend to be bursty", and behind the hybrid-window
+//! design of [`dynaquar_ratelimit::hybrid::HybridWindow`].
+
+use crate::analysis::{aggregate_contact_samples, Refinement};
+use crate::cdf::Ecdf;
+use crate::record::Trace;
+use dynaquar_epidemic::TimeSeries;
+use dynaquar_ratelimit::deploy::HostId;
+use serde::{Deserialize, Serialize};
+
+/// One row of a window sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Window length, seconds.
+    pub window: f64,
+    /// Percentile-derived distinct-destination limit for that window.
+    pub limit: u64,
+    /// The same limit expressed per second.
+    pub per_second: f64,
+}
+
+/// Sweeps window lengths over `windows`, deriving the
+/// `percentile`-quantile limit for each (aggregate over `hosts`, under
+/// `refinement`).
+///
+/// # Panics
+///
+/// Panics if `windows` is empty, any window is non-positive, or the
+/// percentile is outside `(0, 1]`.
+pub fn window_sweep(
+    trace: &Trace,
+    hosts: &[HostId],
+    windows: &[f64],
+    refinement: Refinement,
+    percentile: f64,
+) -> Vec<WindowPoint> {
+    assert!(!windows.is_empty(), "need at least one window");
+    windows
+        .iter()
+        .map(|&w| {
+            let samples = aggregate_contact_samples(trace, hosts.to_vec(), w, refinement);
+            let limit = Ecdf::from_counts(samples).percentile(percentile).ceil() as u64;
+            WindowPoint {
+                window: w,
+                limit,
+                per_second: limit as f64 / w,
+            }
+        })
+        .collect()
+}
+
+/// Renders a sweep as a `(window, per-second limit)` curve for plotting.
+pub fn sweep_series(points: &[WindowPoint]) -> TimeSeries {
+    points.iter().map(|p| (p.window, p.per_second)).collect()
+}
+
+/// Checks the burstiness property on a sweep: per-second limits are
+/// non-increasing in window length (within a tolerance fraction).
+pub fn per_second_rates_decrease(points: &[WindowPoint], tolerance: f64) -> bool {
+    points.windows(2).all(|pair| {
+        pair[1].per_second <= pair[0].per_second * (1.0 + tolerance)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HostClass;
+    use crate::workload::TraceBuilder;
+
+    fn trace() -> Trace {
+        TraceBuilder::new()
+            .normal_clients(150)
+            .servers(4)
+            .p2p_clients(6)
+            .infected(0)
+            .duration_secs(1800.0)
+            .seed(5)
+            .build()
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_window() {
+        let t = trace();
+        let hosts = t.hosts_of_class(HostClass::NormalClient);
+        let points = window_sweep(&t, &hosts, &[1.0, 5.0, 60.0], Refinement::All, 0.999);
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].window, 1.0);
+        for p in &points {
+            assert!((p.per_second - p.limit as f64 / p.window).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn burstiness_property_holds_on_synthetic_traffic() {
+        let t = trace();
+        let hosts = t.hosts_of_class(HostClass::NormalClient);
+        let points = window_sweep(
+            &t,
+            &hosts,
+            &[1.0, 5.0, 15.0, 60.0],
+            Refinement::NoPriorNoDns,
+            0.999,
+        );
+        assert!(
+            per_second_rates_decrease(&points, 0.05),
+            "per-second limits should shrink with window length: {points:?}"
+        );
+    }
+
+    #[test]
+    fn absolute_limits_grow_with_window() {
+        let t = trace();
+        let hosts = t.hosts_of_class(HostClass::NormalClient);
+        let points = window_sweep(&t, &hosts, &[1.0, 60.0], Refinement::All, 0.999);
+        assert!(points[1].limit >= points[0].limit);
+    }
+
+    #[test]
+    fn sweep_series_is_plottable() {
+        let t = trace();
+        let hosts = t.hosts_of_class(HostClass::NormalClient);
+        let points = window_sweep(&t, &hosts, &[1.0, 5.0, 60.0], Refinement::All, 0.999);
+        let s = sweep_series(&points);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.first().unwrap().0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn empty_windows_panic() {
+        let t = trace();
+        window_sweep(&t, &t.hosts(), &[], Refinement::All, 0.999);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on trace analysis.
+
+use dynaquar_ratelimit::deploy::HostId;
+use dynaquar_ratelimit::RemoteKey;
+use dynaquar_traces::analysis::{
+    aggregate_contact_samples, per_host_contact_samples, Refinement,
+};
+use dynaquar_traces::cdf::Ecdf;
+use dynaquar_traces::record::{FlowRecord, HostClass, Protocol, Trace};
+use proptest::prelude::*;
+
+fn arbitrary_record(hosts: u32) -> impl Strategy<Value = FlowRecord> {
+    (
+        0.0..100.0f64,
+        0..hosts,
+        0u64..40,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(time, src, dst, dns, prior)| FlowRecord {
+            time,
+            src: HostId::new(src),
+            dst: RemoteKey::new(dst),
+            protocol: Protocol::Tcp { dport: 80 },
+            dns_translated: dns,
+            prior_contact: prior,
+        })
+}
+
+fn arbitrary_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arbitrary_record(6), 0..300).prop_map(|records| {
+        Trace::new(records, vec![HostClass::NormalClient; 6], 100.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Refinements only ever reduce per-window counts.
+    #[test]
+    fn refinements_are_monotone(trace in arbitrary_trace(), window in 1.0..50.0f64) {
+        let all = aggregate_contact_samples(&trace, trace.hosts(), window, Refinement::All);
+        let np = aggregate_contact_samples(&trace, trace.hosts(), window, Refinement::NoPriorContact);
+        let nd = aggregate_contact_samples(&trace, trace.hosts(), window, Refinement::NoPriorNoDns);
+        for i in 0..all.len() {
+            prop_assert!(np[i] <= all[i]);
+            prop_assert!(nd[i] <= np[i]);
+        }
+    }
+
+    /// Aggregate counts never exceed the sum of per-host counts, and are
+    /// at least the max per-host count.
+    #[test]
+    fn aggregate_bracketed_by_per_host(trace in arbitrary_trace()) {
+        let window = 10.0;
+        let agg = aggregate_contact_samples(&trace, trace.hosts(), window, Refinement::All);
+        let per: Vec<Vec<usize>> = trace
+            .hosts()
+            .iter()
+            .map(|&h| per_host_contact_samples(&trace, h, window, Refinement::All))
+            .collect();
+        for w in 0..agg.len() {
+            let sum: usize = per.iter().map(|p| p[w]).sum();
+            let max: usize = per.iter().map(|p| p[w]).max().unwrap_or(0);
+            prop_assert!(agg[w] <= sum, "window {w}");
+            prop_assert!(agg[w] >= max, "window {w}");
+        }
+    }
+
+    /// Total distinct (src, window) pairs conservation: each record is
+    /// counted at most once per window.
+    #[test]
+    fn window_counts_bounded_by_records(trace in arbitrary_trace()) {
+        let samples = aggregate_contact_samples(&trace, trace.hosts(), 5.0, Refinement::All);
+        let total: usize = samples.iter().sum();
+        prop_assert!(total <= trace.records().len());
+    }
+
+    /// ECDF percentile is consistent with fraction_at_or_below.
+    #[test]
+    fn ecdf_percentile_consistency(samples in prop::collection::vec(0usize..100, 1..200), p in 0.01..1.0f64) {
+        let cdf = Ecdf::from_counts(samples.clone());
+        let v = cdf.percentile(p);
+        // At least p of the mass is at or below the percentile value.
+        prop_assert!(cdf.fraction_at_or_below(v) >= p - 1e-9);
+        // And the value is an actual sample.
+        prop_assert!(samples.iter().any(|&s| (s as f64 - v).abs() < 1e-9));
+    }
+
+    /// The ECDF is a valid distribution function.
+    #[test]
+    fn ecdf_is_monotone_to_one(samples in prop::collection::vec(0usize..50, 1..100)) {
+        let cdf = Ecdf::from_counts(samples);
+        let series = cdf.to_series();
+        let mut prev = 0.0;
+        for (_, f) in series.iter() {
+            prop_assert!(f >= prev);
+            prop_assert!(f <= 1.0 + 1e-12);
+            prev = f;
+        }
+        prop_assert!((series.final_value() - 1.0).abs() < 1e-12);
+    }
+
+    /// CSV round-trips arbitrary traces.
+    #[test]
+    fn csv_roundtrip(trace in arbitrary_trace()) {
+        use dynaquar_traces::io::{from_csv, to_csv};
+        let csv = to_csv(&trace);
+        let parsed = from_csv(&csv, trace.classes().to_vec(), trace.duration()).unwrap();
+        prop_assert_eq!(trace.records().len(), parsed.records().len());
+    }
+}

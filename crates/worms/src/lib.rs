@@ -1,0 +1,36 @@
+//! Worm target-selection strategies and concrete worm profiles.
+//!
+//! The paper studies two spreading algorithms — **random propagation**
+//! (e.g. Code Red I) and **local-preferential connection** (worms "that
+//! target local hosts within a subnet") — and observes two real worms,
+//! **Blaster** and **Welchia**, in its campus traces. This crate models
+//! both layers:
+//!
+//! * [`scanner`] — the [`scanner::TargetSelector`] trait
+//!   and its implementations (uniform random, local-preferential,
+//!   sequential, hit-list), consumed by the packet-level simulator;
+//! * [`profiles`] — named parameter bundles
+//!   ([`profiles::WormProfile`]) for Code Red I, Slammer,
+//!   Blaster, and Welchia, including the trace-observed scan rates
+//!   (Welchia's peak of 7,068 contacts/minute versus Blaster's 671).
+//!
+//! # Example
+//!
+//! ```
+//! use dynaquar_worms::profiles::WormProfile;
+//!
+//! let welchia = WormProfile::welchia();
+//! let blaster = WormProfile::blaster();
+//! // The paper's footnote: Welchia scans an order of magnitude faster.
+//! assert!(welchia.peak_scans_per_minute > 10.0 * blaster.peak_scans_per_minute / 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod profiles;
+pub mod scanner;
+
+pub use profiles::WormProfile;
+pub use scanner::{ScanContext, TargetSelector};

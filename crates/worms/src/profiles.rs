@@ -1,0 +1,299 @@
+//! Named worm parameter bundles.
+//!
+//! These profiles capture the behavioural parameters the paper relies on:
+//! scanning strategy, scan rate, transport signature (used by the
+//! synthetic trace generator), and side effects (Welchia patches and
+//! reboots its victims). Exploit payloads are irrelevant to contact-rate
+//! dynamics and are not modelled.
+
+use serde::{Deserialize, Serialize};
+
+/// The transport-level signature a worm's probes leave in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeSignature {
+    /// TCP SYNs to a fixed destination port (e.g. Blaster to 135/tcp,
+    /// Code Red to 80/tcp).
+    TcpSyn {
+        /// Destination port.
+        port: u16,
+    },
+    /// A single UDP datagram (Slammer to 1434/udp).
+    Udp {
+        /// Destination port.
+        port: u16,
+    },
+    /// ICMP echo request first, then TCP on reply (Welchia's
+    /// ping-then-exploit pattern).
+    IcmpThenTcp {
+        /// Destination port of the follow-up TCP connection.
+        port: u16,
+    },
+}
+
+/// Which target-selection strategy a worm uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectorKind {
+    /// Uniform random over the address space.
+    Random,
+    /// Local-preferential with the given bias toward the own subnet.
+    LocalPreferential {
+        /// Fraction of scans aimed at the local subnet.
+        local_bias: f64,
+    },
+    /// Sequential sweep from a random start.
+    Sequential,
+    /// Shared-permutation scanning keyed per outbreak (Staniford et
+    /// al.'s coordination-free space partitioning).
+    Permutation {
+        /// The permutation key all instances of the outbreak share.
+        key: u64,
+    },
+}
+
+/// A worm's behavioural parameters.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_worms::profiles::{ProbeSignature, WormProfile};
+///
+/// let blaster = WormProfile::blaster();
+/// assert_eq!(blaster.signature, ProbeSignature::TcpSyn { port: 135 });
+/// assert!(!blaster.patches_host);
+/// assert!(WormProfile::welchia().patches_host);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WormProfile {
+    /// Worm name.
+    pub name: &'static str,
+    /// Target-selection strategy.
+    pub selector: SelectorKind,
+    /// Average scans per minute during steady propagation.
+    pub scans_per_minute: f64,
+    /// Peak observed scans per minute (the paper's trace footnote).
+    pub peak_scans_per_minute: f64,
+    /// Transport signature of a probe.
+    pub signature: ProbeSignature,
+    /// Packets sent per probed target (Welchia pings first: 2).
+    pub packets_per_probe: u32,
+    /// Whether infection patches the vulnerability and reboots the host
+    /// (Welchia's "benign" behaviour — the victim leaves the susceptible
+    /// pool).
+    pub patches_host: bool,
+    /// Whether the worm keeps retrying unanswered probes (Blaster was
+    /// "much more persistent in its propagation attempts").
+    pub persistent: bool,
+}
+
+impl WormProfile {
+    /// Code Red I: random scanning of 80/tcp, the paper's canonical
+    /// random-propagation worm.
+    pub fn code_red() -> Self {
+        WormProfile {
+            name: "CodeRedI",
+            selector: SelectorKind::Random,
+            scans_per_minute: 360.0,
+            peak_scans_per_minute: 600.0,
+            signature: ProbeSignature::TcpSyn { port: 80 },
+            packets_per_probe: 1,
+            patches_host: false,
+            persistent: false,
+        }
+    }
+
+    /// Code Red II: the first widely seen *local-preferential* worm —
+    /// 1/2 of its probes stayed in the victim's /8, 3/8 in the /16, and
+    /// only 1/8 roamed the whole address space (its "localized scanning"
+    /// is the behaviour Sections 5.2/5.4 model as subnet-preferential
+    /// targeting).
+    pub fn code_red_ii() -> Self {
+        WormProfile {
+            name: "CodeRedII",
+            selector: SelectorKind::LocalPreferential { local_bias: 0.875 },
+            scans_per_minute: 420.0,
+            peak_scans_per_minute: 900.0,
+            signature: ProbeSignature::TcpSyn { port: 80 },
+            packets_per_probe: 1,
+            patches_host: false,
+            persistent: false,
+        }
+    }
+
+    /// SQL Slammer: bandwidth-limited single-UDP-packet scanning — "over
+    /// 90% of the vulnerable hosts on the Internet within ten minutes".
+    pub fn slammer() -> Self {
+        WormProfile {
+            name: "Slammer",
+            selector: SelectorKind::Random,
+            scans_per_minute: 240_000.0,
+            peak_scans_per_minute: 1_560_000.0,
+            signature: ProbeSignature::Udp { port: 1434 },
+            packets_per_probe: 1,
+            patches_host: false,
+            persistent: false,
+        }
+    }
+
+    /// Blaster (MSBlast): sequential scanning of 135/tcp exploiting the
+    /// Windows DCOM RPC vulnerability. The paper's trace observed a peak
+    /// of 671 scanned hosts per minute.
+    pub fn blaster() -> Self {
+        WormProfile {
+            name: "Blaster",
+            selector: SelectorKind::LocalPreferential { local_bias: 0.6 },
+            scans_per_minute: 300.0,
+            peak_scans_per_minute: 671.0,
+            signature: ProbeSignature::TcpSyn { port: 135 },
+            packets_per_probe: 1,
+            patches_host: false,
+            persistent: true,
+        }
+    }
+
+    /// Welchia (Nachi): the "patching worm" — ICMP ping sweep, then the
+    /// same DCOM exploit, then patches and reboots the victim. The
+    /// paper's trace observed one instance scanning 7,068 hosts in a
+    /// minute, an order of magnitude above Blaster.
+    pub fn welchia() -> Self {
+        WormProfile {
+            name: "Welchia",
+            selector: SelectorKind::LocalPreferential { local_bias: 0.8 },
+            scans_per_minute: 3000.0,
+            peak_scans_per_minute: 7068.0,
+            signature: ProbeSignature::IcmpThenTcp { port: 135 },
+            packets_per_probe: 2,
+            patches_host: true,
+            persistent: false,
+        }
+    }
+
+    /// All built-in profiles.
+    pub fn all() -> Vec<WormProfile> {
+        vec![
+            WormProfile::code_red(),
+            WormProfile::code_red_ii(),
+            WormProfile::slammer(),
+            WormProfile::blaster(),
+            WormProfile::welchia(),
+        ]
+    }
+
+    /// Average scans per second.
+    pub fn scans_per_second(&self) -> f64 {
+        self.scans_per_minute / 60.0
+    }
+
+    /// Converts the profile's real-time scan rate into a whole number of
+    /// scans per simulator tick, given the tick length in seconds
+    /// (rounded to at least one scan per tick — the simulator models
+    /// sub-tick rates with the infection probability β instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_seconds <= 0`.
+    pub fn scans_per_tick(&self, tick_seconds: f64) -> u32 {
+        assert!(tick_seconds > 0.0, "tick length must be positive");
+        (self.scans_per_second() * tick_seconds).round().max(1.0) as u32
+    }
+
+    /// Peak scans per second.
+    pub fn peak_scans_per_second(&self) -> f64 {
+        self.peak_scans_per_minute / 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welchia_order_of_magnitude_above_blaster() {
+        // The paper's footnote 1.
+        let w = WormProfile::welchia();
+        let b = WormProfile::blaster();
+        assert_eq!(w.peak_scans_per_minute, 7068.0);
+        assert_eq!(b.peak_scans_per_minute, 671.0);
+        assert!(w.peak_scans_per_minute / b.peak_scans_per_minute > 10.0);
+    }
+
+    #[test]
+    fn both_dcom_worms_target_port_135() {
+        assert_eq!(
+            WormProfile::blaster().signature,
+            ProbeSignature::TcpSyn { port: 135 }
+        );
+        assert_eq!(
+            WormProfile::welchia().signature,
+            ProbeSignature::IcmpThenTcp { port: 135 }
+        );
+    }
+
+    #[test]
+    fn welchia_pings_first() {
+        assert_eq!(WormProfile::welchia().packets_per_probe, 2);
+        assert!(WormProfile::welchia().patches_host);
+    }
+
+    #[test]
+    fn blaster_is_persistent() {
+        assert!(WormProfile::blaster().persistent);
+        assert!(!WormProfile::welchia().persistent);
+    }
+
+    #[test]
+    fn slammer_is_fastest() {
+        let rates: Vec<f64> = WormProfile::all()
+            .iter()
+            .map(|p| p.scans_per_minute)
+            .collect();
+        assert_eq!(
+            rates.iter().cloned().fold(f64::MIN, f64::max),
+            WormProfile::slammer().scans_per_minute
+        );
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let b = WormProfile::blaster();
+        assert!((b.scans_per_second() - 5.0).abs() < 1e-12);
+        assert!((b.peak_scans_per_second() - 671.0 / 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scans_per_tick_conversion() {
+        let b = WormProfile::blaster(); // 5 scans/s
+        assert_eq!(b.scans_per_tick(1.0), 5);
+        assert_eq!(b.scans_per_tick(0.2), 1);
+        // Slow worms still emit at least one scan per tick.
+        assert_eq!(b.scans_per_tick(0.01), 1);
+        assert_eq!(WormProfile::slammer().scans_per_tick(0.001), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick length")]
+    fn scans_per_tick_rejects_zero_tick() {
+        WormProfile::blaster().scans_per_tick(0.0);
+    }
+
+    #[test]
+    fn all_returns_five_distinct_profiles() {
+        let all = WormProfile::all();
+        assert_eq!(all.len(), 5);
+        let names: std::collections::HashSet<_> = all.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn code_red_ii_is_local_preferential() {
+        let crii = WormProfile::code_red_ii();
+        match crii.selector {
+            SelectorKind::LocalPreferential { local_bias } => {
+                // 1/2 + 3/8 of probes stay local.
+                assert!((local_bias - 0.875).abs() < 1e-12);
+            }
+            other => panic!("expected local-preferential, got {other:?}"),
+        }
+        // Code Red I, by contrast, is uniformly random.
+        assert_eq!(WormProfile::code_red().selector, SelectorKind::Random);
+    }
+}

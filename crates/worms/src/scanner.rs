@@ -1,0 +1,485 @@
+//! Target-selection strategies.
+//!
+//! At every simulation tick each infected node asks its selector for scan
+//! targets. The selector sees a [`ScanContext`] describing the candidate
+//! population and (for subnet-aware strategies) subnet membership.
+
+use dynaquar_topology::generators::SubnetId;
+use dynaquar_topology::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a selector may look at when picking a target.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanContext<'a> {
+    /// The scanning (infected) node.
+    pub scanner: NodeId,
+    /// Every scannable host in the network (including infected ones —
+    /// real worms cannot tell and waste scans re-infecting).
+    pub hosts: &'a [NodeId],
+    /// Subnet of each node, indexed by `NodeId::index` (`None` for
+    /// routers or when the topology has no subnets).
+    pub subnet_of: &'a [Option<SubnetId>],
+    /// Hosts of each subnet, indexed by `SubnetId::index` (empty when the
+    /// topology has no subnets).
+    pub subnet_hosts: &'a [Vec<NodeId>],
+}
+
+impl<'a> ScanContext<'a> {
+    /// The scanner's own subnet, if any.
+    pub fn own_subnet(&self) -> Option<SubnetId> {
+        self.subnet_of.get(self.scanner.index()).copied().flatten()
+    }
+
+    /// The hosts sharing the scanner's subnet (may include the scanner).
+    pub fn local_hosts(&self) -> &'a [NodeId] {
+        match self.own_subnet() {
+            Some(s) => &self.subnet_hosts[s.index()],
+            None => &[],
+        }
+    }
+}
+
+/// A worm's target-selection strategy.
+///
+/// Selectors are per-infected-instance (sequential scanning keeps a
+/// cursor), cheap to clone, and draw all randomness from the supplied
+/// generator so simulations stay reproducible.
+pub trait TargetSelector: Send {
+    /// Picks the next scan target, or `None` when the context offers no
+    /// candidates.
+    fn next_target(&mut self, ctx: &ScanContext<'_>, rng: &mut dyn rand::RngCore)
+        -> Option<NodeId>;
+
+    /// Short strategy name for labels and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform random scanning over the whole population — Code Red I style.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct UniformRandom;
+
+impl UniformRandom {
+    /// Creates the selector.
+    pub fn new() -> Self {
+        UniformRandom
+    }
+}
+
+impl TargetSelector for UniformRandom {
+    fn next_target(
+        &mut self,
+        ctx: &ScanContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        if ctx.hosts.is_empty() {
+            return None;
+        }
+        Some(ctx.hosts[rng.gen_range(0..ctx.hosts.len())])
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Local-preferential scanning: with probability `local_bias` the target
+/// is drawn from the scanner's own subnet, otherwise from the whole
+/// population — the paper's "preferential connection algorithm such as
+/// subnet preferential selection".
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LocalPreferential {
+    local_bias: f64,
+}
+
+impl LocalPreferential {
+    /// Creates a selector aiming a fraction `local_bias ∈ [0, 1]` of
+    /// scans at the local subnet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_bias` is not in `[0, 1]`.
+    pub fn new(local_bias: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&local_bias),
+            "local_bias must be in [0, 1]"
+        );
+        LocalPreferential { local_bias }
+    }
+
+    /// The configured local bias.
+    pub fn local_bias(&self) -> f64 {
+        self.local_bias
+    }
+}
+
+impl TargetSelector for LocalPreferential {
+    fn next_target(
+        &mut self,
+        ctx: &ScanContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let local = ctx.local_hosts();
+        let use_local = !local.is_empty() && rng.gen_bool(self.local_bias);
+        let pool = if use_local { local } else { ctx.hosts };
+        if pool.is_empty() {
+            return None;
+        }
+        Some(pool[rng.gen_range(0..pool.len())])
+    }
+
+    fn name(&self) -> &'static str {
+        "local-preferential"
+    }
+}
+
+/// Sequential scanning from a random starting point — Blaster's sweep of
+/// consecutive addresses.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Sequential {
+    cursor: Option<usize>,
+}
+
+impl Sequential {
+    /// Creates a selector; the start index is drawn on first use.
+    pub fn new() -> Self {
+        Sequential { cursor: None }
+    }
+}
+
+impl TargetSelector for Sequential {
+    fn next_target(
+        &mut self,
+        ctx: &ScanContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        if ctx.hosts.is_empty() {
+            return None;
+        }
+        let cur = match self.cursor {
+            Some(c) => c % ctx.hosts.len(),
+            None => rng.gen_range(0..ctx.hosts.len()),
+        };
+        self.cursor = Some((cur + 1) % ctx.hosts.len());
+        Some(ctx.hosts[cur])
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+/// Permutation scanning (Staniford et al.): every worm instance walks
+/// the *same* pseudo-random permutation of the address space, but from
+/// its own random starting point. Instances therefore partition the
+/// space implicitly and avoid re-scanning each other's territory — the
+/// coordination-free divide-and-conquer the "How to 0wn the Internet"
+/// paper proposes.
+///
+/// The shared permutation is an affine map `i -> (a·i + b) mod n` over
+/// the host indices, parameterized by a key all instances share.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Permutation {
+    key: u64,
+    cursor: Option<usize>,
+}
+
+impl Permutation {
+    /// Creates an instance of the worm family keyed by `key` (all
+    /// instances of one outbreak share the key; the start point is drawn
+    /// per instance).
+    pub fn new(key: u64) -> Self {
+        Permutation { key, cursor: None }
+    }
+
+    /// The permutation position of `index` within a population of `n`.
+    fn permute(&self, index: usize, n: usize) -> usize {
+        // A multiplier coprime with n: derive an odd multiplier from the
+        // key and walk until gcd == 1 (bounded by a few iterations for
+        // any practical n).
+        let mut a = (self.key | 1) as usize % n;
+        if a == 0 {
+            a = 1;
+        }
+        while gcd(a, n) != 1 {
+            a += 1;
+            if a >= n {
+                a = 1;
+            }
+        }
+        let b = (self.key >> 32) as usize % n;
+        (a * index + b) % n
+    }
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+impl TargetSelector for Permutation {
+    fn next_target(
+        &mut self,
+        ctx: &ScanContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        let n = ctx.hosts.len();
+        if n == 0 {
+            return None;
+        }
+        let cur = match self.cursor {
+            Some(c) => c % n,
+            None => rng.gen_range(0..n),
+        };
+        self.cursor = Some((cur + 1) % n);
+        Some(ctx.hosts[self.permute(cur, n)])
+    }
+
+    fn name(&self) -> &'static str {
+        "permutation"
+    }
+}
+
+/// Hit-list scanning: a precomputed target list (Staniford et al.'s
+/// "Warhol worm" accelerator), consumed front to back, falling back to
+/// random scanning once exhausted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HitList {
+    list: Vec<NodeId>,
+    cursor: usize,
+}
+
+impl HitList {
+    /// Creates a selector over `list`.
+    pub fn new(list: Vec<NodeId>) -> Self {
+        HitList { list, cursor: 0 }
+    }
+
+    /// Remaining unconsumed hit-list entries.
+    pub fn remaining(&self) -> usize {
+        self.list.len().saturating_sub(self.cursor)
+    }
+}
+
+impl TargetSelector for HitList {
+    fn next_target(
+        &mut self,
+        ctx: &ScanContext<'_>,
+        rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        if self.cursor < self.list.len() {
+            let t = self.list[self.cursor];
+            self.cursor += 1;
+            return Some(t);
+        }
+        UniformRandom.next_target(ctx, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "hit-list"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynaquar_topology::generators::{SubnetId, SubnetTopologyBuilder};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        hosts: Vec<NodeId>,
+        subnet_of: Vec<Option<SubnetId>>,
+        subnet_hosts: Vec<Vec<NodeId>>,
+        scanner: NodeId,
+    }
+
+    fn fixture() -> Fixture {
+        let t = SubnetTopologyBuilder::new()
+            .backbone_routers(2)
+            .subnets(4)
+            .hosts_per_subnet(10)
+            .build()
+            .unwrap();
+        let hosts: Vec<NodeId> = t.hosts().collect();
+        let subnet_hosts: Vec<Vec<NodeId>> = (0..t.subnets)
+            .map(|k| t.hosts_of(SubnetId::new(k as u32)).collect())
+            .collect();
+        let scanner = subnet_hosts[0][0];
+        Fixture {
+            hosts,
+            subnet_of: t.subnet_of.clone(),
+            subnet_hosts,
+            scanner,
+        }
+    }
+
+    impl Fixture {
+        fn ctx(&self) -> ScanContext<'_> {
+            ScanContext {
+                scanner: self.scanner,
+                hosts: &self.hosts,
+                subnet_of: &self.subnet_of,
+                subnet_hosts: &self.subnet_hosts,
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_random_covers_population() {
+        let f = fixture();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sel = UniformRandom::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(sel.next_target(&f.ctx(), &mut rng).unwrap());
+        }
+        // 40 hosts, 2000 draws: all should appear.
+        assert_eq!(seen.len(), f.hosts.len());
+    }
+
+    #[test]
+    fn uniform_random_empty_population() {
+        let f = fixture();
+        let ctx = ScanContext {
+            hosts: &[],
+            ..f.ctx()
+        };
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(UniformRandom::new().next_target(&ctx, &mut rng).is_none());
+    }
+
+    #[test]
+    fn local_preferential_respects_bias() {
+        let f = fixture();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sel = LocalPreferential::new(0.9);
+        let local: std::collections::HashSet<NodeId> =
+            f.subnet_hosts[0].iter().copied().collect();
+        let mut local_hits = 0;
+        let n = 5000;
+        for _ in 0..n {
+            let t = sel.next_target(&f.ctx(), &mut rng).unwrap();
+            if local.contains(&t) {
+                local_hits += 1;
+            }
+        }
+        // Expected: 0.9 + 0.1 * (10/40) = 0.925.
+        let frac = local_hits as f64 / n as f64;
+        assert!((frac - 0.925).abs() < 0.03, "local fraction {frac}");
+    }
+
+    #[test]
+    fn local_preferential_without_subnets_falls_back_to_random() {
+        let f = fixture();
+        let empty_subnets: Vec<Option<SubnetId>> = vec![None; f.subnet_of.len()];
+        let ctx = ScanContext {
+            subnet_of: &empty_subnets,
+            subnet_hosts: &[],
+            ..f.ctx()
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sel = LocalPreferential::new(1.0);
+        assert!(sel.next_target(&ctx, &mut rng).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "local_bias")]
+    fn local_preferential_rejects_bad_bias() {
+        LocalPreferential::new(1.5);
+    }
+
+    #[test]
+    fn sequential_sweeps_in_order() {
+        let f = fixture();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut sel = Sequential::new();
+        let first = sel.next_target(&f.ctx(), &mut rng).unwrap();
+        let start = f.hosts.iter().position(|&h| h == first).unwrap();
+        for k in 1..10 {
+            let t = sel.next_target(&f.ctx(), &mut rng).unwrap();
+            assert_eq!(t, f.hosts[(start + k) % f.hosts.len()]);
+        }
+    }
+
+    #[test]
+    fn hit_list_consumes_then_falls_back() {
+        let f = fixture();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let list = vec![f.hosts[3], f.hosts[7]];
+        let mut sel = HitList::new(list);
+        assert_eq!(sel.remaining(), 2);
+        assert_eq!(sel.next_target(&f.ctx(), &mut rng), Some(f.hosts[3]));
+        assert_eq!(sel.next_target(&f.ctx(), &mut rng), Some(f.hosts[7]));
+        assert_eq!(sel.remaining(), 0);
+        // Fallback to random still yields targets.
+        assert!(sel.next_target(&f.ctx(), &mut rng).is_some());
+    }
+
+    #[test]
+    fn selector_names() {
+        assert_eq!(UniformRandom::new().name(), "random");
+        assert_eq!(LocalPreferential::new(0.5).name(), "local-preferential");
+        assert_eq!(Sequential::new().name(), "sequential");
+        assert_eq!(HitList::new(vec![]).name(), "hit-list");
+        assert_eq!(Permutation::new(7).name(), "permutation");
+    }
+
+    #[test]
+    fn permutation_visits_every_host_exactly_once_per_cycle() {
+        let f = fixture();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut sel = Permutation::new(0xDEADBEEF);
+        let n = f.hosts.len();
+        let visits: Vec<NodeId> = (0..n)
+            .map(|_| sel.next_target(&f.ctx(), &mut rng).unwrap())
+            .collect();
+        let distinct: std::collections::HashSet<_> = visits.iter().collect();
+        assert_eq!(distinct.len(), n, "one full cycle covers every host once");
+    }
+
+    #[test]
+    fn permutation_instances_share_order_but_not_start() {
+        let f = fixture();
+        let mut rng_a = SmallRng::seed_from_u64(1);
+        let mut rng_b = SmallRng::seed_from_u64(2);
+        let mut a = Permutation::new(99);
+        let mut b = Permutation::new(99);
+        let n = f.hosts.len();
+        let walk = |sel: &mut Permutation, rng: &mut SmallRng| -> Vec<NodeId> {
+            (0..n).map(|_| sel.next_target(&f.ctx(), rng).unwrap()).collect()
+        };
+        let wa = walk(&mut a, &mut rng_a);
+        let wb = walk(&mut b, &mut rng_b);
+        // Same cyclic order: wb is a rotation of wa.
+        let start = wa.iter().position(|&x| x == wb[0]).unwrap();
+        let rotated: Vec<NodeId> = (0..n).map(|k| wa[(start + k) % n]).collect();
+        assert_eq!(rotated, wb);
+    }
+
+    #[test]
+    fn context_helpers() {
+        let f = fixture();
+        let ctx = f.ctx();
+        assert_eq!(ctx.own_subnet(), Some(SubnetId::new(0)));
+        assert_eq!(ctx.local_hosts().len(), 10);
+    }
+
+    #[test]
+    fn selectors_are_deterministic_per_seed() {
+        let f = fixture();
+        let run = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut sel = LocalPreferential::new(0.7);
+            (0..50)
+                .map(|_| sel.next_target(&f.ctx(), &mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

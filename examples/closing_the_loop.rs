@@ -1,0 +1,100 @@
+//! Closing the loop: the simulator's outbreak, analyzed by the trace
+//! pipeline.
+//!
+//! Sections 4–6 of the paper *simulate* worms; Section 7 *observes* them
+//! in traffic. This example connects the two: it simulates an outbreak
+//! with scan logging enabled, converts the emitted scans into anonymized
+//! flow records, and runs the Section 7 machinery over them — CDF,
+//! behavioural classification, and a what-if replay through the derived
+//! rate limit.
+//!
+//! ```text
+//! cargo run --release --example closing_the_loop
+//! ```
+
+use dynaquar::prelude::*;
+use dynaquar::ratelimit::deploy::HostId;
+use dynaquar::ratelimit::window::UniqueIpWindow;
+use dynaquar::traces::analysis::{aggregate_contact_samples, Refinement};
+use dynaquar::traces::cdf::Ecdf;
+use dynaquar::traces::classify::{classify_host, ClassifierConfig};
+use dynaquar::traces::record::{FlowRecord, HostClass, Protocol, Trace};
+use dynaquar::traces::replay::evaluate_per_class;
+
+fn main() {
+    // 1. Simulate a Blaster-like outbreak, recording every emitted scan.
+    let world = World::from_star(dynaquar::topology::generators::star(199).expect("valid"));
+    let config = SimConfig::builder()
+        .beta(0.8)
+        .horizon(300)
+        .initial_infected(1)
+        .log_scans(true)
+        .build()
+        .expect("valid");
+    let behavior = WormBehavior::random().with_scan_rate(3);
+    let result = Simulator::new(&world, &config, behavior, 7).run();
+    println!(
+        "simulated outbreak: {} hosts ever infected, {} scans on the wire",
+        (result.ever_infected_fraction.final_value() * 199.0).round(),
+        result.scan_log.len()
+    );
+
+    // 2. Express the wire traffic as an anonymized trace.
+    let records: Vec<FlowRecord> = result
+        .scan_log
+        .iter()
+        .map(|&(tick, src, dst)| FlowRecord {
+            time: tick as f64,
+            src: HostId::new(src.index() as u32),
+            dst: RemoteKey::new(dst.index() as u64),
+            protocol: Protocol::Tcp { dport: 135 },
+            dns_translated: false,
+            prior_contact: false,
+        })
+        .collect();
+    let n = world.graph().node_count();
+    // Everything on this wire is worm traffic (no background flows were
+    // simulated), so label the ground truth accordingly for the replay.
+    let trace = Trace::new(records, vec![HostClass::InfectedBlaster; n], 300.0);
+
+    // 3. Section 7 analysis: the aggregate contact-rate CDF of the
+    // outbreak dwarfs anything legitimate traffic produces.
+    let cdf = Ecdf::from_counts(aggregate_contact_samples(
+        &trace,
+        trace.hosts(),
+        5.0,
+        Refinement::All,
+    ));
+    println!(
+        "aggregate distinct contacts / 5 s: median {:.0}, p99.9 {:.0} (legit traffic: ~16)",
+        cdf.percentile(0.5),
+        cdf.percentile(0.999)
+    );
+
+    // 4. Behavioural detection, thresholds scaled to the 200-node world.
+    let detector = ClassifierConfig {
+        worm_peak_per_minute: n / 2,
+        ..ClassifierConfig::default()
+    };
+    let flagged = trace
+        .hosts()
+        .iter()
+        .filter(|&&h| classify_host(&trace, h, &detector).is_infected())
+        .count();
+    println!("behavioural detector flags {flagged} of {n} hosts as worm-infected");
+
+    // 5. What-if: the paper's per-host limit (4 unique IPs / 5 s) against
+    // this traffic.
+    let limiter = UniqueIpWindow::new(5.0, 4).expect("valid");
+    let impact = evaluate_per_class(&trace, &limiter);
+    for (class, row) in impact.iter() {
+        println!(
+            "under a 4-per-5s host filter, {class} scan traffic is blocked {:.1}% of the time",
+            row.blocked_fraction() * 100.0
+        );
+    }
+    println!(
+        "\nThe worm the simulator spreads is the worm the trace study catches —\n\
+         the paper's two methodologies, one codebase."
+    );
+}

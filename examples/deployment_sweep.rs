@@ -1,0 +1,74 @@
+//! Sweeping the deployment knobs.
+//!
+//! Reproduces the paper's two quantitative levers as continuous sweeps:
+//!
+//! * host-filter deployment fraction `q` → slowdown (Equation 3 predicts
+//!   `1/(1−q)` linearity),
+//! * backbone per-router allowable rate `r` → slowdown (Equation 6's
+//!   residual term),
+//!
+//! and compares the cap-weight normalization modes' worm-suppression vs
+//! legitimate-traffic collateral trade-off.
+//!
+//! ```text
+//! cargo run --release --example deployment_sweep
+//! ```
+
+use dynaquar::core::ablations::{
+    backbone_cap_sweep, host_fraction_sweep, normalization_ablation,
+};
+use dynaquar::prelude::*;
+
+fn main() {
+    let spec = TopologySpec::PowerLaw {
+        nodes: 400,
+        edges_per_node: 2,
+        seed: 7,
+    };
+
+    println!("host-filter deployment sweep (Equation 3: slowdown ~ 1/(1-q)):");
+    println!("{:>6} {:>8} {:>10} {:>12}", "q", "t50", "slowdown", "1/(1-q)");
+    for p in host_fraction_sweep(spec, &[0.0, 0.2, 0.4, 0.6, 0.8, 0.95], 4, 600) {
+        let predicted = if p.x < 1.0 { 1.0 / (1.0 - p.x) } else { f64::INFINITY };
+        println!(
+            "{:>6.2} {:>8} {:>10} {:>12.2}",
+            p.x,
+            p.t50.map_or_else(|| "never".into(), |t| format!("{t:.1}")),
+            p.slowdown
+                .map_or_else(|| "inf".into(), |s| format!("{s:.2}x")),
+            predicted
+        );
+    }
+
+    println!("\nbackbone allowable-rate sweep (Equation 6's r, packets/tick/router):");
+    println!("{:>8} {:>8} {:>10}", "cap", "t50", "slowdown");
+    for p in backbone_cap_sweep(spec, &[5.0, 1.0, 0.2, 0.05, 0.01], 4, 800) {
+        println!(
+            "{:>8.2} {:>8} {:>10}",
+            p.x,
+            p.t50.map_or_else(|| "never".into(), |t| format!("{t:.1}")),
+            p.slowdown
+                .map_or_else(|| "inf".into(), |s| format!("{s:.2}x"))
+        );
+    }
+
+    println!("\ncap-weight normalization: worm suppression vs legitimate collateral");
+    println!(
+        "{:<12} {:>8} {:>12} {:>14}",
+        "mode", "t50", "bg delivered", "bg queue delay"
+    );
+    for o in normalization_ablation(spec, 1.0, 0.5, &[1, 2, 3], 400) {
+        println!(
+            "{:<12} {:>8} {:>11.1}% {:>13.2}t",
+            o.mode,
+            o.t50.map_or_else(|| "never".into(), |t| format!("{t:.1}")),
+            o.background.delivery_fraction() * 100.0,
+            o.background.mean_queueing_delay()
+        );
+    }
+    println!(
+        "\nmax-load normalization suppresses the worm hardest; mean-load leaves the\n\
+         busiest links generous (worm demand scales with load, so caps rarely bind) —\n\
+         the reproduction's rationale for normalizing by the maximum (DESIGN.md)."
+    );
+}

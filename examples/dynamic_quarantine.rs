@@ -1,0 +1,67 @@
+//! The paper's title, executed: *dynamic quarantine* of scanning hosts.
+//!
+//! Williamson's throttle gives every host a delay queue; a swollen queue
+//! is a worm detector ("worm-infected machines exhibit much higher
+//! contact rates"). This example arms that detector: hosts whose queues
+//! exceed a threshold are cut off automatically, and the outbreak is
+//! compared against rate limiting alone and no defense at all.
+//!
+//! ```text
+//! cargo run --release --example dynamic_quarantine
+//! ```
+
+use dynaquar::netsim::config::QuarantineConfig;
+use dynaquar::netsim::plan::HostFilter;
+use dynaquar::netsim::runner::run_averaged;
+use dynaquar::prelude::*;
+use dynaquar::topology::generators;
+
+fn main() {
+    let world = World::from_star(generators::star(499).expect("valid"));
+    let hosts = world.hosts().to_vec();
+    let seeds: Vec<u64> = (0..5).collect();
+
+    let run = |plan: RateLimitPlan, quarantine: Option<QuarantineConfig>, label: &str| {
+        let mut builder = SimConfig::builder();
+        builder
+            .beta(0.8)
+            .horizon(300)
+            .initial_infected(2)
+            .plan(plan);
+        if let Some(q) = quarantine {
+            builder.quarantine(q);
+        }
+        let config = builder.build().expect("valid");
+        let avg = run_averaged(&world, &config, WormBehavior::random(), &seeds);
+        let quarantined: u64 = avg.runs.iter().map(|r| r.quarantined_hosts).sum::<u64>()
+            / avg.runs.len() as u64;
+        println!(
+            "{label:<38} ever infected {:>5.1}%   t50 {:>8}   quarantined {:>4}",
+            avg.ever_infected_fraction.final_value() * 100.0,
+            avg.infected_fraction
+                .time_to_reach(0.5)
+                .map_or_else(|| "never".to_string(), |t| format!("{t:.0} ticks")),
+            quarantined
+        );
+    };
+
+    println!("random worm, 500-host star, averaged over 5 runs:\n");
+    run(RateLimitPlan::none(), None, "no defense");
+
+    let mut throttle_only = RateLimitPlan::none();
+    throttle_only.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
+    run(throttle_only.clone(), None, "throttle only (delaying filters)");
+
+    run(
+        throttle_only,
+        Some(QuarantineConfig { queue_threshold: 3 }),
+        "throttle + dynamic quarantine",
+    );
+
+    println!(
+        "\nThe throttle alone caps each host's contact rate; adding the queue-length\n\
+         detector turns the same mechanism into an automatic quarantine that cuts\n\
+         scanning hosts off after roughly one successful scan — the automated\n\
+         detection-and-response the paper's introduction calls for."
+    );
+}

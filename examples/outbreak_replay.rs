@@ -1,0 +1,75 @@
+//! Replaying a Blaster-style outbreak with delayed patching.
+//!
+//! Section 6's question: given that administrators patch hosts only once
+//! an outbreak is noticed, how much damage does rate limiting prevent?
+//! This example replays a local-preferential (Blaster-like) worm on a
+//! power-law topology, triggers immunization when 20% of hosts are
+//! infected, and compares the total ever-infected population with and
+//! without backbone rate limiting.
+//!
+//! ```text
+//! cargo run --release --example outbreak_replay
+//! ```
+
+use dynaquar::prelude::*;
+
+fn main() {
+    let blaster = WormProfile::blaster();
+    println!(
+        "worm profile: {} ({} scans/min, {:?})",
+        blaster.name, blaster.scans_per_minute, blaster.selector
+    );
+
+    let spec = TopologySpec::PowerLaw {
+        nodes: 400,
+        edges_per_node: 2,
+        seed: 13,
+    };
+    // Map the profile onto the simulator at one tick = 0.2 s of real
+    // time (Blaster's ~5 scans/s becomes 1 scan/tick).
+    let behavior = WormBehavior::from_profile(&blaster, 0.2, 20);
+    let immunization = ImmunizationConfig {
+        trigger: ImmunizationTrigger::AtInfectedFraction(0.2),
+        mu: 0.1,
+    };
+    let base = Scenario::new(spec)
+        .behavior(behavior)
+        .beta(0.8)
+        .horizon(200)
+        .initial_infected(2)
+        .runs(5)
+        .immunization(immunization);
+
+    println!("\nscenario 1: patching only (starts at 20% infection, mu = 0.1/tick)");
+    let plain = base.clone().run_simulated();
+    println!(
+        "  total ever infected: {:.0}%  (peak concurrent: {:.0}%)",
+        plain.ever_infected.final_value() * 100.0,
+        plain.infected.max_value() * 100.0
+    );
+
+    println!("\nscenario 2: patching + backbone rate limiting");
+    let params = RateLimitParams {
+        link_base_cap: 2.0,
+        backbone_node_cap: Some(2.0),
+        ..RateLimitParams::default()
+    };
+    let defended = base
+        .clone()
+        .params(params)
+        .deployment(Deployment::Backbone)
+        .run_simulated();
+    println!(
+        "  total ever infected: {:.0}%  (peak concurrent: {:.0}%)",
+        defended.ever_infected.final_value() * 100.0,
+        defended.infected.max_value() * 100.0
+    );
+
+    let saved = (plain.ever_infected.final_value() - defended.ever_infected.final_value())
+        * 100.0;
+    println!(
+        "\nrate limiting saved {saved:.0} percentage points of the population —\n\
+         \"rate limiting helps to slow down the spread and as a result buys time\n\
+         for system administrators to patch their systems\" (Section 6.2)."
+    );
+}

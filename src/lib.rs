@@ -1,0 +1,66 @@
+//! **dynaquar** — a from-scratch Rust reproduction of *Dynamic Quarantine
+//! of Internet Worms* (Wong, Wang, Song, Bielski, Ganger — DSN 2004).
+//!
+//! The paper asks: *if we limit the contact rate of worm traffic, can we
+//! alleviate and ultimately contain Internet worms?* — and answers by
+//! analyzing **where** rate-limiting filters should be deployed: end
+//! hosts, edge routers, or backbone routers. This crate is the facade
+//! over the reproduction's sub-crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`epidemic`] | `dynaquar-epidemic` | analytical models (Equations 1–6, immunization), ODE integrators, time series |
+//! | [`topology`] | `dynaquar-topology` | star / power-law / subnet topologies, routing, roles, path coverage |
+//! | [`netsim`] | `dynaquar-netsim` | tick-driven packet-level worm simulator with rate-limited links |
+//! | [`worms`] | `dynaquar-worms` | scanning strategies and worm profiles (Code Red, Slammer, Blaster, Welchia) |
+//! | [`ratelimit`] | `dynaquar-ratelimit` | Williamson throttle, DNS-based filter, windows, token buckets |
+//! | [`traces`] | `dynaquar-traces` | synthetic campus trace generation and Section 7 analysis |
+//! | [`core`] | `dynaquar-core` | deployment strategies, scenario runner, per-figure experiment registry |
+//!
+//! # Quickstart
+//!
+//! Compare no rate limiting against backbone deployment for a random
+//! worm on the paper's power-law topology:
+//!
+//! ```
+//! use dynaquar::core::{Deployment, Scenario, TopologySpec};
+//!
+//! let spec = TopologySpec::PowerLaw { nodes: 200, edges_per_node: 2, seed: 7 };
+//! let baseline = Scenario::new(spec).horizon(120).runs(2).run_simulated();
+//! let backbone = Scenario::new(spec)
+//!     .horizon(120)
+//!     .runs(2)
+//!     .deployment(Deployment::Backbone)
+//!     .run_simulated();
+//! let t_base = baseline.infected.time_to_reach(0.5).expect("saturates");
+//! match backbone.infected.time_to_reach(0.5) {
+//!     Some(t_bb) => assert!(t_bb > t_base),
+//!     None => {} // suppressed beyond the horizon: even stronger
+//! }
+//! ```
+//!
+//! Every figure of the paper can be regenerated through
+//! [`core::experiments`]; see the `figures` binary in `dynaquar-bench`
+//! and the runnable examples under `examples/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dynaquar_core as core;
+pub use dynaquar_epidemic as epidemic;
+pub use dynaquar_netsim as netsim;
+pub use dynaquar_ratelimit as ratelimit;
+pub use dynaquar_topology as topology;
+pub use dynaquar_traces as traces;
+pub use dynaquar_worms as worms;
+
+/// Commonly used items, re-exported for `use dynaquar::prelude::*`.
+pub mod prelude {
+    pub use dynaquar_core::experiments::{self, Quality};
+    pub use dynaquar_core::{ComparisonReport, Deployment, RateLimitParams, Scenario, TopologySpec};
+    pub use dynaquar_epidemic::{LabeledSeries, SeriesSet, TimeSeries};
+    pub use dynaquar_netsim::config::{ImmunizationConfig, ImmunizationTrigger, WormBehavior};
+    pub use dynaquar_netsim::{RateLimitPlan, SimConfig, Simulator, World};
+    pub use dynaquar_ratelimit::{Decision, RateLimiter, RemoteKey};
+    pub use dynaquar_worms::WormProfile;
+}

@@ -1,0 +1,75 @@
+//! Quantitative closure between the paper's algebra and the simulator:
+//! fit the effective logistic rate λ to simulated curves and compare it
+//! against the analytical predictions (Equation 3's `λ = qβ₂ + (1−q)β₁`
+//! in ratio form).
+
+use dynaquar::epidemic::fit::fit_logistic;
+use dynaquar::prelude::*;
+use dynaquar::topology::generators;
+
+fn simulated_curve(q: f64, seeds: u64) -> TimeSeries {
+    let world = World::from_star(generators::star(299).expect("valid"));
+    let hosts: Vec<_> = world
+        .hosts()
+        .iter()
+        .copied()
+        .take((world.hosts().len() as f64 * q) as usize)
+        .collect();
+    let mut plan = RateLimitPlan::none();
+    plan.filter_hosts(&hosts, dynaquar::netsim::plan::HostFilter::dropping(100, 1));
+    let config = SimConfig::builder()
+        .beta(0.8)
+        .horizon(300)
+        .initial_infected(2)
+        .plan(plan)
+        .build()
+        .expect("valid");
+    let seed_list: Vec<u64> = (0..seeds).collect();
+    dynaquar::netsim::runner::run_averaged(&world, &config, WormBehavior::random(), &seed_list)
+        .infected_fraction
+}
+
+#[test]
+fn fitted_rates_follow_equation_three_with_latency_correction() {
+    // Equation 3 predicts λ(q) = qβ₂ + (1−q)β₁. The packet simulator
+    // additionally pays a fixed delivery latency d (2 hops on a star),
+    // turning the logistic into a delayed logistic whose measured
+    // exponential rate is well approximated by λ/(1 + λ·d). With that
+    // correction the fitted rate ratios should track the model tightly.
+    let beta1 = 0.8;
+    let beta2 = 0.01;
+    let delay = 2.0; // host -> hub -> host
+    let corrected = |lambda: f64| lambda / (1.0 + lambda * delay);
+
+    let lambda0 = fit_logistic(&simulated_curve(0.0, 6)).expect("fits").rate;
+    assert!(lambda0 > 0.1, "baseline rate {lambda0}");
+    let mut prev_ratio = 1.0 + 1e-9;
+    for &q in &[0.3, 0.6] {
+        let lambda = fit_logistic(&simulated_curve(q, 6)).expect("fits").rate;
+        let ratio = lambda / lambda0;
+        let model_lambda = q * beta2 + (1.0 - q) * beta1;
+        let predicted = corrected(model_lambda) / corrected(beta1);
+        assert!(
+            (ratio - predicted).abs() < 0.08,
+            "q = {q}: measured ratio {ratio:.3}, corrected Equation 3 predicts {predicted:.3}"
+        );
+        assert!(ratio < prev_ratio, "rate must shrink with deployment");
+        prev_ratio = ratio;
+    }
+}
+
+#[test]
+fn simulated_no_rl_curve_is_genuinely_logistic() {
+    let curve = simulated_curve(0.0, 6);
+    let fit = fit_logistic(&curve).expect("fits");
+    // Low residual in logit space = the simulator reproduces logistic
+    // growth, as Equation 1 demands of a random-scanning worm.
+    assert!(fit.logit_rmse < 0.45, "rmse {}", fit.logit_rmse);
+    // And the fitted curve reproduces the measured time-to-half.
+    let t50_measured = curve.time_to_reach(0.5).expect("saturates");
+    let t50_fitted = (fit.c.ln()) / fit.rate;
+    assert!(
+        (t50_measured - t50_fitted).abs() < 0.15 * t50_measured,
+        "measured {t50_measured:.1} vs fitted {t50_fitted:.1}"
+    );
+}

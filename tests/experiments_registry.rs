@@ -1,0 +1,67 @@
+//! Runs every registered experiment at `Quality::Quick` and requires all
+//! of the paper's shape criteria to hold — the repository's end-to-end
+//! "does the reproduction reproduce the paper" gate.
+
+use dynaquar::prelude::*;
+
+#[test]
+fn every_experiment_passes_its_shape_checks() {
+    let mut failures = Vec::new();
+    for exp in experiments::all() {
+        let out = exp.run(Quality::Quick);
+        assert_eq!(out.id, exp.id);
+        for check in &out.checks {
+            if !check.passed {
+                failures.push(format!("{}: {} ({})", exp.id, check.description, check.details));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "failed shape checks:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn experiments_produce_plottable_series() {
+    // Every figure experiment must yield non-empty curves whose values
+    // stay in [0, 1] (they are fractions) — tables may have no curves.
+    for exp in experiments::all() {
+        let out = exp.run(Quality::Quick);
+        if exp.id.starts_with("tab") {
+            continue;
+        }
+        assert!(!out.series.is_empty(), "{} has no curves", exp.id);
+        for curve in out.series.iter() {
+            assert!(!curve.series.is_empty(), "{}:{} empty", exp.id, curve.label);
+            for (t, v) in curve.series.iter() {
+                assert!(t.is_finite() && v.is_finite(), "{}:{}", exp.id, curve.label);
+                assert!(
+                    (-1e-9..=1.0 + 1e-9).contains(&v),
+                    "{}:{} value {v} at t={t} out of range",
+                    exp.id,
+                    curve.label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn experiment_outputs_are_deterministic() {
+    // Same id + quality => identical series (all randomness is seeded).
+    let a = experiments::run("fig1b", Quality::Quick).expect("known id");
+    let b = experiments::run("fig1b", Quality::Quick).expect("known id");
+    assert_eq!(a.series, b.series);
+    let c = experiments::run("fig9a", Quality::Quick).expect("known id");
+    let d = experiments::run("fig9a", Quality::Quick).expect("known id");
+    assert_eq!(c.series, d.series);
+}
+
+#[test]
+fn csv_export_is_well_formed() {
+    let out = experiments::run("fig2", Quality::Quick).expect("known id");
+    let csv = out.series.to_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("label,t,value"));
+    for line in lines {
+        assert_eq!(line.split(',').count(), 3, "bad row: {line}");
+    }
+}

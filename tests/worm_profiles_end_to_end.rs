@@ -1,0 +1,81 @@
+//! End-to-end sanity of the named worm profiles driven through the
+//! packet simulator via `WormBehavior::from_profile`.
+
+use dynaquar::netsim::runner::run_averaged;
+use dynaquar::prelude::*;
+
+fn world() -> World {
+    TopologySpec::PowerLaw {
+        nodes: 300,
+        edges_per_node: 2,
+        seed: 23,
+    }
+    .build()
+}
+
+fn run(world: &World, behavior: WormBehavior, horizon: u64) -> dynaquar::netsim::runner::AveragedResult {
+    let config = SimConfig::builder()
+        .beta(0.6)
+        .horizon(horizon)
+        .initial_infected(2)
+        .build()
+        .expect("valid");
+    run_averaged(world, &config, behavior, &[1, 2, 3])
+}
+
+#[test]
+fn welchia_profile_self_extinguishes_after_saturating() {
+    let w = world();
+    // Welchia at 1 tick = 0.1 s: fast scanner, patches after 30 ticks.
+    let welchia = WormBehavior::from_profile(&WormProfile::welchia(), 0.1, 30);
+    let out = run(&w, welchia, 250);
+    // The patching worm sweeps the network then removes itself.
+    assert!(out.ever_infected_fraction.final_value() > 0.8);
+    assert!(out.infected_fraction.final_value() < 0.05);
+    assert!(out.immunized_fraction.final_value() > 0.8);
+}
+
+#[test]
+fn blaster_profile_persists() {
+    let w = world();
+    let blaster = WormBehavior::from_profile(&WormProfile::blaster(), 0.2, 30);
+    let out = run(&w, blaster, 250);
+    // No self-patching: infected stays saturated.
+    assert!(out.infected_fraction.final_value() > 0.9);
+}
+
+#[test]
+fn code_red_ii_spreads_locally_faster_than_code_red_i_early() {
+    // With one seed, the LP worm's local bias concentrates early spread
+    // in the seed's subnet; measure time for the *seed subnet* to matter
+    // indirectly via the early global curve: the LP worm is initially
+    // slower globally (its scans stay local) but both saturate.
+    let w = world();
+    let cr1 = WormBehavior::from_profile(&WormProfile::code_red(), 0.1, 30);
+    let cr2 = WormBehavior::from_profile(&WormProfile::code_red_ii(), 0.1, 30);
+    let out1 = run(&w, cr1, 200);
+    let out2 = run(&w, cr2, 200);
+    assert!(out1.infected_fraction.final_value() > 0.9);
+    assert!(out2.infected_fraction.final_value() > 0.9);
+    // The random scanner reaches the *global* 50% mark no later than ~the
+    // LP scanner (local bias wastes scans on already-infected neighbors
+    // late in the outbreak).
+    let t1 = out1.infected_fraction.time_to_reach(0.5).expect("saturates");
+    let t2 = out2.infected_fraction.time_to_reach(0.5).expect("saturates");
+    assert!(t1 <= t2 * 1.5, "CodeRedI {t1:.1} vs CodeRedII {t2:.1}");
+}
+
+#[test]
+fn slammer_profile_is_fastest() {
+    let w = world();
+    // Slammer at 1 tick = 1 ms: 4 scans/tick.
+    let slammer = WormBehavior::from_profile(&WormProfile::slammer(), 0.001, 30);
+    let code_red = WormBehavior::from_profile(&WormProfile::code_red(), 0.001, 30);
+    assert!(slammer.scans_per_tick > code_red.scans_per_tick);
+    let fast = run(&w, slammer, 120);
+    let slow = run(&w, code_red, 120);
+    let tf = fast.infected_fraction.time_to_reach(0.5).expect("saturates");
+    if let Some(ts) = slow.infected_fraction.time_to_reach(0.5) {
+        assert!(tf < ts, "slammer {tf:.1} vs code red {ts:.1}");
+    } // else: code red didn't even reach 50% at this tick scale
+}
