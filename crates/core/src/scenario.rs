@@ -6,6 +6,7 @@ use dynaquar_epidemic::logistic::Logistic;
 use dynaquar_epidemic::timeto::CurveSummary;
 use dynaquar_epidemic::TimeSeries;
 use dynaquar_netsim::config::{ImmunizationConfig, SimConfig, WormBehavior};
+use dynaquar_netsim::faults::FaultPlan;
 use dynaquar_netsim::runner::run_averaged;
 use dynaquar_netsim::World;
 use dynaquar_topology::generators;
@@ -102,6 +103,7 @@ pub struct Scenario {
     deployment: Deployment,
     params: RateLimitParams,
     immunization: Option<ImmunizationConfig>,
+    faults: FaultPlan,
     runs: usize,
     seed: u64,
 }
@@ -119,6 +121,7 @@ impl Scenario {
             deployment: Deployment::None,
             params: RateLimitParams::default(),
             immunization: None,
+            faults: FaultPlan::none(),
             runs: 10,
             seed: 0,
         }
@@ -163,6 +166,15 @@ impl Scenario {
     /// Enables delayed immunization.
     pub fn immunization(mut self, config: ImmunizationConfig) -> Self {
         self.immunization = Some(config);
+        self
+    }
+
+    /// Injects a deterministic fault plan (outages, loss, broken
+    /// detectors) into every run of the scenario. The default is
+    /// [`FaultPlan::none`], which leaves the simulation bit-identical
+    /// to a fault-free engine.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -212,6 +224,7 @@ impl Scenario {
         if let Some(imm) = self.immunization {
             builder.immunization(imm);
         }
+        builder.faults(self.faults.clone());
         let config = builder.build().expect("scenario parameters validated");
         let seeds: Vec<u64> = (0..self.runs as u64).map(|k| self.seed + k).collect();
         let avg = run_averaged(world, &config, self.behavior, &seeds);
@@ -326,5 +339,29 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn zero_runs_panics() {
         let _ = Scenario::new(TopologySpec::Star { leaves: 10 }).runs(0);
+    }
+
+    #[test]
+    fn explicit_empty_fault_plan_changes_nothing() {
+        let spec = TopologySpec::Star { leaves: 39 };
+        let world = spec.build();
+        let base = Scenario::new(spec).horizon(60).runs(2);
+        let plain = base.clone().run_simulated_on(&world);
+        let with_none = base.faults(FaultPlan::none()).run_simulated_on(&world);
+        assert_eq!(plain, with_none);
+    }
+
+    #[test]
+    fn false_positive_faults_immunize_clean_hosts() {
+        let spec = TopologySpec::Star { leaves: 49 };
+        let world = spec.build();
+        let out = Scenario::new(spec)
+            .horizon(60)
+            .runs(2)
+            .faults(FaultPlan::none().with_false_positives(10, (0, 30)))
+            .run_simulated_on(&world);
+        // No quarantine or immunization is configured, so every
+        // immunized host is a false-positive quarantine of a clean one.
+        assert!(out.immunized.final_value() > 0.0);
     }
 }

@@ -34,6 +34,12 @@ pub enum Error {
         /// The step size that was rejected.
         step: f64,
     },
+    /// An integrator produced a NaN or infinite state component — the
+    /// system diverged or its right-hand side is ill-defined there.
+    NonFiniteState {
+        /// Simulation time at which the state stopped being finite.
+        t: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -54,6 +60,9 @@ impl fmt::Display for Error {
                     f,
                     "adaptive step size underflow at t = {t} (step = {step})"
                 )
+            }
+            Error::NonFiniteState { t } => {
+                write!(f, "non-finite state (NaN or infinity) at t = {t}")
             }
         }
     }
@@ -136,6 +145,13 @@ mod tests {
     fn display_step_underflow() {
         let err = Error::StepSizeUnderflow { t: 3.0, step: 1e-14 };
         assert!(err.to_string().contains("underflow"));
+    }
+
+    #[test]
+    fn display_non_finite_state() {
+        let err = Error::NonFiniteState { t: 2.5 };
+        assert!(err.to_string().contains("non-finite"));
+        assert!(err.to_string().contains("2.5"));
     }
 
     #[test]

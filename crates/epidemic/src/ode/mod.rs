@@ -261,13 +261,58 @@ pub fn solve_fixed_until<F: FnMut(f64, &[f64]) -> bool>(
     (Solution { times, states }, false)
 }
 
+/// Like [`solve_fixed`], but verifies after every step that the state is
+/// still finite, returning [`Error::NonFiniteState`] the moment the
+/// system diverges (NaN or infinity) instead of silently recording junk
+/// samples to the end of the horizon.
+///
+/// # Errors
+///
+/// Returns [`Error::NonFiniteState`] when any state component stops
+/// being finite, with `t` set to the end of the offending step.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_fixed`].
+pub fn solve_fixed_checked(
+    sys: &dyn OdeSystem,
+    stepper: &mut dyn Stepper,
+    t0: f64,
+    y0: &[f64],
+    t1: f64,
+    h: f64,
+) -> Result<Solution, Error> {
+    assert_eq!(y0.len(), sys.dim(), "initial state has wrong dimension");
+    assert!(h > 0.0, "step size must be positive");
+    assert!(t1 >= t0, "integration interval must be forward in time");
+    let mut t = t0;
+    let mut y = y0.to_vec();
+    let cap = ((t1 - t0) / h).ceil() as usize + 2;
+    let mut times = Vec::with_capacity(cap);
+    let mut states = Vec::with_capacity(cap);
+    times.push(t);
+    states.push(y.clone());
+    while t < t1 {
+        let step = h.min(t1 - t);
+        stepper.step(sys, t, &mut y, step);
+        t += step;
+        if y.iter().any(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteState { t });
+        }
+        times.push(t);
+        states.push(y.clone());
+    }
+    Ok(Solution { times, states })
+}
+
 /// Integrates `sys` adaptively from `t0` to `t1` with local error
 /// tolerance `tol`, using the Dormand–Prince 5(4) pair.
 ///
 /// # Errors
 ///
 /// Returns [`Error::StepSizeUnderflow`] when the controller cannot meet
-/// `tol` even at the minimum step size (stiff or ill-posed system).
+/// `tol` even at the minimum step size (stiff or ill-posed system), and
+/// [`Error::NonFiniteState`] when the system diverges to NaN/infinity.
 ///
 /// # Panics
 ///
@@ -443,6 +488,54 @@ mod tests {
             });
         assert!(fired);
         assert_eq!(sol.len(), 1);
+    }
+
+    #[test]
+    fn checked_driver_matches_unchecked_on_healthy_system() {
+        let sys = decay();
+        let plain = solve_fixed(&sys, &mut Rk4::new(1), 0.0, &[1.0], 1.0, 0.1);
+        let checked =
+            solve_fixed_checked(&sys, &mut Rk4::new(1), 0.0, &[1.0], 1.0, 0.1).unwrap();
+        assert_eq!(plain, checked);
+    }
+
+    #[test]
+    fn checked_driver_reports_divergence() {
+        // The right-hand side turns into NaN halfway through.
+        let sys = FnSystem::new(1, |t, y, dy| {
+            dy[0] = if t > 0.5 { f64::NAN } else { -y[0] };
+        });
+        let err = solve_fixed_checked(&sys, &mut Euler::new(1), 0.0, &[1.0], 1.0, 0.1)
+            .unwrap_err();
+        match err {
+            crate::error::Error::NonFiniteState { t } => assert!(t > 0.5 && t <= 1.0),
+            other => panic!("expected NonFiniteState, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checked_driver_reports_blowup_to_infinity() {
+        // y' = y^2 blows up in finite time (t = 1 for y0 = 1); a large
+        // fixed step overflows to infinity quickly.
+        let sys = FnSystem::new(1, |_t, y, dy| dy[0] = y[0] * y[0]);
+        let result = solve_fixed_checked(&sys, &mut Euler::new(1), 0.0, &[1e150], 5.0, 1.0);
+        assert!(matches!(
+            result,
+            Err(crate::error::Error::NonFiniteState { .. })
+        ));
+    }
+
+    #[test]
+    fn adaptive_reports_divergent_rhs() {
+        // NaN derivatives from the start: the adaptive solver must fail
+        // with a typed error rather than loop or return junk.
+        let sys = FnSystem::new(1, |_t, _y, dy| dy[0] = f64::NAN);
+        let err = solve_adaptive(&sys, 0.0, &[1.0], 1.0, 1e-6).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::Error::NonFiniteState { .. }
+                | crate::error::Error::StepSizeUnderflow { .. }
+        ));
     }
 
     #[test]

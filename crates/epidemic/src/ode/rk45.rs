@@ -88,7 +88,9 @@ impl DormandPrince {
     /// # Errors
     ///
     /// Returns [`Error::StepSizeUnderflow`] when the step controller
-    /// cannot satisfy `tol` even at the minimum allowed step size.
+    /// cannot satisfy `tol` even at the minimum allowed step size, and
+    /// [`Error::NonFiniteState`] when the system produces NaN or
+    /// infinite values (divergence or an ill-defined right-hand side).
     #[allow(clippy::needless_range_loop)] // multi-array stencil math reads better indexed
     pub fn solve(
         &mut self,
@@ -138,7 +140,19 @@ impl DormandPrince {
                 err_norm = err_norm.max(((y5 - y4) / scale).abs());
             }
 
+            // Divergence guard: a NaN error norm (NaN derivatives, or an
+            // inf-minus-inf candidate) compares false against every
+            // threshold and would otherwise poison every later step. An
+            // *infinite* norm is left to the controller — shrinking the
+            // step may legitimately recover from it.
+            if err_norm.is_nan() {
+                return Err(Error::NonFiniteState { t });
+            }
+
             if err_norm <= 1.0 {
+                if self.tmp.iter().any(|v| !v.is_finite()) {
+                    return Err(Error::NonFiniteState { t });
+                }
                 // Accept.
                 t += h;
                 y.copy_from_slice(&self.tmp);

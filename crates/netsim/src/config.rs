@@ -3,6 +3,7 @@
 
 use crate::background::BackgroundTraffic;
 use crate::error::Error;
+use crate::faults::FaultPlan;
 use crate::plan::RateLimitPlan;
 use dynaquar_worms::profiles::SelectorKind;
 use dynaquar_worms::scanner::{LocalPreferential, Permutation, Sequential, TargetSelector, UniformRandom};
@@ -159,6 +160,8 @@ pub struct SimConfig {
     pub(crate) log_scans: bool,
     #[serde(skip)]
     pub(crate) plan: RateLimitPlan,
+    #[serde(skip)]
+    pub(crate) faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -206,6 +209,11 @@ impl SimConfig {
     pub fn plan(&self) -> &RateLimitPlan {
         &self.plan
     }
+
+    /// The fault-injection plan ([`FaultPlan::none`] by default).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
 }
 
 /// Builder for [`SimConfig`].
@@ -219,6 +227,7 @@ pub struct SimConfigBuilder {
     background: Option<BackgroundTraffic>,
     log_scans: bool,
     plan: RateLimitPlan,
+    faults: FaultPlan,
 }
 
 impl Default for SimConfigBuilder {
@@ -232,6 +241,7 @@ impl Default for SimConfigBuilder {
             background: None,
             log_scans: false,
             plan: RateLimitPlan::none(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -268,6 +278,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Installs a fault-injection plan (validated at [`build`] time).
+    ///
+    /// [`build`]: SimConfigBuilder::build
+    pub fn faults(&mut self, faults: FaultPlan) -> &mut Self {
+        self.faults = faults;
+        self
+    }
+
     /// Injects background legitimate traffic (to measure the collateral
     /// impact of the rate-limiting plan).
     pub fn background(&mut self, traffic: BackgroundTraffic) -> &mut Self {
@@ -295,8 +313,9 @@ impl SimConfigBuilder {
     /// # Errors
     ///
     /// Returns [`Error::InvalidConfig`] when `beta ∉ (0, 1]`,
-    /// `initial_infected == 0`, `horizon == 0`, or an immunization µ is
-    /// outside `[0, 1]`.
+    /// `initial_infected == 0`, `horizon == 0`, an immunization µ is
+    /// outside `[0, 1]`, or the fault plan fails
+    /// [`FaultPlan::validate`].
     pub fn build(&self) -> Result<SimConfig, Error> {
         if !(self.beta > 0.0 && self.beta <= 1.0) {
             return Err(Error::InvalidConfig {
@@ -340,6 +359,7 @@ impl SimConfigBuilder {
                 }
             }
         }
+        self.faults.validate()?;
         Ok(SimConfig {
             beta: self.beta,
             initial_infected: self.initial_infected,
@@ -349,6 +369,7 @@ impl SimConfigBuilder {
             background: self.background,
             log_scans: self.log_scans,
             plan: self.plan.clone(),
+            faults: self.faults.clone(),
         })
     }
 }

@@ -1,9 +1,9 @@
-//! Error type for simulator configuration.
+//! Error type for simulator configuration and setup.
 
 use std::error::Error as StdError;
 use std::fmt;
 
-/// Error returned by configuration builders.
+/// Error returned by configuration builders and fallible setup paths.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Error {
@@ -14,6 +14,14 @@ pub enum Error {
         /// Description of the valid domain.
         reason: &'static str,
     },
+    /// The configuration asked for more seed infections than the world
+    /// has hosts.
+    TooManyInitialInfections {
+        /// Seed infections requested by the config.
+        requested: usize,
+        /// Hosts available in the world.
+        hosts: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -21,6 +29,12 @@ impl fmt::Display for Error {
         match self {
             Error::InvalidConfig { name, reason } => {
                 write!(f, "invalid simulator config {name}: {reason}")
+            }
+            Error::TooManyInitialInfections { requested, hosts } => {
+                write!(
+                    f,
+                    "more initial infections than hosts: requested {requested}, world has {hosts}"
+                )
             }
         }
     }

@@ -1,0 +1,491 @@
+//! Deterministic, seeded fault injection for the packet-level simulator.
+//!
+//! The paper's containment argument rests on detectors firing and
+//! quarantines activating *on time*. This module supplies the
+//! counterfactual: what happens when the infrastructure itself
+//! misbehaves? A [`FaultPlan`] describes fault *processes* (how many
+//! link outages, what detector-failure fraction, how much activation
+//! jitter); expanding a plan against a [`World`] and a run seed yields a
+//! concrete [`FaultSchedule`] — the exact links that fail, the exact
+//! ticks they fail at, the exact hosts whose detectors are silently
+//! dead.
+//!
+//! Determinism contract:
+//!
+//! * Expansion draws exclusively from an RNG derived from the run seed
+//!   (`seed ^ FAULT_STREAM_SALT`), never from the simulator's main RNG.
+//!   The same `(plan, world, seed, horizon)` therefore always produces a
+//!   byte-identical schedule, and enabling faults does not perturb the
+//!   worm/immunization random stream — a faulted run and its fault-free
+//!   twin share identical scan sequences until a fault physically
+//!   intervenes.
+//! * [`FaultPlan::none`] expands to an empty schedule and the simulator
+//!   takes exactly the code paths it took before this module existed, so
+//!   fault-free results are bit-identical to the pre-fault engine.
+//!
+//! Fault kinds:
+//!
+//! * **Link outages** — randomly chosen links go down at a random tick
+//!   and are repaired after a fixed duration; packets needing a downed
+//!   link wait in FIFO order (same semantics as an exhausted link cap).
+//! * **Node outages** — downed nodes neither emit scans nor forward
+//!   transit packets until repaired.
+//! * **Per-link packet loss** — a random subset of links drops each
+//!   crossing packet with a fixed probability.
+//! * **Detector outages** — a random subset of hosts has its egress
+//!   filter (throttle/DNS window *and* the quarantine detection that
+//!   rides on it) silently disabled for the whole run.
+//! * **False-positive quarantines** — clean hosts are wrongly
+//!   quarantined at random ticks, modelling detector false alarms.
+//! * **Quarantine-activation jitter** — a triggered quarantine takes
+//!   effect 1..=jitter ticks late, directly probing the paper's
+//!   response-time axis.
+//! * **Injected run failures** — a deliberate panic at a fixed tick
+//!   (always fatal) or with a per-run probability (transient), used to
+//!   exercise the run supervisor's retry/drop machinery.
+
+use crate::error::Error;
+use crate::world::World;
+use dynaquar_topology::{EdgeId, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// XOR-folded into the run seed to derive the fault RNG stream, keeping
+/// it independent of the simulator's main stream.
+pub const FAULT_STREAM_SALT: u64 = 0xF4A7_1B01_5EED_FAB5;
+
+/// An outage process: `count` elements fail, each at a start tick drawn
+/// uniformly from `start_window`, staying down for `duration` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutageSpec {
+    /// How many distinct links/nodes fail.
+    pub count: usize,
+    /// Inclusive tick window `(earliest, latest)` for failure onset.
+    pub start_window: (u64, u64),
+    /// Ticks until repair; `u64::MAX` means never repaired.
+    pub duration: u64,
+}
+
+/// Declarative description of the fault processes to inject into a run.
+///
+/// Build one fluently and hand it to
+/// [`SimConfigBuilder::faults`](crate::config::SimConfigBuilder::faults):
+///
+/// ```
+/// use dynaquar_netsim::faults::FaultPlan;
+///
+/// let plan = FaultPlan::none()
+///     .with_detector_outages(0.3)
+///     .with_quarantine_jitter(5);
+/// assert!(!plan.is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    link_outages: Option<OutageSpec>,
+    node_outages: Option<OutageSpec>,
+    /// Fraction of links that are lossy.
+    lossy_link_fraction: f64,
+    /// Per-crossing drop probability on a lossy link.
+    link_loss_probability: f64,
+    /// Fraction of hosts whose egress detector is silently disabled.
+    detector_outage_fraction: f64,
+    /// Number of false-positive quarantines to inject.
+    false_positive_quarantines: usize,
+    /// Inclusive tick window in which false positives fire.
+    false_positive_window: (u64, u64),
+    /// Maximum activation delay (ticks) for triggered quarantines;
+    /// `0` keeps the original immediate-activation path.
+    quarantine_jitter: u64,
+    /// Test-only: panic unconditionally when the run reaches this tick.
+    panic_at_tick: Option<u64>,
+    /// Test-only: probability that a given run panics mid-horizon
+    /// (redrawn per seed, so supervisor retries can succeed).
+    transient_failure_probability: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, bit-identical simulator behaviour.
+    pub fn none() -> Self {
+        FaultPlan {
+            link_outages: None,
+            node_outages: None,
+            lossy_link_fraction: 0.0,
+            link_loss_probability: 0.0,
+            detector_outage_fraction: 0.0,
+            false_positive_quarantines: 0,
+            false_positive_window: (0, 0),
+            quarantine_jitter: 0,
+            panic_at_tick: None,
+            transient_failure_probability: 0.0,
+        }
+    }
+
+    /// Adds a link-outage process (see [`OutageSpec`]).
+    pub fn with_link_outages(mut self, count: usize, start_window: (u64, u64), duration: u64) -> Self {
+        self.link_outages = Some(OutageSpec { count, start_window, duration });
+        self
+    }
+
+    /// Adds a node-outage process (see [`OutageSpec`]).
+    pub fn with_node_outages(mut self, count: usize, start_window: (u64, u64), duration: u64) -> Self {
+        self.node_outages = Some(OutageSpec { count, start_window, duration });
+        self
+    }
+
+    /// Makes `link_fraction` of links drop each crossing packet with
+    /// probability `loss_probability`.
+    pub fn with_link_loss(mut self, link_fraction: f64, loss_probability: f64) -> Self {
+        self.lossy_link_fraction = link_fraction;
+        self.link_loss_probability = loss_probability;
+        self
+    }
+
+    /// Silently disables the egress detector (filter + quarantine) on
+    /// `fraction` of hosts for the whole run.
+    pub fn with_detector_outages(mut self, fraction: f64) -> Self {
+        self.detector_outage_fraction = fraction;
+        self
+    }
+
+    /// Injects `count` false-positive quarantines of clean hosts at
+    /// ticks drawn from the inclusive `window`.
+    pub fn with_false_positives(mut self, count: usize, window: (u64, u64)) -> Self {
+        self.false_positive_quarantines = count;
+        self.false_positive_window = window;
+        self
+    }
+
+    /// Delays every triggered quarantine by 1..=`max_ticks` extra ticks
+    /// (0 restores immediate activation).
+    pub fn with_quarantine_jitter(mut self, max_ticks: u64) -> Self {
+        self.quarantine_jitter = max_ticks;
+        self
+    }
+
+    /// Test-only: the run panics when it reaches `tick`, every attempt.
+    pub fn with_panic_at_tick(mut self, tick: u64) -> Self {
+        self.panic_at_tick = Some(tick);
+        self
+    }
+
+    /// Test-only: each run (i.e. each seed, including supervisor retry
+    /// seeds) panics mid-horizon with probability `p`.
+    pub fn with_transient_failures(mut self, p: f64) -> Self {
+        self.transient_failure_probability = p;
+        self
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self == &FaultPlan::none()
+    }
+
+    /// Validates ranges: fractions and probabilities in `[0, 1]`,
+    /// windows ordered, outage durations nonzero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), Error> {
+        fn fraction(name: &'static str, v: f64) -> Result<(), Error> {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(Error::InvalidConfig { name, reason: "must be a fraction in [0, 1]" });
+            }
+            Ok(())
+        }
+        fraction("lossy_link_fraction", self.lossy_link_fraction)?;
+        fraction("link_loss_probability", self.link_loss_probability)?;
+        fraction("detector_outage_fraction", self.detector_outage_fraction)?;
+        fraction("transient_failure_probability", self.transient_failure_probability)?;
+        for (name, spec) in [
+            ("link_outages", self.link_outages),
+            ("node_outages", self.node_outages),
+        ] {
+            if let Some(spec) = spec {
+                if spec.start_window.0 > spec.start_window.1 {
+                    return Err(Error::InvalidConfig {
+                        name,
+                        reason: "outage start window must be ordered (earliest <= latest)",
+                    });
+                }
+                if spec.duration == 0 {
+                    return Err(Error::InvalidConfig {
+                        name,
+                        reason: "outage duration must be at least one tick",
+                    });
+                }
+            }
+        }
+        if self.false_positive_quarantines > 0
+            && self.false_positive_window.0 > self.false_positive_window.1
+        {
+            return Err(Error::InvalidConfig {
+                name: "false_positive_window",
+                reason: "window must be ordered (earliest <= latest)",
+            });
+        }
+        Ok(())
+    }
+
+    /// Expands the plan into the concrete [`FaultSchedule`] for one run.
+    ///
+    /// Pure function of `(self, world, seed, horizon)`: all randomness
+    /// comes from `SmallRng::seed_from_u64(seed ^ FAULT_STREAM_SALT)`,
+    /// so repeated expansions are byte-identical and the simulator's own
+    /// random stream is never consulted.
+    pub fn expand(&self, world: &World, seed: u64, horizon: u64) -> FaultSchedule {
+        if self.is_none() {
+            return FaultSchedule::empty();
+        }
+        let mut rng = SmallRng::seed_from_u64(seed ^ FAULT_STREAM_SALT);
+        let n_edges = world.graph().edge_count();
+        let n_nodes = world.graph().node_count();
+
+        let link_down = self.link_outages.map_or_else(Vec::new, |spec| {
+            Self::expand_outages(&mut rng, spec, n_edges, horizon)
+                .into_iter()
+                .map(|(i, s, e)| (EdgeId::new(i as u32), s, e))
+                .collect()
+        });
+        let node_down = self.node_outages.map_or_else(Vec::new, |spec| {
+            Self::expand_outages(&mut rng, spec, n_nodes, horizon)
+                .into_iter()
+                .map(|(i, s, e)| (NodeId::new(i as u32), s, e))
+                .collect()
+        });
+
+        let mut lossy_links = Vec::new();
+        if self.lossy_link_fraction > 0.0 && self.link_loss_probability > 0.0 {
+            for e in 0..n_edges {
+                if rng.gen_bool(self.lossy_link_fraction) {
+                    lossy_links.push((EdgeId::new(e as u32), self.link_loss_probability));
+                }
+            }
+        }
+
+        let mut disabled_detectors = Vec::new();
+        if self.detector_outage_fraction > 0.0 {
+            for &h in world.hosts() {
+                if rng.gen_bool(self.detector_outage_fraction) {
+                    disabled_detectors.push(h);
+                }
+            }
+        }
+
+        let mut false_quarantines = Vec::new();
+        if self.false_positive_quarantines > 0 && !world.hosts().is_empty() {
+            let (lo, hi) = self.false_positive_window;
+            for _ in 0..self.false_positive_quarantines {
+                let tick = rng.gen_range(lo..=hi.min(horizon));
+                let host = world.hosts()[rng.gen_range(0..world.hosts().len())];
+                false_quarantines.push((tick, host));
+            }
+            false_quarantines.sort_unstable_by_key(|&(t, h)| (t, h.index()));
+        }
+
+        let transient_panic = self.transient_failure_probability > 0.0
+            && rng.gen_bool(self.transient_failure_probability);
+
+        FaultSchedule {
+            link_down,
+            node_down,
+            lossy_links,
+            disabled_detectors,
+            false_quarantines,
+            quarantine_jitter: self.quarantine_jitter,
+            panic_at_tick: self.panic_at_tick,
+            transient_panic,
+        }
+    }
+
+    /// Draws `spec.count` distinct indices from `0..universe` with their
+    /// `(start, end)` outage intervals clipped to the horizon window.
+    fn expand_outages(
+        rng: &mut SmallRng,
+        spec: OutageSpec,
+        universe: usize,
+        horizon: u64,
+    ) -> Vec<(usize, u64, u64)> {
+        let count = spec.count.min(universe);
+        // Partial Fisher–Yates over an index pool for distinctness.
+        let mut pool: Vec<usize> = (0..universe).collect();
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let k = rng.gen_range(0..pool.len());
+            let idx = pool.swap_remove(k);
+            let start = rng.gen_range(spec.start_window.0..=spec.start_window.1.min(horizon));
+            let end = start.saturating_add(spec.duration);
+            out.push((idx, start, end));
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// The concrete, per-run realization of a [`FaultPlan`]: exact elements,
+/// exact ticks. Compare two expansions with `==` (or their `Debug`
+/// renderings byte-for-byte) to check determinism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Link outage intervals as `(edge, start_tick, end_tick)`;
+    /// the link is down for ticks in `start..end`.
+    pub link_down: Vec<(EdgeId, u64, u64)>,
+    /// Node outage intervals as `(node, start_tick, end_tick)`.
+    pub node_down: Vec<(NodeId, u64, u64)>,
+    /// Lossy links as `(edge, per-crossing drop probability)`.
+    pub lossy_links: Vec<(EdgeId, f64)>,
+    /// Hosts whose egress detector is disabled for the whole run.
+    pub disabled_detectors: Vec<NodeId>,
+    /// False-positive quarantines as `(tick, host)`, sorted by tick.
+    pub false_quarantines: Vec<(u64, NodeId)>,
+    /// Maximum extra activation delay for triggered quarantines.
+    pub quarantine_jitter: u64,
+    /// Test-only unconditional panic tick.
+    pub panic_at_tick: Option<u64>,
+    /// Whether this particular run draws the transient panic.
+    pub transient_panic: bool,
+}
+
+impl FaultSchedule {
+    /// The schedule that injects nothing.
+    pub fn empty() -> Self {
+        FaultSchedule {
+            link_down: Vec::new(),
+            node_down: Vec::new(),
+            lossy_links: Vec::new(),
+            disabled_detectors: Vec::new(),
+            false_quarantines: Vec::new(),
+            quarantine_jitter: 0,
+            panic_at_tick: None,
+            transient_panic: false,
+        }
+    }
+
+    /// Whether the schedule injects nothing (the simulator then takes
+    /// its original, fault-free code paths).
+    pub fn is_empty(&self) -> bool {
+        self.link_down.is_empty()
+            && self.node_down.is_empty()
+            && self.lossy_links.is_empty()
+            && self.disabled_detectors.is_empty()
+            && self.false_quarantines.is_empty()
+            && self.quarantine_jitter == 0
+            && self.panic_at_tick.is_none()
+            && !self.transient_panic
+    }
+}
+
+/// A fault transition the simulator reports to observers as it happens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// A link went down.
+    LinkDown(EdgeId),
+    /// A downed link was repaired.
+    LinkRepaired(EdgeId),
+    /// A node went down.
+    NodeDown(NodeId),
+    /// A downed node was repaired.
+    NodeRepaired(NodeId),
+    /// A host's egress detector was found dead at run start.
+    DetectorDisabled(NodeId),
+    /// A clean host was wrongly quarantined.
+    FalseQuarantine(NodeId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use dynaquar_topology::generators;
+
+    fn world() -> World {
+        World::from_star(generators::star(49).unwrap())
+    }
+
+    #[test]
+    fn none_plan_is_none_and_empty() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        let schedule = plan.expand(&world(), 7, 100);
+        assert!(schedule.is_empty());
+        assert_eq!(schedule, FaultSchedule::empty());
+    }
+
+    #[test]
+    fn expansion_is_deterministic_per_seed() {
+        let plan = FaultPlan::none()
+            .with_link_outages(3, (5, 20), 10)
+            .with_node_outages(2, (0, 50), 25)
+            .with_link_loss(0.3, 0.1)
+            .with_detector_outages(0.4)
+            .with_false_positives(5, (10, 60))
+            .with_quarantine_jitter(4);
+        let w = world();
+        let a = plan.expand(&w, 99, 100);
+        let b = plan.expand(&w, 99, 100);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = plan.expand(&w, 100, 100);
+        assert_ne!(a, c, "different seeds should realize different faults");
+    }
+
+    #[test]
+    fn outage_counts_and_windows_respected() {
+        let plan = FaultPlan::none().with_link_outages(4, (10, 30), 7);
+        let s = plan.expand(&world(), 3, 200);
+        assert_eq!(s.link_down.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for &(edge, start, end) in &s.link_down {
+            assert!(seen.insert(edge), "duplicate edge in outage set");
+            assert!((10..=30).contains(&start));
+            assert_eq!(end, start + 7);
+        }
+    }
+
+    #[test]
+    fn outage_count_clamped_to_universe() {
+        // The star on 50 nodes has 49 edges; asking for 1000 outages
+        // takes every edge down exactly once.
+        let plan = FaultPlan::none().with_link_outages(1000, (0, 0), 5);
+        let s = plan.expand(&world(), 1, 100);
+        assert_eq!(s.link_down.len(), 49);
+    }
+
+    #[test]
+    fn detector_outage_fraction_roughly_honoured() {
+        let plan = FaultPlan::none().with_detector_outages(0.5);
+        let s = plan.expand(&world(), 11, 100);
+        // 49 hosts, p = 0.5: extremely unlikely to fall outside 10..40.
+        assert!((10..40).contains(&s.disabled_detectors.len()));
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        assert!(FaultPlan::none().with_detector_outages(1.5).validate().is_err());
+        assert!(FaultPlan::none().with_link_loss(0.5, -0.1).validate().is_err());
+        assert!(FaultPlan::none().with_link_outages(1, (10, 5), 5).validate().is_err());
+        assert!(FaultPlan::none().with_link_outages(1, (0, 5), 0).validate().is_err());
+        assert!(FaultPlan::none().with_false_positives(2, (9, 3)).validate().is_err());
+        assert!(FaultPlan::none().with_transient_failures(2.0).validate().is_err());
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::none()
+            .with_link_outages(2, (0, 10), 5)
+            .with_false_positives(1, (0, 50))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn false_quarantines_sorted_by_tick() {
+        let plan = FaultPlan::none().with_false_positives(8, (0, 90));
+        let s = plan.expand(&world(), 5, 100);
+        assert_eq!(s.false_quarantines.len(), 8);
+        assert!(s.false_quarantines.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

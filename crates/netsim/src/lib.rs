@@ -51,6 +51,7 @@
 pub mod background;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod observer;
 pub mod plan;
 pub mod runner;
@@ -59,6 +60,8 @@ pub mod world;
 
 pub use config::{SimConfig, WormBehavior};
 pub use error::Error;
+pub use faults::{FaultPlan, FaultSchedule};
 pub use plan::RateLimitPlan;
+pub use runner::{RunOutcome, RunnerError, SupervisorConfig};
 pub use sim::{SimResult, Simulator};
 pub use world::World;

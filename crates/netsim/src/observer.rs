@@ -5,6 +5,7 @@
 //! anything else (infection trees, per-subnet curves, detection
 //! latencies) without forking the engine.
 
+use crate::faults::FaultEvent;
 use dynaquar_topology::NodeId;
 
 /// Callbacks invoked by [`crate::sim::Simulator::run_observed`].
@@ -33,6 +34,12 @@ pub trait SimObserver {
     /// self-patching worm instance.
     fn on_patch(&mut self, tick: u64, host: NodeId) {
         let _ = (tick, host);
+    }
+
+    /// Called when an injected fault transitions (outage onset/repair,
+    /// detector disablement, false-positive quarantine).
+    fn on_fault(&mut self, tick: u64, event: FaultEvent) {
+        let _ = (tick, event);
     }
 }
 
@@ -74,6 +81,7 @@ mod tests {
         o.on_infection(1, NodeId::new(0));
         o.on_quarantine(1, NodeId::new(0));
         o.on_patch(1, NodeId::new(0));
+        o.on_fault(1, FaultEvent::NodeDown(NodeId::new(0)));
     }
 
     #[test]

@@ -1,26 +1,40 @@
-//! Multi-run averaging.
+//! Multi-run averaging under a resilient supervisor.
 //!
 //! "Unless specified otherwise, each simulation is averaged over 10
 //! individual runs" (Section 5.4). Runs differ only in their RNG seed and
 //! share the (expensive, immutable) [`World`], so they parallelize
 //! trivially.
+//!
+//! The supervisor wraps every seeded run in [`std::panic::catch_unwind`]:
+//! a run that panics (e.g. an injected fault from
+//! [`crate::faults::FaultPlan`], or a genuine bug on one seed) is retried
+//! with a fresh derived seed under capped exponential backoff, and
+//! dropped after [`SupervisorConfig::max_attempts`] failures instead of
+//! taking the whole batch down. [`AveragedResult::outcomes`] records what
+//! happened to each seed; [`RunnerError::QuorumNotReached`] is returned
+//! when fewer than [`SupervisorConfig::min_survivors`] runs survive.
 
 use crate::config::{SimConfig, WormBehavior};
 use crate::sim::{SimResult, Simulator};
 use crate::world::World;
 use dynaquar_epidemic::TimeSeries;
+use std::fmt;
+use std::time::Duration;
 
 /// The averaged outcome of several seeded runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AveragedResult {
-    /// Mean infected fraction per tick.
+    /// Mean infected fraction per tick (over surviving runs).
     pub infected_fraction: TimeSeries,
-    /// Mean ever-infected fraction per tick.
+    /// Mean ever-infected fraction per tick (over surviving runs).
     pub ever_infected_fraction: TimeSeries,
-    /// Mean immunized fraction per tick.
+    /// Mean immunized fraction per tick (over surviving runs).
     pub immunized_fraction: TimeSeries,
-    /// The individual runs, in seed order.
+    /// The individual surviving runs, in seed order.
     pub runs: Vec<SimResult>,
+    /// Per-seed provenance, in input order: one entry per requested
+    /// seed, including the seeds whose runs were dropped.
+    pub outcomes: Vec<RunOutcome>,
 }
 
 impl AveragedResult {
@@ -29,19 +43,175 @@ impl AveragedResult {
     pub fn infected_envelope(&self) -> (TimeSeries, TimeSeries) {
         envelope(self.runs.iter().map(|r| &r.infected_fraction))
     }
+
+    /// Number of requested seeds whose run was dropped after exhausting
+    /// its retry budget.
+    pub fn dropped_runs(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, RunOutcome::Dropped { .. }))
+            .count()
+    }
+}
+
+/// What became of one requested seed under the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The run completed on its first attempt.
+    Completed {
+        /// The requested seed.
+        seed: u64,
+    },
+    /// The run panicked at least once and succeeded on a retry with a
+    /// derived seed.
+    Retried {
+        /// The requested seed.
+        seed: u64,
+        /// Total attempts spent (including the successful one).
+        attempts: u32,
+        /// The derived seed the surviving attempt actually ran with.
+        final_seed: u64,
+    },
+    /// Every attempt panicked; the run contributes nothing to the
+    /// average.
+    Dropped {
+        /// The requested seed.
+        seed: u64,
+        /// Attempts spent before giving up.
+        attempts: u32,
+    },
+}
+
+impl RunOutcome {
+    /// Whether this seed produced a surviving run.
+    pub fn survived(&self) -> bool {
+        !matches!(self, RunOutcome::Dropped { .. })
+    }
+}
+
+/// Error returned by [`run_supervised`] when too few runs survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunnerError {
+    /// Fewer runs survived the supervisor's retries than the configured
+    /// quorum requires.
+    QuorumNotReached {
+        /// Runs that completed (possibly after retries).
+        survivors: usize,
+        /// Minimum survivors required.
+        quorum: usize,
+        /// Seeds requested.
+        total: usize,
+    },
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::QuorumNotReached {
+                survivors,
+                quorum,
+                total,
+            } => write!(
+                f,
+                "quorum not reached: {survivors} of {total} runs survived, need {quorum}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+/// Retry and quorum policy for [`run_supervised`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Attempts per seed before the run is dropped (minimum 1).
+    pub max_attempts: u32,
+    /// Minimum surviving runs for the batch to count (minimum 1).
+    pub min_survivors: usize,
+    /// Base backoff slept after a failed attempt; doubles per attempt.
+    /// Zero (the default) retries immediately — simulation panics are
+    /// deterministic per seed, so waiting rarely helps, but callers
+    /// supervising flaky external resources can opt in.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff, whatever the attempt count.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_attempts: 3,
+            min_survivors: 1,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::from_millis(250),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Sets the per-seed attempt budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Sets the survivor quorum.
+    pub fn with_min_survivors(mut self, survivors: usize) -> Self {
+        self.min_survivors = survivors;
+        self
+    }
+
+    /// Sets the backoff base and cap.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Backoff after the `attempt`-th failure: `base * 2^(attempt-1)`,
+    /// capped.
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << doublings)
+            .min(self.backoff_cap)
+    }
+}
+
+/// One attempt the supervisor asks a run function to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunAttempt {
+    /// The originally requested seed.
+    pub seed: u64,
+    /// 1-based attempt counter for this seed.
+    pub attempt: u32,
+    /// The seed this attempt should actually run with (equals `seed` on
+    /// the first attempt, a derived seed on retries).
+    pub run_seed: u64,
+}
+
+/// Derives the seed for a retry so the fresh attempt takes a different
+/// random trajectory (SplitMix64-style mix of seed and attempt).
+fn derive_retry_seed(seed: u64, attempt: u32) -> u64 {
+    let mut z = seed ^ (u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Pointwise min/max over series sampled on identical grids (truncated
 /// to the shortest).
-fn envelope<'a, I: Iterator<Item = &'a TimeSeries> + Clone>(series: I) -> (TimeSeries, TimeSeries) {
-    let len = series.clone().map(TimeSeries::len).min().unwrap_or(0);
+fn envelope<'a, I: IntoIterator<Item = &'a TimeSeries>>(series: I) -> (TimeSeries, TimeSeries) {
+    let series: Vec<&TimeSeries> = series.into_iter().collect();
+    let len = series.iter().map(|s| s.len()).min().unwrap_or(0);
     let mut lo = TimeSeries::with_capacity(len);
     let mut hi = TimeSeries::with_capacity(len);
     for i in 0..len {
         let mut t = 0.0;
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
-        for s in series.clone() {
+        for s in &series {
             let (pt, v) = s.points()[i];
             t = pt;
             min = min.min(v);
@@ -53,32 +223,99 @@ fn envelope<'a, I: Iterator<Item = &'a TimeSeries> + Clone>(series: I) -> (TimeS
     (lo, hi)
 }
 
-/// Runs the simulation once per seed (in parallel) and averages the
-/// resulting series pointwise.
+/// Runs the retry loop for one seed. Returns the outcome and, if any
+/// attempt survived, its result.
+fn supervise_one<F>(
+    seed: u64,
+    supervisor: &SupervisorConfig,
+    run: &F,
+) -> (RunOutcome, Option<SimResult>)
+where
+    F: Fn(RunAttempt) -> SimResult,
+{
+    let budget = supervisor.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let run_seed = if attempt == 1 {
+            seed
+        } else {
+            derive_retry_seed(seed, attempt)
+        };
+        let call = RunAttempt {
+            seed,
+            attempt,
+            run_seed,
+        };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(call))) {
+            Ok(result) => {
+                let outcome = if attempt == 1 {
+                    RunOutcome::Completed { seed }
+                } else {
+                    RunOutcome::Retried {
+                        seed,
+                        attempts: attempt,
+                        final_seed: run_seed,
+                    }
+                };
+                return (outcome, Some(result));
+            }
+            Err(_) => {
+                if attempt >= budget {
+                    return (
+                        RunOutcome::Dropped {
+                            seed,
+                            attempts: attempt,
+                        },
+                        None,
+                    );
+                }
+                let backoff = supervisor.backoff_for(attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+/// Supervised multi-run driver over an arbitrary run function — the
+/// engine behind [`run_supervised`], exposed so tests (and callers with
+/// custom per-seed setups) can inject their own run body, including one
+/// that panics.
 ///
-/// # Panics
-///
-/// Panics if `seeds` is empty, or propagates a panic from a worker run.
-pub fn run_averaged(
-    world: &World,
-    config: &SimConfig,
-    behavior: WormBehavior,
+/// `run` receives a [`RunAttempt`] and should execute the simulation
+/// with `run_seed`; a panic in `run` counts as a failed attempt.
+pub fn run_supervised_with<F>(
     seeds: &[u64],
-) -> AveragedResult {
-    assert!(!seeds.is_empty(), "need at least one seed");
-    let runs: Vec<SimResult> = crossbeam::thread::scope(|scope| {
+    supervisor: &SupervisorConfig,
+    run: F,
+) -> Result<AveragedResult, RunnerError>
+where
+    F: Fn(RunAttempt) -> SimResult + Sync,
+{
+    let results: Vec<(RunOutcome, Option<SimResult>)> = std::thread::scope(|scope| {
+        let run = &run;
         let handles: Vec<_> = seeds
             .iter()
-            .map(|&seed| {
-                scope.spawn(move |_| Simulator::new(world, config, behavior, seed).run())
-            })
+            .map(|&seed| scope.spawn(move || supervise_one(seed, supervisor, run)))
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("simulation run panicked"))
+            .map(|h| h.join().expect("supervisor thread panicked"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
+
+    let quorum = supervisor.min_survivors.max(1);
+    let outcomes: Vec<RunOutcome> = results.iter().map(|(o, _)| *o).collect();
+    let runs: Vec<SimResult> = results.into_iter().filter_map(|(_, r)| r).collect();
+    if runs.len() < quorum {
+        return Err(RunnerError::QuorumNotReached {
+            survivors: runs.len(),
+            quorum,
+            total: seeds.len(),
+        });
+    }
 
     let infected: Vec<TimeSeries> = runs.iter().map(|r| r.infected_fraction.clone()).collect();
     let ever: Vec<TimeSeries> = runs
@@ -87,11 +324,50 @@ pub fn run_averaged(
         .collect();
     let immune: Vec<TimeSeries> = runs.iter().map(|r| r.immunized_fraction.clone()).collect();
 
-    AveragedResult {
+    Ok(AveragedResult {
         infected_fraction: TimeSeries::mean_of(&infected),
         ever_infected_fraction: TimeSeries::mean_of(&ever),
         immunized_fraction: TimeSeries::mean_of(&immune),
         runs,
+        outcomes,
+    })
+}
+
+/// Runs the simulation once per seed (in parallel, each under the
+/// supervisor's retry policy) and averages the surviving series
+/// pointwise.
+pub fn run_supervised(
+    world: &World,
+    config: &SimConfig,
+    behavior: WormBehavior,
+    seeds: &[u64],
+    supervisor: &SupervisorConfig,
+) -> Result<AveragedResult, RunnerError> {
+    run_supervised_with(seeds, supervisor, |a: RunAttempt| {
+        Simulator::new(world, config, behavior, a.run_seed).run()
+    })
+}
+
+/// Runs the simulation once per seed (in parallel) and averages the
+/// resulting series pointwise.
+///
+/// Panicking runs are retried and, failing that, dropped from the
+/// average (see [`run_supervised`] and [`AveragedResult::outcomes`]).
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty, or if *no* run at all survives the
+/// default retry policy.
+pub fn run_averaged(
+    world: &World,
+    config: &SimConfig,
+    behavior: WormBehavior,
+    seeds: &[u64],
+) -> AveragedResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    match run_supervised(world, config, behavior, seeds, &SupervisorConfig::default()) {
+        Ok(avg) => avg,
+        Err(e) => panic!("no simulation run survived: {e}"),
     }
 }
 
@@ -124,6 +400,13 @@ mod tests {
         let avg = run_averaged(&w, &config(), WormBehavior::random(), &[5, 5]);
         let single = Simulator::new(&w, &config(), WormBehavior::random(), 5).run();
         assert_eq!(avg.infected_fraction, single.infected_fraction);
+        assert_eq!(
+            avg.outcomes,
+            vec![
+                RunOutcome::Completed { seed: 5 },
+                RunOutcome::Completed { seed: 5 }
+            ]
+        );
     }
 
     #[test]
@@ -131,6 +414,7 @@ mod tests {
         let w = world();
         let avg = run_averaged(&w, &config(), WormBehavior::random(), &[1, 2, 3, 4]);
         assert_eq!(avg.runs.len(), 4);
+        assert_eq!(avg.dropped_runs(), 0);
         // The average lies between the min and max of the individual runs
         // at every recorded tick.
         for (i, (t, v)) in avg.infected_fraction.iter().enumerate() {
@@ -170,5 +454,91 @@ mod tests {
     fn empty_seed_list_panics() {
         let w = world();
         run_averaged(&w, &config(), WormBehavior::random(), &[]);
+    }
+
+    #[test]
+    fn persistent_panicker_is_dropped_and_survivors_average() {
+        let w = world();
+        let cfg = config();
+        let result = run_supervised_with(
+            &[1, 2, 3],
+            &SupervisorConfig::default(),
+            |a: RunAttempt| {
+                if a.seed == 2 {
+                    panic!("injected: seed 2 always fails");
+                }
+                Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+            },
+        )
+        .expect("two survivors beat the default quorum of one");
+        assert_eq!(result.runs.len(), 2);
+        assert_eq!(result.dropped_runs(), 1);
+        assert_eq!(result.outcomes[0], RunOutcome::Completed { seed: 1 });
+        assert_eq!(
+            result.outcomes[1],
+            RunOutcome::Dropped {
+                seed: 2,
+                attempts: 3
+            }
+        );
+        assert_eq!(result.outcomes[2], RunOutcome::Completed { seed: 3 });
+        // The average equals the mean of the two survivors only.
+        let expected = run_averaged(&w, &cfg, WormBehavior::random(), &[1, 3]);
+        assert_eq!(result.infected_fraction, expected.infected_fraction);
+    }
+
+    #[test]
+    fn transient_failure_is_retried_with_derived_seed() {
+        let w = world();
+        let cfg = config();
+        let result = run_supervised_with(
+            &[7],
+            &SupervisorConfig::default(),
+            |a: RunAttempt| {
+                if a.attempt == 1 {
+                    panic!("injected: first attempt fails");
+                }
+                Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+            },
+        )
+        .expect("retry succeeds");
+        assert_eq!(result.runs.len(), 1);
+        match result.outcomes[0] {
+            RunOutcome::Retried {
+                seed: 7,
+                attempts: 2,
+                final_seed,
+            } => assert_ne!(final_seed, 7, "retry must use a fresh seed"),
+            ref o => panic!("expected a retried outcome, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn quorum_failure_is_a_typed_error() {
+        let err = run_supervised_with(
+            &[1, 2],
+            &SupervisorConfig::default().with_max_attempts(2),
+            |_: RunAttempt| -> SimResult { panic!("injected: everything fails") },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RunnerError::QuorumNotReached {
+                survivors: 0,
+                quorum: 1,
+                total: 2
+            }
+        );
+        assert!(err.to_string().contains("quorum not reached"));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let sup = SupervisorConfig::default()
+            .with_backoff(Duration::from_millis(10), Duration::from_millis(25));
+        assert_eq!(sup.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(sup.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(sup.backoff_for(3), Duration::from_millis(25));
+        assert_eq!(sup.backoff_for(30), Duration::from_millis(25));
     }
 }

@@ -23,6 +23,8 @@
 
 use crate::background::BackgroundStats;
 use crate::config::{ImmunizationTrigger, SimConfig, WormBehavior};
+use crate::error::Error;
+use crate::faults::{FaultEvent, FaultSchedule, FAULT_STREAM_SALT};
 use crate::observer::{NullObserver, SimObserver, TickSnapshot};
 use crate::plan::{FilterDiscipline, HostFilter};
 use crate::world::World;
@@ -84,6 +86,11 @@ pub struct SimResult {
     pub delayed_packets: u64,
     /// Hosts quarantined by the detection-driven response.
     pub quarantined_hosts: u64,
+    /// Clean hosts wrongly quarantined by injected detector false
+    /// positives (zero unless a [`crate::faults::FaultPlan`] says so).
+    pub false_quarantined_hosts: u64,
+    /// Packets dropped by injected per-link loss (zero without faults).
+    pub lost_packets: u64,
     /// Emitted worm scans as `(tick, scanner, target)` — empty unless
     /// the config enables scan logging.
     pub scan_log: Vec<(u64, NodeId, NodeId)>,
@@ -120,6 +127,24 @@ pub struct Simulator<'w> {
     ever_infected: usize,
     delivered: u64,
     filtered: u64,
+    /// The run's concrete fault realization (empty without a fault plan).
+    faults: FaultSchedule,
+    /// Dedicated RNG for ongoing fault draws (per-packet loss,
+    /// quarantine jitter) — independent of the main stream so faults
+    /// never perturb the worm's randomness.
+    fault_rng: SmallRng,
+    /// Dense per-edge "down right now" flags, updated each tick.
+    link_down: Vec<bool>,
+    /// Dense per-node "down right now" flags, updated each tick.
+    node_down: Vec<bool>,
+    /// Dense per-edge drop probability (0.0 = lossless).
+    link_loss: Vec<f64>,
+    /// Jittered quarantine activations: `Some(tick)` = cut off then.
+    pending_quarantine: Vec<Option<u64>>,
+    /// Cursor into the sorted false-quarantine schedule.
+    false_quarantine_cursor: usize,
+    lost: u64,
+    false_quarantined: u64,
     background: BackgroundStats,
     /// Carry-over of the fractional background injection rate.
     background_credit: f64,
@@ -142,18 +167,38 @@ impl std::fmt::Debug for Simulator<'_> {
 
 impl<'w> Simulator<'w> {
     /// Prepares a run: `seed` fixes all randomness (initial infections,
-    /// target selection, immunization draws).
+    /// target selection, immunization draws, fault realizations).
     ///
     /// # Panics
     ///
     /// Panics if the world has fewer hosts than
-    /// `config.initial_infected()`.
+    /// `config.initial_infected()` or a host filter is malformed; use
+    /// [`Simulator::try_new`] for a typed error instead.
     pub fn new(world: &'w World, config: &SimConfig, behavior: WormBehavior, seed: u64) -> Self {
+        match Self::try_new(world, config, behavior, seed) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Simulator::new`]: returns
+    /// [`Error::TooManyInitialInfections`] when the config seeds more
+    /// infections than the world has hosts, and
+    /// [`Error::InvalidConfig`] when a host filter carries an invalid
+    /// window or budget.
+    pub fn try_new(
+        world: &'w World,
+        config: &SimConfig,
+        behavior: WormBehavior,
+        seed: u64,
+    ) -> Result<Self, Error> {
         let n = world.graph().node_count();
-        assert!(
-            world.hosts().len() >= config.initial_infected(),
-            "more initial infections than hosts"
-        );
+        if world.hosts().len() < config.initial_infected() {
+            return Err(Error::TooManyInitialInfections {
+                requested: config.initial_infected(),
+                hosts: world.hosts().len(),
+            });
+        }
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut state = vec![NodeState::Susceptible; n];
         let infected_since = vec![0u64; n];
@@ -170,15 +215,20 @@ impl<'w> Simulator<'w> {
         }
 
         let host_filter_cfg = config.plan().dense_host_filters(world.graph());
-        let host_limiters = host_filter_cfg
-            .iter()
-            .map(|f| {
-                f.map(|f| {
-                    UniqueIpWindow::new(f.window_ticks as f64, f.max_new_targets)
-                        .expect("plan-validated filter")
-                })
-            })
-            .collect();
+        let mut host_limiters = Vec::with_capacity(host_filter_cfg.len());
+        for f in &host_filter_cfg {
+            host_limiters.push(match f {
+                Some(f) => Some(
+                    UniqueIpWindow::new(f.window_ticks as f64, f.max_new_targets).map_err(
+                        |_| Error::InvalidConfig {
+                            name: "host_filter",
+                            reason: "window_ticks and max_new_targets must be positive",
+                        },
+                    )?,
+                ),
+                None => None,
+            });
+        }
         let link_caps = config.plan().dense_link_caps(world.graph());
         let link_tokens = link_caps
             .iter()
@@ -191,7 +241,21 @@ impl<'w> Simulator<'w> {
             .collect();
         let ever_infected = config.initial_infected();
 
-        Simulator {
+        // Expand the fault plan on its own derived RNG stream so an
+        // empty plan leaves the main stream (and thus the run) untouched.
+        let faults = config.faults().expand(world, seed, config.horizon());
+        let fault_rng = SmallRng::seed_from_u64(seed ^ FAULT_STREAM_SALT);
+        let mut host_filter_cfg = host_filter_cfg;
+        let mut link_loss = vec![0.0; world.graph().edge_count()];
+        for &(edge, p) in &faults.lossy_links {
+            link_loss[edge.index()] = p;
+        }
+        for &h in &faults.disabled_detectors {
+            host_limiters[h.index()] = None;
+            host_filter_cfg[h.index()] = None;
+        }
+
+        Ok(Simulator {
             world,
             config: config.clone(),
             behavior,
@@ -210,13 +274,22 @@ impl<'w> Simulator<'w> {
             ever_infected,
             delivered: 0,
             filtered: 0,
+            link_down: vec![false; world.graph().edge_count()],
+            node_down: vec![false; n],
+            link_loss,
+            pending_quarantine: vec![None; n],
+            false_quarantine_cursor: 0,
+            lost: 0,
+            false_quarantined: 0,
+            faults,
+            fault_rng,
             background: BackgroundStats::default(),
             background_credit: 0.0,
             delay_queues: vec![VecDeque::new(); n],
             delayed: 0,
             quarantined: 0,
             scan_log: Vec::new(),
-        }
+        })
     }
 
     fn host_count(&self) -> usize {
@@ -238,6 +311,79 @@ impl<'w> Simulator<'w> {
             self.selectors[node.index()] = Some(self.behavior.make_selector());
             self.ever_infected += 1;
             observer.on_infection(tick, node);
+        }
+    }
+
+    /// Applies this tick's injected faults: outage transitions, due
+    /// false-positive quarantines, and due jitter-delayed quarantines.
+    /// A no-op (single `is_empty` check) when no faults are scheduled.
+    fn apply_faults(&mut self, tick: u64, observer: &mut dyn SimObserver) {
+        if self.faults.is_empty() {
+            return;
+        }
+        // Outage transitions. The schedules are tiny (a handful of
+        // intervals), so a linear scan per tick is cheap.
+        for &(edge, start, end) in &self.faults.link_down {
+            let down = tick >= start && tick < end;
+            if down != self.link_down[edge.index()] {
+                self.link_down[edge.index()] = down;
+                observer.on_fault(
+                    tick,
+                    if down {
+                        FaultEvent::LinkDown(edge)
+                    } else {
+                        FaultEvent::LinkRepaired(edge)
+                    },
+                );
+            }
+        }
+        for &(node, start, end) in &self.faults.node_down {
+            let down = tick >= start && tick < end;
+            if down != self.node_down[node.index()] {
+                self.node_down[node.index()] = down;
+                observer.on_fault(
+                    tick,
+                    if down {
+                        FaultEvent::NodeDown(node)
+                    } else {
+                        FaultEvent::NodeRepaired(node)
+                    },
+                );
+            }
+        }
+        // False-positive quarantines: the broken detector cuts off a
+        // clean host. An already infected or immunized target is left
+        // alone — quarantining it would not be a *false* positive.
+        while let Some(&(due, host)) = self.faults.false_quarantines.get(self.false_quarantine_cursor)
+        {
+            if due > tick {
+                break;
+            }
+            self.false_quarantine_cursor += 1;
+            if self.state[host.index()] == NodeState::Susceptible {
+                self.state[host.index()] = NodeState::Immunized;
+                self.false_quarantined += 1;
+                observer.on_fault(tick, FaultEvent::FalseQuarantine(host));
+            }
+        }
+        // Jitter-delayed quarantine activations that have come due.
+        if self.faults.quarantine_jitter > 0 {
+            for i in 0..self.pending_quarantine.len() {
+                let Some(due) = self.pending_quarantine[i] else {
+                    continue;
+                };
+                if due > tick {
+                    continue;
+                }
+                self.pending_quarantine[i] = None;
+                if self.state[i] == NodeState::Infected {
+                    self.state[i] = NodeState::Immunized;
+                    self.selectors[i] = None;
+                    self.delay_queues[i].clear();
+                    self.quarantined += 1;
+                    observer.on_quarantine(tick, NodeId::from(i));
+                }
+            }
         }
     }
 
@@ -295,6 +441,10 @@ impl<'w> Simulator<'w> {
             if self.state[node.index()] != NodeState::Infected {
                 continue;
             }
+            // A host on a downed node cannot scan while the outage lasts.
+            if self.node_down[node.index()] {
+                continue;
+            }
             let ctx = ScanContext {
                 scanner: node,
                 hosts: self.world.hosts(),
@@ -339,11 +489,23 @@ impl<'w> Simulator<'w> {
                             // queue is the detection signal.
                             if let Some(q) = self.config.quarantine() {
                                 if queue.len() >= q.queue_threshold {
-                                    self.state[src.index()] = NodeState::Immunized;
-                                    self.selectors[src.index()] = None;
-                                    self.delay_queues[src.index()].clear();
-                                    self.quarantined += 1;
-                                    observer.on_quarantine(tick, src);
+                                    if self.faults.quarantine_jitter == 0 {
+                                        self.state[src.index()] = NodeState::Immunized;
+                                        self.selectors[src.index()] = None;
+                                        self.delay_queues[src.index()].clear();
+                                        self.quarantined += 1;
+                                        observer.on_quarantine(tick, src);
+                                    } else if self.pending_quarantine[src.index()].is_none() {
+                                        // Injected activation jitter: the
+                                        // cut-off lands 1..=jitter ticks
+                                        // late, letting the host keep
+                                        // scanning in the meantime.
+                                        let delay = self
+                                            .fault_rng
+                                            .gen_range(1..=self.faults.quarantine_jitter);
+                                        self.pending_quarantine[src.index()] =
+                                            Some(tick + delay);
+                                    }
                                 }
                             }
                         }
@@ -444,6 +606,15 @@ impl<'w> Simulator<'w> {
             let edge = graph
                 .edge_between(p.current, next)
                 .expect("next hop is adjacent");
+            // Injected outages: a packet at a downed node, or whose next
+            // link or next node is down, waits in place until repair.
+            if self.node_down[p.current.index()]
+                || self.node_down[next.index()]
+                || self.link_down[edge.index()]
+            {
+                retained.push_back(p);
+                continue;
+            }
             // Link cap: needs a full token.
             let capped = self.link_caps[edge.index()].is_some();
             if capped && self.link_tokens[edge.index()] < 1.0 {
@@ -463,6 +634,13 @@ impl<'w> Simulator<'w> {
             }
             if node_capped {
                 self.node_tokens[p.current.index()] -= 1.0;
+            }
+            // Injected per-link loss: the crossing attempt consumed its
+            // tokens but the packet is gone.
+            let loss = self.link_loss[edge.index()];
+            if loss > 0.0 && self.fault_rng.gen_bool(loss) {
+                self.lost += 1;
+                continue;
             }
             p.current = next;
             if p.current == p.dst {
@@ -521,9 +699,23 @@ impl<'w> Simulator<'w> {
                 i
             };
 
+        // Detector outages predate the run: report them up front.
+        for i in 0..self.faults.disabled_detectors.len() {
+            let h = self.faults.disabled_detectors[i];
+            observer.on_fault(0, FaultEvent::DetectorDisabled(h));
+        }
+        let transient_panic_tick = (self.config.horizon() / 2).max(1);
+
         let mut infected_fraction = record(&self, 0, &mut infected, &mut ever, &mut immune);
         backlog.push(0.0, 0.0);
         for tick in 1..=self.config.horizon() {
+            if self.faults.panic_at_tick == Some(tick) {
+                panic!("injected fault: deliberate panic at tick {tick}");
+            }
+            if self.faults.transient_panic && tick == transient_panic_tick {
+                panic!("injected fault: transient failure at tick {tick}");
+            }
+            self.apply_faults(tick, observer);
             self.immunization_step(tick, infected_fraction, observer);
             self.self_patch_step(tick, observer);
             self.generate_scans(tick, observer);
@@ -552,6 +744,8 @@ impl<'w> Simulator<'w> {
             filtered_packets: self.filtered,
             delayed_packets: self.delayed,
             quarantined_hosts: self.quarantined,
+            false_quarantined_hosts: self.false_quarantined,
+            lost_packets: self.lost,
             scan_log: std::mem::take(&mut self.scan_log),
             residual_packets: self.in_flight.len() as u64,
             background: self.background,

@@ -1,0 +1,225 @@
+//! Fault-injection wrappers for limiters and deployments.
+//!
+//! The robustness experiments (see the netsim fault plans) need to model
+//! *broken* defenses, not just absent ones: a detector that silently
+//! fails open during an outage window, or a deployment where some host
+//! subset's limiters were never actually installed. These wrappers add
+//! that failure mode around any [`RateLimiter`] / [`Deployment`] without
+//! the mechanisms themselves knowing.
+
+use crate::deploy::{Deployment, HostId};
+use crate::{Decision, RateLimiter, RemoteKey};
+use std::collections::HashSet;
+
+/// A limiter that fails *open* while disabled: every contact is allowed
+/// through, as if the defense were not there.
+///
+/// Disablement is either manual ([`FailOpen::disable`]) or scheduled as
+/// an outage window in seconds ([`FailOpen::with_outage`]). The wrapped
+/// limiter's clock is *not* advanced during an outage — exactly like a
+/// crashed detector process that missed the traffic.
+#[derive(Debug, Clone)]
+pub struct FailOpen<L> {
+    inner: L,
+    disabled: bool,
+    outage: Option<(f64, f64)>,
+}
+
+impl<L: RateLimiter> FailOpen<L> {
+    /// Wraps `inner` with the detector healthy.
+    pub fn new(inner: L) -> Self {
+        FailOpen {
+            inner,
+            disabled: false,
+            outage: None,
+        }
+    }
+
+    /// Schedules an outage: the detector is down for `now` in
+    /// `[start, end)`.
+    pub fn with_outage(mut self, start: f64, end: f64) -> Self {
+        self.outage = Some((start, end));
+        self
+    }
+
+    /// Manually disables the detector until [`FailOpen::enable`].
+    pub fn disable(&mut self) {
+        self.disabled = true;
+    }
+
+    /// Re-enables a manually disabled detector.
+    pub fn enable(&mut self) {
+        self.disabled = false;
+    }
+
+    /// Whether the detector is down at time `now`.
+    pub fn is_down(&self, now: f64) -> bool {
+        self.disabled
+            || self
+                .outage
+                .is_some_and(|(start, end)| now >= start && now < end)
+    }
+
+    /// The wrapped limiter.
+    pub fn inner(&self) -> &L {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the limiter.
+    pub fn into_inner(self) -> L {
+        self.inner
+    }
+}
+
+impl<L: RateLimiter> RateLimiter for FailOpen<L> {
+    fn check(&mut self, now: f64, dst: RemoteKey) -> Decision {
+        if self.is_down(now) {
+            return Decision::Allow;
+        }
+        self.inner.check(now, dst)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.disabled = false;
+    }
+}
+
+/// A deployment where a subset of hosts' limiters are broken (fail
+/// open): their contacts pass unchecked, everyone else is limited
+/// normally — the "detector outage on a host subset" scenario of the
+/// fault-injection experiments.
+#[derive(Debug)]
+pub struct FaultyDeployment<D> {
+    inner: D,
+    broken: HashSet<HostId>,
+}
+
+impl<D: Deployment> FaultyDeployment<D> {
+    /// Wraps `inner`; `broken` hosts bypass it entirely.
+    pub fn new(inner: D, broken: impl IntoIterator<Item = HostId>) -> Self {
+        FaultyDeployment {
+            inner,
+            broken: broken.into_iter().collect(),
+        }
+    }
+
+    /// Number of hosts whose limiter is broken.
+    pub fn broken_count(&self) -> usize {
+        self.broken.len()
+    }
+
+    /// Whether `host`'s limiter is broken.
+    pub fn is_broken(&self, host: HostId) -> bool {
+        self.broken.contains(&host)
+    }
+
+    /// The wrapped deployment.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: Deployment> Deployment for FaultyDeployment<D> {
+    fn check(&mut self, now: f64, src: HostId, dst: RemoteKey) -> Decision {
+        if self.broken.contains(&src) {
+            return Decision::Allow;
+        }
+        self.inner.check(now, src, dst)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::PerHost;
+    use crate::dns::DnsGuard;
+    use crate::throttle::VirusThrottle;
+    use crate::window::UniqueIpWindow;
+
+    fn exhaust<L: RateLimiter>(l: &mut L, now: f64, n: u64) {
+        for k in 0..n {
+            l.check(now, RemoteKey::new(1000 + k));
+        }
+    }
+
+    #[test]
+    fn healthy_failopen_is_transparent() {
+        let mut plain = VirusThrottle::williamson_default();
+        let mut wrapped = FailOpen::new(VirusThrottle::williamson_default());
+        for k in 0..20 {
+            assert_eq!(
+                plain.check(0.0, RemoteKey::new(k)),
+                wrapped.check(0.0, RemoteKey::new(k))
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_throttle_allows_everything() {
+        let mut t = FailOpen::new(VirusThrottle::williamson_default());
+        exhaust(&mut t, 0.0, 50);
+        assert!(t.check(0.0, RemoteKey::new(7)).is_blocked() || !t.is_down(0.0));
+        t.disable();
+        assert!(t.is_down(0.0));
+        for k in 0..50 {
+            assert!(t.check(0.0, RemoteKey::new(2000 + k)).is_allow());
+        }
+        t.enable();
+        exhaust(&mut t, 0.1, 50);
+        assert!(t.check(0.1, RemoteKey::new(9999)).is_blocked());
+    }
+
+    #[test]
+    fn outage_window_fails_open_then_recovers() {
+        let mut g = FailOpen::new(DnsGuard::new(60.0, 2, 30.0).unwrap()).with_outage(10.0, 20.0);
+        // Healthy before the outage: budget of 2 unknown contacts.
+        exhaust(&mut g, 0.0, 2);
+        assert!(g.check(0.0, RemoteKey::new(5)).is_blocked());
+        // During the outage everything passes.
+        assert!(g.is_down(10.0));
+        for k in 0..20 {
+            assert!(g.check(10.0, RemoteKey::new(3000 + k)).is_allow());
+        }
+        // After repair the guard limits again (its own window reopened).
+        assert!(!g.is_down(20.0));
+        exhaust(&mut g, 100.0, 2);
+        assert!(g.check(100.0, RemoteKey::new(4000)).is_blocked());
+    }
+
+    #[test]
+    fn reset_heals_manual_disable() {
+        let mut t = FailOpen::new(UniqueIpWindow::new(5.0, 1).unwrap());
+        t.disable();
+        t.reset();
+        assert!(!t.is_down(0.0));
+        assert!(t.check(0.0, RemoteKey::new(1)).is_allow());
+        assert!(t.check(0.0, RemoteKey::new(2)).is_blocked());
+        assert_eq!(t.inner().max_unique(), 1);
+        assert_eq!(t.into_inner().max_unique(), 1);
+    }
+
+    #[test]
+    fn faulty_deployment_spares_broken_hosts_only() {
+        let per_host = PerHost::new(|| UniqueIpWindow::new(5.0, 1).unwrap());
+        let mut d = FaultyDeployment::new(per_host, [HostId::new(3)]);
+        assert_eq!(d.broken_count(), 1);
+        assert!(d.is_broken(HostId::new(3)));
+        assert!(!d.is_broken(HostId::new(0)));
+        // The healthy host is limited after one unique contact...
+        assert!(d.check(0.0, HostId::new(0), RemoteKey::new(1)).is_allow());
+        assert!(d.check(0.0, HostId::new(0), RemoteKey::new(2)).is_blocked());
+        // ...the broken host scans freely.
+        for k in 0..20 {
+            assert!(d.check(0.0, HostId::new(3), RemoteKey::new(100 + k)).is_allow());
+        }
+        // The broken host never even instantiated a limiter.
+        assert_eq!(d.inner().host_count(), 1);
+        d.reset();
+        assert_eq!(d.inner().host_count(), 0);
+    }
+}

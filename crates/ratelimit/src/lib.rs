@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bucket;
+pub mod chaos;
 pub mod deploy;
 pub mod leaky;
 pub mod dns;

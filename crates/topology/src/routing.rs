@@ -7,6 +7,7 @@
 //! one BFS per node, and [`RoutingTable::link_loads`] counts, for every
 //! link, how many ordered node pairs route across it.
 
+use crate::error::Error;
 use crate::graph::{EdgeId, Graph, NodeId};
 use std::collections::VecDeque;
 
@@ -77,30 +78,71 @@ impl RoutingTable {
         self.n
     }
 
+    /// Validates that both endpoints exist in the table.
+    fn check_nodes(&self, src: NodeId, dst: NodeId) -> Result<(), Error> {
+        for node in [src, dst] {
+            if node.index() >= self.n {
+                return Err(Error::NodeOutOfRange {
+                    node,
+                    node_count: self.n,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The first hop from `src` toward `dst`, or `None` when unreachable
     /// or `src == dst`.
     ///
     /// # Panics
     ///
-    /// Panics if either node is out of range.
+    /// Panics if either node is out of range; see
+    /// [`RoutingTable::try_next_hop`] for a typed error instead.
     pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
-        assert!(src.index() < self.n && dst.index() < self.n, "node out of range");
+        match self.try_next_hop(src, dst) {
+            Ok(hop) => hop,
+            Err(e) => panic!("node out of range: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`RoutingTable::next_hop`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeOutOfRange`] when either node does not exist
+    /// in the table.
+    pub fn try_next_hop(&self, src: NodeId, dst: NodeId) -> Result<Option<NodeId>, Error> {
+        self.check_nodes(src, dst)?;
         if src == dst {
-            return None;
+            return Ok(None);
         }
         let hop = self.next_hop[src.index() * self.n + dst.index()];
-        (hop != NO_HOP).then(|| NodeId::new(hop))
+        Ok((hop != NO_HOP).then(|| NodeId::new(hop)))
     }
 
     /// Hop distance from `src` to `dst` (`None` when unreachable).
     ///
     /// # Panics
     ///
-    /// Panics if either node is out of range.
+    /// Panics if either node is out of range; see
+    /// [`RoutingTable::try_distance`] for a typed error instead.
     pub fn distance(&self, src: NodeId, dst: NodeId) -> Option<u32> {
-        assert!(src.index() < self.n && dst.index() < self.n, "node out of range");
+        match self.try_distance(src, dst) {
+            Ok(d) => d,
+            Err(e) => panic!("node out of range: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`RoutingTable::distance`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeOutOfRange`] when either node does not exist
+    /// in the table.
+    pub fn try_distance(&self, src: NodeId, dst: NodeId) -> Result<Option<u32>, Error> {
+        self.check_nodes(src, dst)?;
         let d = self.distance[src.index() * self.n + dst.index()];
-        (d != u32::MAX).then_some(d)
+        Ok((d != u32::MAX).then_some(d))
     }
 
     /// The full path from `src` to `dst`, inclusive of both endpoints.
@@ -110,19 +152,38 @@ impl RoutingTable {
     ///
     /// # Panics
     ///
-    /// Panics if either node is out of range.
+    /// Panics if either node is out of range; see
+    /// [`RoutingTable::try_path`] for a typed error instead.
     pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
-        if src == dst {
-            return Some(vec![src]);
+        match self.try_path(src, dst) {
+            Ok(p) => p,
+            Err(e) => panic!("node out of range: {e}"),
         }
-        self.distance(src, dst)?;
+    }
+
+    /// Fallible variant of [`RoutingTable::path`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeOutOfRange`] when either node does not exist
+    /// in the table.
+    pub fn try_path(&self, src: NodeId, dst: NodeId) -> Result<Option<Vec<NodeId>>, Error> {
+        self.check_nodes(src, dst)?;
+        if src == dst {
+            return Ok(Some(vec![src]));
+        }
+        if self.try_distance(src, dst)?.is_none() {
+            return Ok(None);
+        }
         let mut path = vec![src];
         let mut cur = src;
         while cur != dst {
-            cur = self.next_hop(cur, dst).expect("distance was finite");
+            cur = self
+                .try_next_hop(cur, dst)?
+                .expect("invariant: finite distance implies a next hop");
             path.push(cur);
         }
-        Some(path)
+        Ok(Some(path))
     }
 
     /// Counts, for each edge, how many *ordered* node pairs route across
@@ -344,6 +405,34 @@ mod tests {
         // Small-world: diameter grows ~log n.
         assert!(d <= 12, "diameter {d}");
         assert!(rt.average_path_length() < d as f64);
+    }
+
+    #[test]
+    fn try_accessors_return_typed_errors() {
+        let g = generators::ring(4).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        let bad = NodeId::new(99);
+        assert_eq!(
+            rt.try_next_hop(bad, 0.into()),
+            Err(crate::Error::NodeOutOfRange {
+                node: bad,
+                node_count: 4
+            })
+        );
+        assert!(rt.try_distance(0.into(), bad).is_err());
+        assert!(rt.try_path(bad, bad).is_err());
+        // In-range queries agree with the panicking accessors.
+        assert_eq!(rt.try_next_hop(0.into(), 2.into()).unwrap(), rt.next_hop(0.into(), 2.into()));
+        assert_eq!(rt.try_distance(0.into(), 2.into()).unwrap(), rt.distance(0.into(), 2.into()));
+        assert_eq!(rt.try_path(0.into(), 2.into()).unwrap(), rt.path(0.into(), 2.into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn panicking_accessor_keeps_its_message() {
+        let g = generators::ring(3).unwrap();
+        let rt = RoutingTable::shortest_paths(&g);
+        rt.distance(NodeId::new(50), 0.into());
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Fault-injection and supervisor resilience properties.
+//!
+//! Pins the three contracts the fault subsystem makes:
+//!
+//! 1. fault schedules are a pure function of `(plan, world, seed,
+//!    horizon)` — two expansions are byte-identical;
+//! 2. `FaultPlan::none()` leaves the simulator bit-identical to the
+//!    fault-free engine;
+//! 3. the run supervisor survives panicking runs: it retries, drops,
+//!    records provenance, and still averages the survivors.
+
+use dynaquar::netsim::config::QuarantineConfig;
+use dynaquar::netsim::faults::FaultPlan;
+use dynaquar::netsim::plan::{HostFilter, RateLimitPlan};
+use dynaquar::netsim::runner::{
+    run_averaged, run_supervised, run_supervised_with, RunAttempt, RunOutcome, SupervisorConfig,
+};
+use dynaquar::netsim::world::World;
+use dynaquar::netsim::{SimConfig, Simulator, WormBehavior};
+use dynaquar::topology::generators;
+use proptest::prelude::*;
+
+fn star_world(leaves: usize) -> World {
+    World::from_star(generators::star(leaves).unwrap())
+}
+
+/// The dynamic-quarantine scenario of the netsim tests: delaying
+/// throttles everywhere, queue length 3 as the detection signal.
+fn quarantine_config(faults: FaultPlan, w: &World) -> SimConfig {
+    let hosts = w.hosts().to_vec();
+    let mut plan = RateLimitPlan::none();
+    plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
+    SimConfig::builder()
+        .beta(0.8)
+        .horizon(200)
+        .initial_infected(2)
+        .plan(plan)
+        .quarantine(QuarantineConfig { queue_threshold: 3 })
+        .faults(faults)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Contract 1: expanding the same plan twice yields byte-identical
+    /// schedules, for arbitrary plan parameters and seeds.
+    #[test]
+    fn fault_schedules_are_reproducible(
+        seed in 0u64..1_000_000,
+        link_count in 0usize..6,
+        node_count in 0usize..4,
+        duration in 1u64..40,
+        loss_fraction in 0.0..1.0f64,
+        detector_fraction in 0.0..1.0f64,
+        false_positives in 0usize..6,
+        jitter in 0u64..8,
+    ) {
+        let w = star_world(39);
+        let mut plan = FaultPlan::none()
+            .with_link_loss(loss_fraction, 0.2)
+            .with_detector_outages(detector_fraction)
+            .with_quarantine_jitter(jitter);
+        if link_count > 0 {
+            plan = plan.with_link_outages(link_count, (5, 30), duration);
+        }
+        if node_count > 0 {
+            plan = plan.with_node_outages(node_count, (0, 50), duration);
+        }
+        if false_positives > 0 {
+            plan = plan.with_false_positives(false_positives, (0, 80));
+        }
+        plan.validate().unwrap();
+        let a = plan.expand(&w, seed, 100);
+        let b = plan.expand(&w, seed, 100);
+        prop_assert_eq!(&a, &b);
+        // Byte-identical, not merely structurally equal.
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    /// Contract 2: a config carrying the empty fault plan produces
+    /// results bit-identical to one that never mentions faults at all.
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_baseline(
+        seed in 0u64..10_000,
+        horizon in 20u64..80,
+    ) {
+        let w = star_world(29);
+        let baseline_cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(horizon)
+            .initial_infected(1)
+            .build()
+            .unwrap();
+        let none_cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(horizon)
+            .initial_infected(1)
+            .faults(FaultPlan::none())
+            .build()
+            .unwrap();
+        let baseline = Simulator::new(&w, &baseline_cfg, WormBehavior::random(), seed).run();
+        let with_none = Simulator::new(&w, &none_cfg, WormBehavior::random(), seed).run();
+        prop_assert_eq!(&baseline, &with_none);
+        prop_assert_eq!(baseline.lost_packets, 0);
+        prop_assert_eq!(baseline.false_quarantined_hosts, 0);
+    }
+
+    /// Contract 3: an always-panicking injected run is retried, dropped,
+    /// and the supervisor still returns exactly the surviving runs'
+    /// average.
+    #[test]
+    fn supervisor_survives_always_panicking_run(base_seed in 0u64..5_000) {
+        let w = star_world(29);
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(40)
+            .initial_infected(1)
+            .build()
+            .unwrap();
+        let seeds = [base_seed, base_seed + 1, base_seed + 2];
+        let doomed = base_seed + 1;
+        let avg = run_supervised_with(
+            &seeds,
+            &SupervisorConfig::default(),
+            |a: RunAttempt| {
+                if a.seed == doomed {
+                    panic!("injected: this seed never completes");
+                }
+                Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(avg.runs.len(), 2);
+        prop_assert_eq!(
+            avg.outcomes[1],
+            RunOutcome::Dropped { seed: doomed, attempts: 3 }
+        );
+        prop_assert!(avg.outcomes[0].survived() && avg.outcomes[2].survived());
+        let expected = run_averaged(&w, &cfg, WormBehavior::random(), &[seeds[0], seeds[2]]);
+        prop_assert_eq!(avg.infected_fraction, expected.infected_fraction);
+        prop_assert_eq!(avg.ever_infected_fraction, expected.ever_infected_fraction);
+    }
+}
+
+/// Acceptance check: disabling 30% of detectors measurably worsens
+/// containment in the dynamic-quarantine scenario.
+#[test]
+fn detector_outages_worsen_containment() {
+    let w = star_world(199);
+    let seeds: Vec<u64> = (0..4).collect();
+    let clean = run_averaged(
+        &w,
+        &quarantine_config(FaultPlan::none(), &w),
+        WormBehavior::random(),
+        &seeds,
+    );
+    let faulty = run_averaged(
+        &w,
+        &quarantine_config(FaultPlan::none().with_detector_outages(0.3), &w),
+        WormBehavior::random(),
+        &seeds,
+    );
+    let clean_ever = clean.ever_infected_fraction.final_value();
+    let faulty_ever = faulty.ever_infected_fraction.final_value();
+    assert!(
+        faulty_ever > clean_ever + 0.05,
+        "broken detectors should leak more infection: clean {clean_ever}, faulty {faulty_ever}"
+    );
+}
+
+/// Quarantine-activation jitter delays cut-offs, so the worm reaches
+/// more hosts before containment kicks in.
+#[test]
+fn quarantine_jitter_worsens_containment() {
+    let w = star_world(199);
+    let seeds: Vec<u64> = (0..4).collect();
+    let prompt = run_averaged(
+        &w,
+        &quarantine_config(FaultPlan::none(), &w),
+        WormBehavior::random(),
+        &seeds,
+    );
+    let late = run_averaged(
+        &w,
+        &quarantine_config(FaultPlan::none().with_quarantine_jitter(12), &w),
+        WormBehavior::random(),
+        &seeds,
+    );
+    assert!(
+        late.ever_infected_fraction.final_value()
+            >= prompt.ever_infected_fraction.final_value(),
+        "delayed activation cannot improve containment"
+    );
+}
+
+/// A fault plan with transient failures exercises the real supervisor
+/// end to end: some runs panic mid-horizon, retries re-expand the plan
+/// under a fresh derived seed, and `run_averaged` still returns.
+#[test]
+fn transient_run_failures_are_survived_with_provenance() {
+    let w = star_world(29);
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(40)
+        .initial_infected(1)
+        .faults(FaultPlan::none().with_transient_failures(0.5))
+        .build()
+        .unwrap();
+    let seeds: Vec<u64> = (0..8).collect();
+    let avg = run_supervised(
+        &w,
+        &cfg,
+        WormBehavior::random(),
+        &seeds,
+        &SupervisorConfig::default(),
+    )
+    .expect("with p=0.5 and three attempts per seed, survivors are overwhelmingly likely");
+    assert_eq!(avg.outcomes.len(), seeds.len());
+    assert!(!avg.runs.is_empty());
+    assert!(
+        avg.outcomes.iter().any(|o| !matches!(o, RunOutcome::Completed { .. })),
+        "p=0.5 over 8 seeds should trip at least one retry or drop: {:?}",
+        avg.outcomes
+    );
+    assert_eq!(
+        avg.runs.len(),
+        avg.outcomes.iter().filter(|o| o.survived()).count()
+    );
+}
+
+/// An unconditional injected panic turns into a typed quorum error
+/// rather than a process abort.
+#[test]
+fn unconditional_panic_plan_yields_quorum_error() {
+    let w = star_world(19);
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(30)
+        .initial_infected(1)
+        .faults(FaultPlan::none().with_panic_at_tick(5))
+        .build()
+        .unwrap();
+    let err = run_supervised(
+        &w,
+        &cfg,
+        WormBehavior::random(),
+        &[1, 2],
+        &SupervisorConfig::default().with_max_attempts(2),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("quorum not reached"));
+}

@@ -1,0 +1,39 @@
+//! Offline no-op stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to
+//! keep them serialization-ready, but no code path actually serializes
+//! through a real serde backend (there is no `serde_json` in the build
+//! environment). This stub therefore provides:
+//!
+//! * [`Serialize`] and [`Deserialize`] as marker traits with blanket
+//!   implementations, so `T: Serialize` bounds are always satisfiable;
+//! * pass-through derive macros (via the companion `serde_derive` stub)
+//!   that accept and ignore `#[serde(...)]` attributes.
+//!
+//! Swapping the real `serde` back in is a one-line `Cargo.toml` change;
+//! no source edits are required.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Deserialization helpers namespace (`serde::de`).
+pub mod de {
+    pub use super::DeserializeOwned;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The stub's traits are blanket-implemented, so the derives only need to
+//! exist (and to register the `#[serde(...)]` helper attribute so field
+//! annotations like `#[serde(skip)]` parse); they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
