@@ -1,0 +1,225 @@
+//! Serial-vs-pooled ensemble benchmark for the deterministic parallel
+//! runner.
+//!
+//! ```text
+//! parallel_bench [--seeds N] [--horizon T] [--threads a,b,c] [--out FILE]
+//! ```
+//!
+//! Runs the same seeded ensemble (default: 32 seeds on a 399-leaf star)
+//! serially and on worker pools of increasing size, verifies every pooled
+//! result is **bit-identical** to the serial one, and reports wall clock,
+//! speedup, and mean worker utilization per thread count. The table is
+//! printed and also written as JSON (default `results/BENCH_parallel.json`)
+//! so speedup regressions are diffable.
+//!
+//! Exit code is nonzero if any pooled run diverges from the serial
+//! baseline — the determinism contract is part of the benchmark.
+
+use dynaquar_netsim::config::{SimConfig, WormBehavior};
+use dynaquar_netsim::runner::{run_averaged_parallel, AveragedResult};
+use dynaquar_netsim::World;
+use dynaquar_parallel::ParallelConfig;
+use dynaquar_topology::generators;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    seeds: usize,
+    horizon: u64,
+    threads: Vec<usize>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut seeds = 32usize;
+    let mut horizon = 200u64;
+    let mut threads = vec![2, 4, ParallelConfig::available().threads()];
+    let mut out = PathBuf::from("results/BENCH_parallel.json");
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires an argument"))
+        };
+        match arg.as_str() {
+            "--seeds" => seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--horizon" => horizon = value("--horizon")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                threads = value("--threads")?
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().map_err(|e| format!("{e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: parallel_bench [--seeds N] [--horizon T] [--threads a,b,c] [--out FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    threads.retain(|&t| t > 1);
+    threads.sort_unstable();
+    threads.dedup();
+    Ok(Args {
+        seeds,
+        horizon,
+        threads,
+        out,
+    })
+}
+
+/// The ensemble under test: the paper's quarantine-scale star with a
+/// random worm — heavy enough that one run is milliseconds, the shape
+/// every sweep in the repo uses.
+fn scenario(horizon: u64) -> (World, SimConfig) {
+    let world = World::from_star(generators::star(399).expect("valid star"));
+    let config = SimConfig::builder()
+        .beta(0.8)
+        .horizon(horizon)
+        .initial_infected(2)
+        .build()
+        .expect("valid config");
+    (world, config)
+}
+
+struct Row {
+    threads: usize,
+    wall_secs: f64,
+    speedup: f64,
+    mean_utilization: f64,
+    bit_identical: bool,
+}
+
+fn identical(a: &AveragedResult, b: &AveragedResult) -> bool {
+    a.infected_fraction == b.infected_fraction
+        && a.ever_infected_fraction == b.ever_infected_fraction
+        && a.immunized_fraction == b.immunized_fraction
+        && a.runs == b.runs
+        && a.outcomes == b.outcomes
+        && a.infected_envelope() == b.infected_envelope()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (world, config) = scenario(args.horizon);
+    let seeds: Vec<u64> = (0..args.seeds as u64).collect();
+    let hw_threads = ParallelConfig::available().threads();
+
+    println!(
+        "parallel runner benchmark: {} seeds, horizon {}, star-399, {} hardware thread(s)",
+        args.seeds, args.horizon, hw_threads
+    );
+
+    let t0 = Instant::now();
+    let baseline = run_averaged_parallel(
+        &world,
+        &config,
+        WormBehavior::random(),
+        &seeds,
+        &ParallelConfig::serial(),
+    );
+    let serial_secs = t0.elapsed().as_secs_f64();
+    println!("{:>8} {:>10} {:>9} {:>13} {:>14}", "threads", "wall (s)", "speedup", "utilization", "bit-identical");
+    println!("{:>8} {:>10.3} {:>9.2} {:>12.1}% {:>14}", 1, serial_secs, 1.0, 100.0, "baseline");
+
+    let mut rows = vec![Row {
+        threads: 1,
+        wall_secs: serial_secs,
+        speedup: 1.0,
+        mean_utilization: 1.0,
+        bit_identical: true,
+    }];
+    let mut all_identical = true;
+    for &threads in &args.threads {
+        let t0 = Instant::now();
+        let pooled = run_averaged_parallel(
+            &world,
+            &config,
+            WormBehavior::random(),
+            &seeds,
+            &ParallelConfig::new(threads),
+        );
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let busy: f64 = pooled
+            .workers
+            .iter()
+            .map(|w| w.busy.as_secs_f64())
+            .sum::<f64>();
+        let mean_utilization = if wall_secs > 0.0 {
+            (busy / (wall_secs * pooled.workers.len() as f64)).min(1.0)
+        } else {
+            0.0
+        };
+        let bit_identical = identical(&baseline, &pooled);
+        all_identical &= bit_identical;
+        let speedup = serial_secs / wall_secs;
+        println!(
+            "{:>8} {:>10.3} {:>9.2} {:>12.1}% {:>14}",
+            threads,
+            wall_secs,
+            speedup,
+            mean_utilization * 100.0,
+            if bit_identical { "yes" } else { "NO" }
+        );
+        rows.push(Row {
+            threads,
+            wall_secs,
+            speedup,
+            mean_utilization,
+            bit_identical,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"parallel_runner\",\n");
+    json.push_str("  \"topology\": \"star-399\",\n");
+    json.push_str(&format!("  \"seeds\": {},\n", args.seeds));
+    json.push_str(&format!("  \"horizon\": {},\n", args.horizon));
+    json.push_str(&format!("  \"hardware_threads\": {hw_threads},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"wall_secs\": {:.6}, \"speedup\": {:.4}, \
+             \"mean_utilization\": {:.4}, \"bit_identical\": {}}}{}\n",
+            r.threads,
+            r.wall_secs,
+            r.speedup,
+            r.mean_utilization,
+            r.bit_identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(dir) = args.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("cannot write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out.display());
+
+    if !all_identical {
+        eprintln!("DETERMINISM VIOLATION: a pooled run diverged from the serial baseline");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -7,8 +7,9 @@ use dynaquar_epidemic::timeto::CurveSummary;
 use dynaquar_epidemic::TimeSeries;
 use dynaquar_netsim::config::{ImmunizationConfig, SimConfig, WormBehavior};
 use dynaquar_netsim::faults::FaultPlan;
-use dynaquar_netsim::runner::run_averaged;
+use dynaquar_netsim::runner::run_averaged_parallel;
 use dynaquar_netsim::World;
+use dynaquar_parallel::ParallelConfig;
 use dynaquar_topology::generators;
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +107,7 @@ pub struct Scenario {
     faults: FaultPlan,
     runs: usize,
     seed: u64,
+    parallelism: Option<usize>,
 }
 
 impl Scenario {
@@ -124,6 +126,7 @@ impl Scenario {
             faults: FaultPlan::none(),
             runs: 10,
             seed: 0,
+            parallelism: None,
         }
     }
 
@@ -195,6 +198,21 @@ impl Scenario {
         self
     }
 
+    /// Sets the worker-thread count for the averaged runs. The default
+    /// (unset) follows `DYNAQUAR_THREADS`, then the machine's available
+    /// parallelism. Thread count never changes the result: the runner
+    /// collects seeded runs in seed order, so the averaged curves are
+    /// bit-identical for any value here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.parallelism = Some(threads);
+        self
+    }
+
     /// Runs the packet-level simulation, averaged over the configured
     /// number of runs.
     ///
@@ -227,7 +245,11 @@ impl Scenario {
         builder.faults(self.faults.clone());
         let config = builder.build().expect("scenario parameters validated");
         let seeds: Vec<u64> = (0..self.runs as u64).map(|k| self.seed + k).collect();
-        let avg = run_averaged(world, &config, self.behavior, &seeds);
+        let parallel = match self.parallelism {
+            Some(threads) => ParallelConfig::new(threads),
+            None => ParallelConfig::from_env(),
+        };
+        let avg = run_averaged_parallel(world, &config, self.behavior, &seeds, &parallel);
         ScenarioOutcome {
             label: self.deployment.label(),
             summary: CurveSummary::of(&avg.infected_fraction),
@@ -339,6 +361,22 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn zero_runs_panics() {
         let _ = Scenario::new(TopologySpec::Star { leaves: 10 }).runs(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker thread")]
+    fn zero_parallelism_panics() {
+        let _ = Scenario::new(TopologySpec::Star { leaves: 10 }).parallelism(0);
+    }
+
+    #[test]
+    fn parallelism_knob_does_not_change_the_outcome() {
+        let spec = TopologySpec::Star { leaves: 39 };
+        let world = spec.build();
+        let base = Scenario::new(spec).horizon(60).runs(4);
+        let serial = base.clone().parallelism(1).run_simulated_on(&world);
+        let pooled = base.clone().parallelism(4).run_simulated_on(&world);
+        assert_eq!(serial, pooled);
     }
 
     #[test]

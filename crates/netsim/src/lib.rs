@@ -62,6 +62,6 @@ pub use config::{SimConfig, WormBehavior};
 pub use error::Error;
 pub use faults::{FaultPlan, FaultSchedule};
 pub use plan::RateLimitPlan;
-pub use runner::{RunOutcome, RunnerError, SupervisorConfig};
+pub use runner::{ParallelConfig, RunOutcome, RunTiming, RunnerError, SupervisorConfig, WorkerStats};
 pub use sim::{SimResult, Simulator};
 pub use world::World;

@@ -1,9 +1,17 @@
-//! Multi-run averaging under a resilient supervisor.
+//! Multi-run averaging under a resilient supervisor, on a deterministic
+//! worker pool.
 //!
 //! "Unless specified otherwise, each simulation is averaged over 10
 //! individual runs" (Section 5.4). Runs differ only in their RNG seed and
 //! share the (expensive, immutable) [`World`], so they parallelize
-//! trivially.
+//! trivially — and because every run's randomness is derived from its own
+//! seed, fanning the ensemble out over a bounded
+//! [`dynaquar_parallel::ParallelConfig`] pool and collecting results **in
+//! seed order** makes `run_averaged`, `run_supervised`, and
+//! [`AveragedResult::infected_envelope`] bit-identical to the serial path
+//! for any thread count. The pool size defaults to the `DYNAQUAR_THREADS`
+//! environment variable, then to the machine's available parallelism; the
+//! `*_parallel` variants take an explicit config.
 //!
 //! The supervisor wraps every seeded run in [`std::panic::catch_unwind`]:
 //! a run that panics (e.g. an injected fault from
@@ -11,13 +19,17 @@
 //! with a fresh derived seed under capped exponential backoff, and
 //! dropped after [`SupervisorConfig::max_attempts`] failures instead of
 //! taking the whole batch down. [`AveragedResult::outcomes`] records what
-//! happened to each seed; [`RunnerError::QuorumNotReached`] is returned
-//! when fewer than [`SupervisorConfig::min_survivors`] runs survive.
+//! happened to each seed, and [`AveragedResult::timings`] /
+//! [`AveragedResult::workers`] record per-run wall clock and per-worker
+//! utilization so ensemble speedup is observable;
+//! [`RunnerError::QuorumNotReached`] is returned when fewer than
+//! [`SupervisorConfig::min_survivors`] runs survive.
 
 use crate::config::{SimConfig, WormBehavior};
 use crate::sim::{SimResult, Simulator};
 use crate::world::World;
 use dynaquar_epidemic::TimeSeries;
+pub use dynaquar_parallel::{ParallelConfig, WorkerStats};
 use std::fmt;
 use std::time::Duration;
 
@@ -35,6 +47,15 @@ pub struct AveragedResult {
     /// Per-seed provenance, in input order: one entry per requested
     /// seed, including the seeds whose runs were dropped.
     pub outcomes: Vec<RunOutcome>,
+    /// Per-seed wall-clock provenance, in input order (covers the whole
+    /// retry loop for that seed, dropped seeds included). Timing fields
+    /// are *observational*: they vary run to run even though every
+    /// series in this struct is bit-identical across thread counts.
+    pub timings: Vec<RunTiming>,
+    /// Per-worker pool utilization for this batch, by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// End-to-end wall clock of the batch, fan-out to last join.
+    pub batch_wall: Duration,
 }
 
 impl AveragedResult {
@@ -52,6 +73,17 @@ impl AveragedResult {
             .filter(|o| matches!(o, RunOutcome::Dropped { .. }))
             .count()
     }
+}
+
+/// Wall-clock provenance for one requested seed's supervised run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunTiming {
+    /// The requested seed.
+    pub seed: u64,
+    /// Pool worker (0-based) that executed this seed's retry loop.
+    pub worker: usize,
+    /// Wall-clock time spent on this seed (all attempts, any backoff).
+    pub wall: Duration,
 }
 
 /// What became of one requested seed under the supervisor.
@@ -123,7 +155,7 @@ impl fmt::Display for RunnerError {
 impl std::error::Error for RunnerError {}
 
 /// Retry and quorum policy for [`run_supervised`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 pub struct SupervisorConfig {
     /// Attempts per seed before the run is dropped (minimum 1).
     pub max_attempts: u32,
@@ -136,7 +168,26 @@ pub struct SupervisorConfig {
     pub backoff_base: Duration,
     /// Upper bound on the backoff, whatever the attempt count.
     pub backoff_cap: Duration,
+    /// How a backoff is actually waited out. Defaults to
+    /// [`std::thread::sleep`]; tests inject a recording no-op via
+    /// [`SupervisorConfig::with_sleeper`] so a nonzero backoff policy
+    /// never wall-clock sleeps in CI.
+    pub sleeper: fn(Duration),
 }
+
+/// Equality covers the retry *policy* only; the injected sleeper is an
+/// execution detail (and function-pointer identity is not meaningful
+/// across codegen units).
+impl PartialEq for SupervisorConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_attempts == other.max_attempts
+            && self.min_survivors == other.min_survivors
+            && self.backoff_base == other.backoff_base
+            && self.backoff_cap == other.backoff_cap
+    }
+}
+
+impl Eq for SupervisorConfig {}
 
 impl Default for SupervisorConfig {
     fn default() -> Self {
@@ -145,6 +196,7 @@ impl Default for SupervisorConfig {
             min_survivors: 1,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::from_millis(250),
+            sleeper: std::thread::sleep,
         }
     }
 }
@@ -166,6 +218,13 @@ impl SupervisorConfig {
     pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
         self.backoff_base = base;
         self.backoff_cap = cap;
+        self
+    }
+
+    /// Replaces the function that waits out a backoff. Tests pass a
+    /// recording stub so retry schedules are asserted without sleeping.
+    pub fn with_sleeper(mut self, sleeper: fn(Duration)) -> Self {
+        self.sleeper = sleeper;
         self
     }
 
@@ -272,7 +331,7 @@ where
                 }
                 let backoff = supervisor.backoff_for(attempt);
                 if !backoff.is_zero() {
-                    std::thread::sleep(backoff);
+                    (supervisor.sleeper)(backoff);
                 }
             }
         }
@@ -282,7 +341,9 @@ where
 /// Supervised multi-run driver over an arbitrary run function — the
 /// engine behind [`run_supervised`], exposed so tests (and callers with
 /// custom per-seed setups) can inject their own run body, including one
-/// that panics.
+/// that panics. Pool size comes from `DYNAQUAR_THREADS` / available
+/// parallelism; see [`run_supervised_with_parallel`] for an explicit
+/// thread count.
 ///
 /// `run` receives a [`RunAttempt`] and should execute the simulation
 /// with `run_seed`; a panic in `run` counts as a failed attempt.
@@ -294,17 +355,30 @@ pub fn run_supervised_with<F>(
 where
     F: Fn(RunAttempt) -> SimResult + Sync,
 {
-    let results: Vec<(RunOutcome, Option<SimResult>)> = std::thread::scope(|scope| {
-        let run = &run;
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| scope.spawn(move || supervise_one(seed, supervisor, run)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("supervisor thread panicked"))
-            .collect()
-    });
+    run_supervised_with_parallel(seeds, supervisor, &ParallelConfig::from_env(), run)
+}
+
+/// [`run_supervised_with`] on an explicitly sized worker pool.
+///
+/// Determinism: each seed's retry loop is a pure function of the seed
+/// (the per-seed RNG stream and the SplitMix64 retry-seed derivation
+/// never consult shared state), and results are collected in seed
+/// order — so every series and outcome in the returned
+/// [`AveragedResult`] is bit-identical for any `parallel.threads()`,
+/// including 1. Only the timing fields vary between executions.
+pub fn run_supervised_with_parallel<F>(
+    seeds: &[u64],
+    supervisor: &SupervisorConfig,
+    parallel: &ParallelConfig,
+    run: F,
+) -> Result<AveragedResult, RunnerError>
+where
+    F: Fn(RunAttempt) -> SimResult + Sync,
+{
+    let (results, report) =
+        dynaquar_parallel::ordered_map_report(parallel, seeds.to_vec(), |_, seed| {
+            supervise_one(seed, supervisor, &run)
+        });
 
     let quorum = supervisor.min_survivors.max(1);
     let outcomes: Vec<RunOutcome> = results.iter().map(|(o, _)| *o).collect();
@@ -316,6 +390,16 @@ where
             total: seeds.len(),
         });
     }
+
+    let timings: Vec<RunTiming> = report
+        .timings
+        .iter()
+        .map(|t| RunTiming {
+            seed: seeds[t.index],
+            worker: t.worker,
+            wall: t.wall,
+        })
+        .collect();
 
     let infected: Vec<TimeSeries> = runs.iter().map(|r| r.infected_fraction.clone()).collect();
     let ever: Vec<TimeSeries> = runs
@@ -330,12 +414,15 @@ where
         immunized_fraction: TimeSeries::mean_of(&immune),
         runs,
         outcomes,
+        timings,
+        workers: report.workers,
+        batch_wall: report.wall,
     })
 }
 
-/// Runs the simulation once per seed (in parallel, each under the
-/// supervisor's retry policy) and averages the surviving series
-/// pointwise.
+/// Runs the simulation once per seed (on the default worker pool, each
+/// under the supervisor's retry policy) and averages the surviving
+/// series pointwise.
 pub fn run_supervised(
     world: &World,
     config: &SimConfig,
@@ -343,13 +430,32 @@ pub fn run_supervised(
     seeds: &[u64],
     supervisor: &SupervisorConfig,
 ) -> Result<AveragedResult, RunnerError> {
-    run_supervised_with(seeds, supervisor, |a: RunAttempt| {
+    run_supervised_parallel(
+        world,
+        config,
+        behavior,
+        seeds,
+        supervisor,
+        &ParallelConfig::from_env(),
+    )
+}
+
+/// [`run_supervised`] on an explicitly sized worker pool.
+pub fn run_supervised_parallel(
+    world: &World,
+    config: &SimConfig,
+    behavior: WormBehavior,
+    seeds: &[u64],
+    supervisor: &SupervisorConfig,
+    parallel: &ParallelConfig,
+) -> Result<AveragedResult, RunnerError> {
+    run_supervised_with_parallel(seeds, supervisor, parallel, |a: RunAttempt| {
         Simulator::new(world, config, behavior, a.run_seed).run()
     })
 }
 
-/// Runs the simulation once per seed (in parallel) and averages the
-/// resulting series pointwise.
+/// Runs the simulation once per seed (on the default worker pool) and
+/// averages the resulting series pointwise.
 ///
 /// Panicking runs are retried and, failing that, dropped from the
 /// average (see [`run_supervised`] and [`AveragedResult::outcomes`]).
@@ -364,8 +470,32 @@ pub fn run_averaged(
     behavior: WormBehavior,
     seeds: &[u64],
 ) -> AveragedResult {
+    run_averaged_parallel(world, config, behavior, seeds, &ParallelConfig::from_env())
+}
+
+/// [`run_averaged`] on an explicitly sized worker pool. The averaged
+/// series are bit-identical to the serial path for any thread count.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty, or if *no* run at all survives the
+/// default retry policy.
+pub fn run_averaged_parallel(
+    world: &World,
+    config: &SimConfig,
+    behavior: WormBehavior,
+    seeds: &[u64],
+    parallel: &ParallelConfig,
+) -> AveragedResult {
     assert!(!seeds.is_empty(), "need at least one seed");
-    match run_supervised(world, config, behavior, seeds, &SupervisorConfig::default()) {
+    match run_supervised_parallel(
+        world,
+        config,
+        behavior,
+        seeds,
+        &SupervisorConfig::default(),
+        parallel,
+    ) {
         Ok(avg) => avg,
         Err(e) => panic!("no simulation run survived: {e}"),
     }
@@ -540,5 +670,102 @@ mod tests {
         assert_eq!(sup.backoff_for(2), Duration::from_millis(20));
         assert_eq!(sup.backoff_for(3), Duration::from_millis(25));
         assert_eq!(sup.backoff_for(30), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn injected_sleeper_sees_backoff_schedule_without_sleeping() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SLEPT_NANOS: AtomicU64 = AtomicU64::new(0);
+        static CALLS: AtomicU64 = AtomicU64::new(0);
+        fn recording_sleeper(d: Duration) {
+            SLEPT_NANOS.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            CALLS.fetch_add(1, Ordering::Relaxed);
+        }
+        SLEPT_NANOS.store(0, Ordering::Relaxed);
+        CALLS.store(0, Ordering::Relaxed);
+
+        let w = world();
+        let cfg = config();
+        // An hour-scale backoff: with a real sleep this test could never
+        // finish; with the injected sleeper it records and returns.
+        let sup = SupervisorConfig::default()
+            .with_max_attempts(3)
+            .with_backoff(Duration::from_secs(3600), Duration::from_secs(7200))
+            .with_sleeper(recording_sleeper);
+        let started = std::time::Instant::now();
+        let result = run_supervised_with_parallel(
+            &[11],
+            &sup,
+            &ParallelConfig::serial(),
+            |a: RunAttempt| {
+                if a.attempt < 3 {
+                    panic!("injected: fail twice");
+                }
+                Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+            },
+        )
+        .expect("third attempt survives");
+        assert_eq!(result.runs.len(), 1);
+        // Two failures → two backoffs: 3600s then 7200s, recorded only.
+        assert_eq!(CALLS.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            SLEPT_NANOS.load(Ordering::Relaxed),
+            Duration::from_secs(3600 + 7200).as_nanos() as u64
+        );
+        assert!(started.elapsed() < Duration::from_secs(60));
+    }
+
+    #[test]
+    fn supervisor_equality_ignores_sleeper() {
+        fn noop(_: Duration) {}
+        let a = SupervisorConfig::default();
+        let b = SupervisorConfig::default().with_sleeper(noop);
+        assert_eq!(a, b);
+        assert_ne!(a, SupervisorConfig::default().with_max_attempts(7));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_average() {
+        let w = world();
+        let cfg = config();
+        let seeds: Vec<u64> = (0..6).collect();
+        let serial = run_averaged_parallel(
+            &w,
+            &cfg,
+            WormBehavior::random(),
+            &seeds,
+            &ParallelConfig::serial(),
+        );
+        for threads in [2, 4, 8] {
+            let pooled = run_averaged_parallel(
+                &w,
+                &cfg,
+                WormBehavior::random(),
+                &seeds,
+                &ParallelConfig::new(threads),
+            );
+            assert_eq!(serial.infected_fraction, pooled.infected_fraction);
+            assert_eq!(serial.runs, pooled.runs, "threads = {threads}");
+            assert_eq!(serial.outcomes, pooled.outcomes);
+        }
+    }
+
+    #[test]
+    fn timings_cover_every_seed_in_order() {
+        let w = world();
+        let avg = run_averaged_parallel(
+            &w,
+            &config(),
+            WormBehavior::random(),
+            &[3, 1, 4, 1, 5],
+            &ParallelConfig::new(2),
+        );
+        let timed_seeds: Vec<u64> = avg.timings.iter().map(|t| t.seed).collect();
+        assert_eq!(timed_seeds, vec![3, 1, 4, 1, 5]);
+        assert!(avg.timings.iter().all(|t| t.worker < 2));
+        assert!(avg.workers.len() <= 2);
+        let executed: usize = avg.workers.iter().map(|w| w.items).sum();
+        assert_eq!(executed, 5);
+        assert!(avg.batch_wall >= avg.timings.iter().map(|t| t.wall).max().unwrap());
     }
 }

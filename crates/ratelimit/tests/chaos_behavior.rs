@@ -1,0 +1,122 @@
+//! Behavioral tests for the `chaos` fault-injection wrappers: what a
+//! broken defense actually *does* to traffic, not just what its flags
+//! say.
+//!
+//! Two contracts are pinned down here:
+//!
+//! * [`FailOpen`] **passes traffic during a detector outage** — every
+//!   contact a healthy limiter would have blocked goes through while the
+//!   detector is down, and blocking resumes once it recovers;
+//! * [`FaultyDeployment`] spares **exactly the configured host subset
+//!   and no others** — every non-broken host receives decisions
+//!   identical to an unwrapped deployment, decision for decision.
+
+use dynaquar_ratelimit::chaos::{FailOpen, FaultyDeployment};
+use dynaquar_ratelimit::deploy::{Deployment, HostId, PerHost};
+use dynaquar_ratelimit::throttle::VirusThrottle;
+use dynaquar_ratelimit::window::UniqueIpWindow;
+use dynaquar_ratelimit::{RateLimiter, RemoteKey};
+
+/// Drives `limiter` with `contacts` distinct destinations at time `now`
+/// and counts how many were allowed through.
+fn allowed_count<L: RateLimiter>(limiter: &mut L, now: f64, base: u64, contacts: u64) -> u64 {
+    (0..contacts)
+        .filter(|k| limiter.check(now, RemoteKey::new(base + k)).is_allow())
+        .count() as u64
+}
+
+#[test]
+fn outage_passes_traffic_a_healthy_detector_would_block() {
+    // Twin limiters: one healthy, one with a scheduled outage [10, 20).
+    let mut healthy = FailOpen::new(UniqueIpWindow::new(60.0, 3).unwrap());
+    let mut outaged = FailOpen::new(UniqueIpWindow::new(60.0, 3).unwrap()).with_outage(10.0, 20.0);
+
+    // Before the outage both behave identically: 3 allowed, the rest
+    // blocked.
+    assert_eq!(allowed_count(&mut healthy, 0.0, 0, 40), 3);
+    assert_eq!(allowed_count(&mut outaged, 0.0, 0, 40), 3);
+
+    // During the outage the healthy twin keeps blocking; the outaged one
+    // fails open and passes the whole scan burst.
+    let healthy_during = allowed_count(&mut healthy, 12.0, 1_000, 40);
+    let outaged_during = allowed_count(&mut outaged, 12.0, 1_000, 40);
+    assert_eq!(healthy_during, 0, "healthy window already exhausted");
+    assert_eq!(outaged_during, 40, "a down detector must pass everything");
+
+    // After repair the outaged limiter blocks again (fresh window: its
+    // clock did not advance during the outage).
+    assert!(!outaged.is_down(20.0));
+    let after = allowed_count(&mut outaged, 100.0, 2_000, 40);
+    assert_eq!(after, 3, "recovered detector limits like a healthy one");
+}
+
+#[test]
+fn outage_window_boundaries_are_half_open() {
+    let t = FailOpen::new(VirusThrottle::williamson_default()).with_outage(5.0, 8.0);
+    assert!(!t.is_down(4.999));
+    assert!(t.is_down(5.0));
+    assert!(t.is_down(7.999));
+    assert!(!t.is_down(8.0));
+}
+
+#[test]
+fn manual_disable_is_an_outage_until_enabled() {
+    let mut t = FailOpen::new(UniqueIpWindow::new(30.0, 1).unwrap());
+    assert_eq!(allowed_count(&mut t, 0.0, 0, 10), 1);
+    t.disable();
+    assert_eq!(allowed_count(&mut t, 1.0, 100, 25), 25);
+    t.enable();
+    // Window still holds the pre-outage contact; scans are blocked again.
+    assert_eq!(allowed_count(&mut t, 2.0, 200, 10), 0);
+}
+
+#[test]
+fn faulty_deployment_spares_exactly_the_configured_hosts() {
+    let broken = [HostId::new(2), HostId::new(5)];
+    let mut faulty = FaultyDeployment::new(
+        PerHost::new(|| UniqueIpWindow::new(60.0, 2).unwrap()),
+        broken,
+    );
+    let mut reference = PerHost::new(|| UniqueIpWindow::new(60.0, 2).unwrap());
+
+    // Every host scans 30 distinct destinations; the wrapped deployment
+    // must agree with the unwrapped one on every non-broken host's every
+    // decision, and pass everything for the broken pair.
+    for host in 0..8u32 {
+        let src = HostId::new(host);
+        for k in 0..30u64 {
+            let dst = RemoteKey::new(u64::from(host) * 1_000 + k);
+            let got = faulty.check(0.0, src, dst);
+            if broken.contains(&src) {
+                assert!(got.is_allow(), "broken host {host} must fail open");
+            } else {
+                let want = reference.check(0.0, src, dst);
+                assert_eq!(got, want, "host {host}, contact {k}");
+            }
+        }
+    }
+
+    // The broken hosts never instantiated a limiter — the outage is
+    // structural, not just decision-level.
+    assert_eq!(faulty.broken_count(), 2);
+    assert_eq!(faulty.inner().host_count(), 6);
+}
+
+#[test]
+fn faulty_deployment_with_empty_subset_is_transparent() {
+    let mut faulty = FaultyDeployment::new(
+        PerHost::new(|| UniqueIpWindow::new(60.0, 1).unwrap()),
+        std::iter::empty::<HostId>(),
+    );
+    let mut reference = PerHost::new(|| UniqueIpWindow::new(60.0, 1).unwrap());
+    for host in 0..5u32 {
+        for k in 0..10u64 {
+            let dst = RemoteKey::new(u64::from(host) * 100 + k);
+            assert_eq!(
+                faulty.check(0.0, HostId::new(host), dst),
+                reference.check(0.0, HostId::new(host), dst)
+            );
+        }
+    }
+    assert_eq!(faulty.broken_count(), 0);
+}

@@ -7,6 +7,7 @@ use crate::analysis::{aggregate_contact_samples, Refinement};
 use crate::cdf::Ecdf;
 use crate::record::Trace;
 use dynaquar_epidemic::TimeSeries;
+use dynaquar_parallel::{ordered_map, ParallelConfig};
 use dynaquar_ratelimit::deploy::HostId;
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +24,9 @@ pub struct WindowPoint {
 
 /// Sweeps window lengths over `windows`, deriving the
 /// `percentile`-quantile limit for each (aggregate over `hosts`, under
-/// `refinement`).
+/// `refinement`). Windows are swept on the default worker pool
+/// (`DYNAQUAR_THREADS` / available parallelism); the rows come back in
+/// input order whatever the thread count.
 ///
 /// # Panics
 ///
@@ -36,19 +39,42 @@ pub fn window_sweep(
     refinement: Refinement,
     percentile: f64,
 ) -> Vec<WindowPoint> {
+    window_sweep_parallel(
+        trace,
+        hosts,
+        windows,
+        refinement,
+        percentile,
+        &ParallelConfig::from_env(),
+    )
+}
+
+/// [`window_sweep`] on an explicitly sized worker pool. Each window's
+/// limit depends only on the (immutable) trace, so the sweep is
+/// bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `windows` is empty, any window is non-positive, or the
+/// percentile is outside `(0, 1]`.
+pub fn window_sweep_parallel(
+    trace: &Trace,
+    hosts: &[HostId],
+    windows: &[f64],
+    refinement: Refinement,
+    percentile: f64,
+    parallel: &ParallelConfig,
+) -> Vec<WindowPoint> {
     assert!(!windows.is_empty(), "need at least one window");
-    windows
-        .iter()
-        .map(|&w| {
-            let samples = aggregate_contact_samples(trace, hosts.to_vec(), w, refinement);
-            let limit = Ecdf::from_counts(samples).percentile(percentile).ceil() as u64;
-            WindowPoint {
-                window: w,
-                limit,
-                per_second: limit as f64 / w,
-            }
-        })
-        .collect()
+    ordered_map(parallel, windows.to_vec(), |_, w| {
+        let samples = aggregate_contact_samples(trace, hosts.to_vec(), w, refinement);
+        let limit = Ecdf::from_counts(samples).percentile(percentile).ceil() as u64;
+        WindowPoint {
+            window: w,
+            limit,
+            per_second: limit as f64 / w,
+        }
+    })
 }
 
 /// Renders a sweep as a `(window, per-second limit)` curve for plotting.
@@ -133,5 +159,31 @@ mod tests {
     fn empty_windows_panic() {
         let t = trace();
         window_sweep(&t, &t.hosts(), &[], Refinement::All, 0.999);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let t = trace();
+        let hosts = t.hosts_of_class(HostClass::NormalClient);
+        let windows = [1.0, 2.0, 5.0, 10.0, 15.0, 30.0, 60.0];
+        let serial = window_sweep_parallel(
+            &t,
+            &hosts,
+            &windows,
+            Refinement::All,
+            0.999,
+            &ParallelConfig::serial(),
+        );
+        for threads in [2, 8] {
+            let pooled = window_sweep_parallel(
+                &t,
+                &hosts,
+                &windows,
+                Refinement::All,
+                0.999,
+                &ParallelConfig::new(threads),
+            );
+            assert_eq!(serial, pooled, "threads = {threads}");
+        }
     }
 }

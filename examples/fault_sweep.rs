@@ -14,7 +14,9 @@
 use dynaquar::netsim::config::QuarantineConfig;
 use dynaquar::netsim::faults::FaultPlan;
 use dynaquar::netsim::plan::{HostFilter, RateLimitPlan};
-use dynaquar::netsim::runner::{run_averaged, run_supervised, RunOutcome, SupervisorConfig};
+use dynaquar::netsim::runner::{
+    run_averaged, run_supervised, ParallelConfig, RunOutcome, SupervisorConfig,
+};
 use dynaquar::netsim::{SimConfig, World, WormBehavior};
 use dynaquar::topology::generators;
 
@@ -38,6 +40,11 @@ fn quarantine_config(faults: FaultPlan, world: &World) -> SimConfig {
 fn main() {
     let world = World::from_star(generators::star(399).expect("valid star"));
     let seeds: Vec<u64> = (0..6).collect();
+    println!(
+        "worker pool: {} thread(s) (override with DYNAQUAR_THREADS; results are \
+         bit-identical for any value)\n",
+        ParallelConfig::from_env().threads()
+    );
 
     println!("detector-outage sweep (fraction of hosts with silently dead detectors):");
     println!(
@@ -103,6 +110,24 @@ fn main() {
         lost,
         avg.runs.len()
     );
+    println!(
+        "  batch wall clock {:.0?}; per-run: {}",
+        avg.batch_wall,
+        avg.timings
+            .iter()
+            .map(|t| format!("seed {} {:.0?} (worker {})", t.seed, t.wall, t.worker))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for w in &avg.workers {
+        println!(
+            "  worker {}: {} runs, busy {:.0?} ({:.0}% of batch)",
+            w.worker,
+            w.items,
+            w.busy,
+            100.0 * w.busy.as_secs_f64() / avg.batch_wall.as_secs_f64().max(1e-9)
+        );
+    }
 
     println!("\nsupervised run with transient failures (each attempt dies with p = 0.5):");
     // The supervisor catches the injected panics, but the default panic

@@ -252,3 +252,65 @@ fn unconditional_panic_plan_yields_quorum_error() {
     .unwrap_err();
     assert!(err.to_string().contains("quorum not reached"));
 }
+
+/// False-positive quarantines hit exactly the scheduled hosts and no
+/// others: every host the simulator immunizes appears in the expanded
+/// schedule, every scheduled host that was still clean at its tick is
+/// immunized, and nothing else in the run immunizes anyone (the config
+/// has no immunization and no detection-driven quarantine).
+#[test]
+fn false_positives_quarantine_scheduled_hosts_and_no_others() {
+    use dynaquar::netsim::faults::FaultEvent;
+    use dynaquar::netsim::observer::SimObserver;
+    use dynaquar::topology::NodeId;
+
+    #[derive(Default)]
+    struct FalseQuarantineLog(Vec<(u64, NodeId)>);
+    impl SimObserver for FalseQuarantineLog {
+        fn on_fault(&mut self, tick: u64, event: FaultEvent) {
+            if let FaultEvent::FalseQuarantine(host) = event {
+                self.0.push((tick, host));
+            }
+        }
+    }
+
+    let w = star_world(99);
+    let plan = FaultPlan::none().with_false_positives(7, (5, 40));
+    // A worm that effectively cannot spread: every host scheduled for a
+    // false positive is still susceptible when its tick comes (unless it
+    // is the one initially infected host).
+    let cfg = SimConfig::builder()
+        .beta(1e-9)
+        .horizon(60)
+        .initial_infected(1)
+        .faults(plan.clone())
+        .build()
+        .unwrap();
+    let seed = 42;
+    let schedule = plan.expand(&w, seed, 60);
+    assert_eq!(schedule.false_quarantines.len(), 7);
+
+    let mut log = FalseQuarantineLog::default();
+    let result = Simulator::new(&w, &cfg, WormBehavior::random(), seed).run_observed(&mut log);
+
+    // Every observed quarantine was scheduled, at its scheduled tick.
+    for &(tick, host) in &log.0 {
+        assert!(
+            schedule.false_quarantines.contains(&(tick, host)),
+            "unscheduled false quarantine of {host:?} at tick {tick}"
+        );
+    }
+    // Every scheduled (distinct, still-clean) host was quarantined: the
+    // only reason a scheduled hit may be skipped is an earlier duplicate
+    // or the initially infected host.
+    let mut distinct: Vec<NodeId> = schedule.false_quarantines.iter().map(|&(_, h)| h).collect();
+    distinct.sort_unstable_by_key(|h| h.index());
+    distinct.dedup();
+    assert!(log.0.len() as u64 >= distinct.len() as u64 - 1);
+    // The bookkeeping agrees with the observer, and nothing else
+    // immunized anyone: immunized fraction == false quarantines / N.
+    assert_eq!(result.false_quarantined_hosts, log.0.len() as u64);
+    let n = w.hosts().len() as f64;
+    let expected_fraction = log.0.len() as f64 / n;
+    assert!((result.immunized_fraction.final_value() - expected_fraction).abs() < 1e-12);
+}

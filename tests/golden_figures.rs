@@ -1,0 +1,209 @@
+//! Golden-figure regression suite: the analytic closed forms behind the
+//! paper's Sections 3–6 figures, pinned to checked-in expected values.
+//!
+//! These constants were produced by the models themselves at a known-good
+//! revision and are deliberately tight (1e-12 for closed forms, 1e-9 for
+//! RK4-integrated trajectories): any drift in the model equations, the
+//! ODE steppers, or the series sampling fails tier-1 here before it can
+//! silently skew every downstream simulation comparison.
+
+use dynaquar::epidemic::immunization::DelayedImmunization;
+use dynaquar::epidemic::logistic::Logistic;
+use dynaquar::epidemic::star::{HubRateLimit, LeafRateLimit};
+use dynaquar::epidemic::TimeSeries;
+
+/// Absolute tolerance for closed-form evaluations.
+const CLOSED_FORM_TOL: f64 = 1e-12;
+/// Absolute tolerance for numerically integrated trajectories.
+const ODE_TOL: f64 = 1e-9;
+
+fn assert_close(got: f64, want: f64, tol: f64, what: &str) {
+    assert!(
+        (got - want).abs() <= tol,
+        "{what}: got {got:.17e}, golden {want:.17e} (|Δ| = {:.3e} > {tol:.0e})",
+        (got - want).abs()
+    );
+}
+
+/// Sample a series on its regular grid at time `t` given step `dt`.
+fn at(series: &TimeSeries, t: f64, dt: f64) -> f64 {
+    let idx = (t / dt).round() as usize;
+    series.points()[idx.min(series.len() - 1)].1
+}
+
+/// Section 3, Equation 1/2 — the Code-Red-scale logistic (Figure 1's
+/// analytic backbone): N = 1000, β = 0.8, I₀ = 1.
+#[test]
+fn golden_logistic_si_growth() {
+    let m = Logistic::new(1000.0, 0.8, 1.0).unwrap();
+    assert_close(m.c(), 9.99e2, CLOSED_FORM_TOL, "integration constant c");
+    let golden = [
+        (0.0, 1.00000000000000002e-3),
+        (5.0, 5.18206585987519772e-2),
+        (10.0, 7.48992325232420653e-1),
+        (15.0, 9.93899377893218916e-1),
+        (20.0, 9.99887589997884629e-1),
+    ];
+    for (t, want) in golden {
+        assert_close(m.fraction_at(t), want, CLOSED_FORM_TOL, &format!("f({t})"));
+    }
+    let golden_inverse = [
+        (0.1, 5.88691275164041716e0),
+        (0.5, 8.63344347331069173e0),
+        (0.9, 1.13799741949809654e1),
+    ];
+    for (a, want) in golden_inverse {
+        assert_close(
+            m.time_to_fraction(a).unwrap(),
+            want,
+            CLOSED_FORM_TOL,
+            &format!("t({a})"),
+        );
+    }
+    // Equation 2's exponential-phase approximation at the 100-host level.
+    assert_close(
+        m.time_to_level_approx(100.0),
+        5.75521210706813502e0,
+        CLOSED_FORM_TOL,
+        "Eq. 2 approximation",
+    );
+}
+
+/// Section 4, Equation 3 — leaf (host-based) deployment on the star:
+/// filtering 30 % of leaves gives λ = 0.563 and a linear slowdown;
+/// filtering every leaf collapses growth to the filtered rate.
+#[test]
+fn golden_star_leaf_containment() {
+    let m = LeafRateLimit::new(200.0, 0.3, 0.8, 0.01, 1.0).unwrap();
+    assert_close(m.lambda(), 5.63e-1, CLOSED_FORM_TOL, "λ = qβ₂ + (1−q)β₁");
+    assert_close(
+        m.time_to_fraction(0.5).unwrap(),
+        9.40196238849821064e0,
+        CLOSED_FORM_TOL,
+        "leaf t50 at q = 0.3",
+    );
+    assert_close(
+        m.slowdown_factor(),
+        1.42095914742451179e0,
+        CLOSED_FORM_TOL,
+        "slowdown factor",
+    );
+    let full = LeafRateLimit::new(200.0, 1.0, 0.8, 0.01, 1.0).unwrap();
+    assert_close(
+        full.time_to_fraction(0.5).unwrap(),
+        5.29330482472449262e2,
+        // t50 = ln(c)/λ amplifies the λ rounding by 1/λ ≈ 100; still
+        // pinned far below any visible drift.
+        1e-9,
+        "leaf t50 at q = 1.0 (every leaf filtered)",
+    );
+}
+
+/// Section 4, Equations 4/5 — hub deployment: link-limited growth at
+/// rate γ until demand γ·I crosses the hub cap, then hub-saturated.
+/// The trajectory is RK4-integrated; the regime switch is closed-form.
+#[test]
+fn golden_star_hub_containment() {
+    let m = HubRateLimit::new(200.0, 0.1, 5.0, 1.0).unwrap();
+    assert_close(
+        m.regime_switch_infected(),
+        5.0e1,
+        CLOSED_FORM_TOL,
+        "regime switch I* = β_hub/γ",
+    );
+    let dt = 0.05;
+    let series = m.series(400.0, dt);
+    let golden = [
+        (100.0, 8.24305554748853364e-1),
+        (200.0, 9.85578121703331367e-1),
+        (300.0, 9.98816180139864285e-1),
+        (400.0, 9.99902826148409640e-1),
+    ];
+    for (t, want) in golden {
+        assert_close(at(&series, t, dt), want, ODE_TOL, &format!("hub f({t})"));
+    }
+    assert_close(
+        m.time_to_fraction(0.5, 400.0, dt).unwrap(),
+        5.81655379446681877e1,
+        ODE_TOL,
+        "hub t50",
+    );
+    assert_close(
+        m.time_to_level_saturated_approx(150.0),
+        2.00425411763850235e2,
+        CLOSED_FORM_TOL,
+        "saturated-regime time approximation",
+    );
+}
+
+/// Section 6 — delayed immunization triggered at 20 % infection
+/// (Figures 7/8): the infected curve peaks and collapses, the
+/// ever-infected curve saturates at the damage done.
+#[test]
+fn golden_delayed_immunization_curves() {
+    let m = DelayedImmunization::new(1000.0, 0.8, 0.1, 1.0).unwrap();
+    let d = m.delay_for_fraction(0.2).unwrap();
+    assert_close(d, 6.90057552191082824e0, CLOSED_FORM_TOL, "trigger delay d");
+
+    let dt = 0.01;
+    let infected = m.series(d, 80.0, dt);
+    let ever = m.ever_infected_series(d, 80.0, dt);
+    let unpatched = m.unpatched_series(d, 80.0, dt);
+
+    let golden = [
+        // (t, infected, ever infected, unpatched)
+        (10.0, 5.49437698844065014e-1, 6.70072398072791953e-1, 7.33569197383652560e-1),
+        (20.0, 2.69834690865877413e-1, 8.30824636998870214e-1, 2.69865026394083496e-1),
+        (40.0, 3.65222597822378522e-2, 8.30851601734106104e-1, 3.65222597826999132e-2),
+        (80.0, 6.68928521580763880e-4, 8.30851601734512779e-1, 6.68928521580763880e-4),
+    ];
+    for (t, want_inf, want_ever, want_unp) in golden {
+        assert_close(at(&infected, t, dt), want_inf, ODE_TOL, &format!("infected({t})"));
+        assert_close(at(&ever, t, dt), want_ever, ODE_TOL, &format!("ever({t})"));
+        assert_close(at(&unpatched, t, dt), want_unp, ODE_TOL, &format!("unpatched({t})"));
+    }
+
+    // The epidemic peak: immunization catches the worm just under 58 %.
+    let (peak_t, peak_v) = infected
+        .iter()
+        .fold((0.0f64, f64::NEG_INFINITY), |acc, (t, v)| {
+            if v > acc.1 {
+                (t, v)
+            } else {
+                acc
+            }
+        });
+    assert_close(peak_v, 5.76979545064043475e-1, ODE_TOL, "peak infected fraction");
+    // The peak's *time* golden is looser: it is quantized to the dt grid.
+    assert!((peak_t - 1.107e1).abs() < dt, "peak at t = {peak_t}");
+}
+
+/// Section 6.2 — immunization combined with backbone rate limiting
+/// (α = 0.5): the trigger arrives twice as late, but the worm grows at
+/// half speed and the final damage drops from 83 % to 71 %.
+#[test]
+fn golden_immunization_with_backbone() {
+    let plain = DelayedImmunization::new(1000.0, 0.8, 0.1, 1.0).unwrap();
+    let limited = DelayedImmunization::new(1000.0, 0.8, 0.1, 1.0)
+        .unwrap()
+        .with_backbone(0.5, 0.0)
+        .unwrap();
+    assert_close(limited.effective_rate(), 0.4, CLOSED_FORM_TOL, "γ = β(1−α)");
+
+    let d = limited.delay_for_fraction(0.2).unwrap();
+    assert_close(d, 1.38011510438216565e1, CLOSED_FORM_TOL, "delayed trigger");
+    assert_close(
+        d,
+        2.0 * plain.delay_for_fraction(0.2).unwrap(),
+        CLOSED_FORM_TOL,
+        "halving the rate doubles the trigger time",
+    );
+
+    let ever = limited.ever_infected_series(d, 160.0, 0.01);
+    assert_close(
+        ever.final_value(),
+        7.09817010610129806e-1,
+        ODE_TOL,
+        "final ever-infected fraction under backbone RL",
+    );
+}

@@ -1,0 +1,154 @@
+//! Property tests for the deterministic parallel runner: thread count
+//! must never leak into results.
+//!
+//! The contract under test (see `dynaquar_netsim::runner`): because each
+//! seeded run derives all of its randomness from its own seed and results
+//! are collected in seed order, `run_averaged` / `run_supervised` /
+//! `infected_envelope` are **bit-identical** for worker pools of 1, 2,
+//! and 8 threads — under fault-free runs, under a non-empty `FaultPlan`,
+//! and with panicking runs retried/dropped by the supervisor.
+
+use dynaquar::netsim::config::{SimConfig, WormBehavior};
+use dynaquar::netsim::faults::FaultPlan;
+use dynaquar::netsim::runner::{
+    run_averaged_parallel, run_supervised_with_parallel, ParallelConfig, RunAttempt,
+    SupervisorConfig,
+};
+use dynaquar::netsim::{Simulator, World};
+use dynaquar::topology::generators;
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn world() -> World {
+    World::from_star(generators::star(49).expect("valid star"))
+}
+
+fn config(faults: FaultPlan) -> SimConfig {
+    SimConfig::builder()
+        .beta(0.8)
+        .horizon(50)
+        .initial_infected(1)
+        .faults(faults)
+        .build()
+        .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fault-free ensembles: every series, the raw runs, the outcomes,
+    /// and the min/max envelope agree bit-for-bit across thread counts.
+    #[test]
+    fn run_averaged_is_thread_count_invariant(base_seed in 0u64..1000) {
+        let w = world();
+        let cfg = config(FaultPlan::none());
+        let seeds: Vec<u64> = (0..5).map(|k| base_seed + k).collect();
+        let serial = run_averaged_parallel(
+            &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::serial(),
+        );
+        for threads in THREAD_COUNTS {
+            let pooled = run_averaged_parallel(
+                &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::new(threads),
+            );
+            prop_assert_eq!(&serial.infected_fraction, &pooled.infected_fraction);
+            prop_assert_eq!(&serial.ever_infected_fraction, &pooled.ever_infected_fraction);
+            prop_assert_eq!(&serial.immunized_fraction, &pooled.immunized_fraction);
+            prop_assert_eq!(&serial.runs, &pooled.runs);
+            prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
+            prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+        }
+    }
+
+    /// A non-empty fault plan (link loss, detector outages, false
+    /// positives, activation jitter) expands per seed, so injected chaos
+    /// is also schedule-independent.
+    #[test]
+    fn faulted_ensembles_are_thread_count_invariant(base_seed in 0u64..500) {
+        let w = world();
+        let faults = FaultPlan::none()
+            .with_link_loss(0.3, 0.1)
+            .with_detector_outages(0.2)
+            .with_false_positives(4, (5, 30))
+            .with_quarantine_jitter(5);
+        let cfg = config(faults);
+        let seeds: Vec<u64> = (0..5).map(|k| base_seed + k).collect();
+        let serial = run_averaged_parallel(
+            &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::serial(),
+        );
+        for threads in THREAD_COUNTS {
+            let pooled = run_averaged_parallel(
+                &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::new(threads),
+            );
+            prop_assert_eq!(&serial.runs, &pooled.runs, "threads = {}", threads);
+            prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
+            prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+        }
+    }
+
+    /// Panicking runs: seeds congruent to `panic_mod` die on their first
+    /// attempt and are retried with a derived seed — the retry path is a
+    /// pure function of the seed too, so supervision under load is
+    /// bit-identical for any pool size.
+    #[test]
+    fn supervised_retries_are_thread_count_invariant(
+        base_seed in 0u64..200,
+        panic_mod in 2u64..4,
+    ) {
+        let w = world();
+        let cfg = config(FaultPlan::none());
+        let seeds: Vec<u64> = (0..6).map(|k| base_seed + k).collect();
+        let run = |a: RunAttempt| {
+            if a.attempt == 1 && a.seed % panic_mod == 0 {
+                panic!("injected: seed {} fails its first attempt", a.seed);
+            }
+            Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+        };
+        let serial = run_supervised_with_parallel(
+            &seeds, &SupervisorConfig::default(), &ParallelConfig::serial(), run,
+        ).expect("retries always succeed");
+        for threads in THREAD_COUNTS {
+            let pooled = run_supervised_with_parallel(
+                &seeds, &SupervisorConfig::default(), &ParallelConfig::new(threads), run,
+            ).expect("retries always succeed");
+            prop_assert_eq!(&serial.runs, &pooled.runs, "threads = {}", threads);
+            prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
+            prop_assert_eq!(&serial.infected_fraction, &pooled.infected_fraction);
+            prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+        }
+    }
+}
+
+/// Seeds that exhaust their retry budget are dropped identically on
+/// every pool size: the surviving average never depends on scheduling.
+#[test]
+fn dropped_runs_are_thread_count_invariant() {
+    let w = world();
+    let cfg = config(FaultPlan::none());
+    let seeds: Vec<u64> = (0..6).collect();
+    let run = |a: RunAttempt| {
+        if a.seed == 2 || a.seed == 4 {
+            panic!("injected: seed {} always fails", a.seed);
+        }
+        Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+    };
+    let serial = run_supervised_with_parallel(
+        &seeds,
+        &SupervisorConfig::default(),
+        &ParallelConfig::serial(),
+        run,
+    )
+    .expect("four survivors");
+    assert_eq!(serial.dropped_runs(), 2);
+    for threads in THREAD_COUNTS {
+        let pooled = run_supervised_with_parallel(
+            &seeds,
+            &SupervisorConfig::default(),
+            &ParallelConfig::new(threads),
+            run,
+        )
+        .expect("four survivors");
+        assert_eq!(serial.runs, pooled.runs, "threads = {threads}");
+        assert_eq!(serial.outcomes, pooled.outcomes);
+    }
+}
