@@ -7,6 +7,7 @@ use dynaquar_epidemic::timeto::CurveSummary;
 use dynaquar_epidemic::TimeSeries;
 use dynaquar_netsim::config::{ImmunizationConfig, SimConfig, WormBehavior};
 use dynaquar_netsim::faults::FaultPlan;
+use dynaquar_netsim::metrics::PacketAccounting;
 use dynaquar_netsim::runner::run_averaged_parallel;
 use dynaquar_netsim::World;
 use dynaquar_parallel::ParallelConfig;
@@ -256,6 +257,7 @@ impl Scenario {
             infected: avg.infected_fraction,
             ever_infected: avg.ever_infected_fraction,
             immunized: avg.immunized_fraction,
+            accounting: avg.accounting,
         }
     }
 
@@ -288,6 +290,10 @@ pub struct ScenarioOutcome {
     pub immunized: TimeSeries,
     /// Summary statistics of the infected curve.
     pub summary: CurveSummary,
+    /// The merged packet ledger of every averaged run: how many packets
+    /// the ensemble emitted, delivered, filtered, lost, or found
+    /// unroutable (summed over runs, per packet kind).
+    pub accounting: PacketAccounting,
 }
 
 #[cfg(test)]
@@ -387,6 +393,18 @@ mod tests {
         let plain = base.clone().run_simulated_on(&world);
         let with_none = base.faults(FaultPlan::none()).run_simulated_on(&world);
         assert_eq!(plain, with_none);
+    }
+
+    #[test]
+    fn outcome_carries_a_conserved_packet_ledger() {
+        let out = Scenario::new(TopologySpec::Star { leaves: 49 })
+            .horizon(60)
+            .runs(3)
+            .run_simulated();
+        assert!(out.accounting.is_conserved());
+        assert!(out.accounting.worm.emitted > 0);
+        assert!(out.accounting.worm.delivered > 0);
+        assert_eq!(out.accounting.background.emitted, 0);
     }
 
     #[test]

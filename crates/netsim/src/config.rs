@@ -314,8 +314,10 @@ impl SimConfigBuilder {
     ///
     /// Returns [`Error::InvalidConfig`] when `beta ∉ (0, 1]`,
     /// `initial_infected == 0`, `horizon == 0`, an immunization µ is
-    /// outside `[0, 1]`, or the fault plan fails
-    /// [`FaultPlan::validate`].
+    /// outside `[0, 1]`, a host filter fails
+    /// [`RateLimitPlan::validate`] (zero window, zero budget, or a
+    /// delaying filter with a zero release period), or the fault plan
+    /// fails [`FaultPlan::validate`].
     pub fn build(&self) -> Result<SimConfig, Error> {
         if !(self.beta > 0.0 && self.beta <= 1.0) {
             return Err(Error::InvalidConfig {
@@ -359,6 +361,7 @@ impl SimConfigBuilder {
                 }
             }
         }
+        self.plan.validate()?;
         self.faults.validate()?;
         Ok(SimConfig {
             beta: self.beta,
@@ -407,6 +410,37 @@ mod tests {
             })
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn zero_release_period_rejected_at_build() {
+        use crate::plan::{HostFilter, RateLimitPlan};
+        use dynaquar_topology::NodeId;
+        let mut plan = RateLimitPlan::none();
+        plan.filter_hosts(&[NodeId::new(1)], HostFilter::delaying(50, 1, 0));
+        let err = SimConfig::builder().plan(plan).build().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvalidConfig {
+                name: "release_period_ticks",
+                ..
+            }
+        ));
+        // A positive period passes.
+        let mut plan = RateLimitPlan::none();
+        plan.filter_hosts(&[NodeId::new(1)], HostFilter::delaying(50, 1, 1));
+        assert!(SimConfig::builder().plan(plan).build().is_ok());
+    }
+
+    #[test]
+    fn degenerate_host_filters_rejected_at_build() {
+        use crate::plan::{HostFilter, RateLimitPlan};
+        use dynaquar_topology::NodeId;
+        for filter in [HostFilter::dropping(0, 1), HostFilter::dropping(5, 0)] {
+            let mut plan = RateLimitPlan::none();
+            plan.filter_hosts(&[NodeId::new(1)], filter);
+            assert!(SimConfig::builder().plan(plan).build().is_err());
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod background;
 pub mod config;
 pub mod error;
 pub mod faults;
+pub mod metrics;
 pub mod observer;
 pub mod plan;
 pub mod runner;
@@ -61,6 +62,10 @@ pub mod world;
 pub use config::{SimConfig, WormBehavior};
 pub use error::Error;
 pub use faults::{FaultPlan, FaultSchedule};
+pub use metrics::{
+    DropReason, FanoutObserver, JsonlEventWriter, KindCounts, MetricsObserver, PacketAccounting,
+    PacketKind, Phase, PhaseProfile,
+};
 pub use plan::RateLimitPlan;
 pub use runner::{ParallelConfig, RunOutcome, RunTiming, RunnerError, SupervisorConfig, WorkerStats};
 pub use sim::{SimResult, Simulator};

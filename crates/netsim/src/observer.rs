@@ -6,6 +6,7 @@
 //! latencies) without forking the engine.
 
 use crate::faults::FaultEvent;
+use crate::metrics::{DropReason, PacketKind};
 use dynaquar_topology::NodeId;
 
 /// Callbacks invoked by [`crate::sim::Simulator::run_observed`].
@@ -40,6 +41,43 @@ pub trait SimObserver {
     /// detector disablement, false-positive quarantine).
     fn on_fault(&mut self, tick: u64, event: FaultEvent) {
         let _ = (tick, event);
+    }
+
+    /// Whether this observer wants the per-packet callbacks below.
+    ///
+    /// The engine asks once at the start of a run; returning `false`
+    /// (the default) lets it skip every per-packet dispatch, so
+    /// observers that only use the aggregate callbacks pay nothing for
+    /// the packet stream.
+    fn wants_packet_events(&self) -> bool {
+        false
+    }
+
+    /// Called when a packet enters the network: a worm scan that passed
+    /// the infection-probability draw (before egress filtering), or a
+    /// background injection.
+    fn on_packet_emitted(&mut self, tick: u64, kind: PacketKind, src: NodeId, dst: NodeId) {
+        let _ = (tick, kind, src, dst);
+    }
+
+    /// Called when a packet terminally leaves the network without
+    /// delivery: egress-filtered, unroutable, lost to link faults, or
+    /// cleared from a dying host's delay queue. `at` is where the drop
+    /// happened.
+    fn on_packet_dropped(
+        &mut self,
+        tick: u64,
+        kind: PacketKind,
+        at: NodeId,
+        dst: NodeId,
+        reason: DropReason,
+    ) {
+        let _ = (tick, kind, at, dst, reason);
+    }
+
+    /// Called when a packet reaches its destination.
+    fn on_packet_delivered(&mut self, tick: u64, kind: PacketKind, src: NodeId, dst: NodeId) {
+        let _ = (tick, kind, src, dst);
     }
 }
 
@@ -82,6 +120,16 @@ mod tests {
         o.on_quarantine(1, NodeId::new(0));
         o.on_patch(1, NodeId::new(0));
         o.on_fault(1, FaultEvent::NodeDown(NodeId::new(0)));
+        assert!(!o.wants_packet_events());
+        o.on_packet_emitted(1, PacketKind::Worm, NodeId::new(0), NodeId::new(1));
+        o.on_packet_dropped(
+            1,
+            PacketKind::Worm,
+            NodeId::new(0),
+            NodeId::new(1),
+            DropReason::Unroutable,
+        );
+        o.on_packet_delivered(1, PacketKind::Worm, NodeId::new(0), NodeId::new(1));
     }
 
     #[test]

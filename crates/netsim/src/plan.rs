@@ -4,6 +4,7 @@
 //! A plan is scenario state, independent of the RNG seed, so one plan is
 //! shared across the averaged runs of an experiment.
 
+use crate::error::Error;
 use dynaquar_topology::routing::RoutingTable;
 use dynaquar_topology::{EdgeId, Graph, NodeId};
 
@@ -261,6 +262,40 @@ impl RateLimitPlan {
             self.limit_link(e, (base_cap * weight).max(MIN_LINK_CAP));
         }
         self
+    }
+
+    /// Validates every installed host filter (called by
+    /// `SimConfig::build`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when a filter has a zero window
+    /// or budget, or a delaying filter has `release_period_ticks == 0`
+    /// — a zero period has no meaning in Williamson's "one release per
+    /// period" semantics, and silently treating it as 1 (as the engine
+    /// once did) hid the misconfiguration.
+    pub fn validate(&self) -> Result<(), Error> {
+        for &(_, f) in &self.host_filters {
+            if f.window_ticks == 0 {
+                return Err(Error::InvalidConfig {
+                    name: "window_ticks",
+                    reason: "host filter window must cover at least one tick",
+                });
+            }
+            if f.max_new_targets == 0 {
+                return Err(Error::InvalidConfig {
+                    name: "max_new_targets",
+                    reason: "host filter must admit at least one target per window",
+                });
+            }
+            if f.discipline == (FilterDiscipline::Delay { release_period_ticks: 0 }) {
+                return Err(Error::InvalidConfig {
+                    name: "release_period_ticks",
+                    reason: "a delaying filter must wait at least one tick between releases",
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of links carrying a cap.

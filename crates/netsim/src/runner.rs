@@ -26,6 +26,7 @@
 //! [`SupervisorConfig::min_survivors`] runs survive.
 
 use crate::config::{SimConfig, WormBehavior};
+use crate::metrics::{PacketAccounting, PhaseProfile};
 use crate::sim::{SimResult, Simulator};
 use crate::world::World;
 use dynaquar_epidemic::TimeSeries;
@@ -34,7 +35,12 @@ use std::fmt;
 use std::time::Duration;
 
 /// The averaged outcome of several seeded runs.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality ignores the observational timing fields (`timings`,
+/// `workers`, `batch_wall` compare — they are deterministic-shaped — but
+/// the merged [`phases`](AveragedResult::phases) profile does not), so
+/// bit-identity assertions across thread counts keep holding.
+#[derive(Debug, Clone)]
 pub struct AveragedResult {
     /// Mean infected fraction per tick (over surviving runs).
     pub infected_fraction: TimeSeries,
@@ -56,6 +62,30 @@ pub struct AveragedResult {
     pub workers: Vec<WorkerStats>,
     /// End-to-end wall clock of the batch, fan-out to last join.
     pub batch_wall: Duration,
+    /// The packet ledgers of every surviving run, merged (summed) —
+    /// conservation holds for the sum exactly as for each run.
+    pub accounting: PacketAccounting,
+    /// The phase profiles of every surviving run, merged (summed).
+    /// Observational: excluded from `PartialEq`.
+    pub phases: PhaseProfile,
+}
+
+impl PartialEq for AveragedResult {
+    fn eq(&self, other: &Self) -> bool {
+        // `phases` is deliberately ignored: wall-clock timing differs
+        // between bit-identical batches. (`timings`/`workers`/
+        // `batch_wall` were part of equality before the profile existed
+        // and stay so for compatibility.)
+        self.infected_fraction == other.infected_fraction
+            && self.ever_infected_fraction == other.ever_infected_fraction
+            && self.immunized_fraction == other.immunized_fraction
+            && self.runs == other.runs
+            && self.outcomes == other.outcomes
+            && self.timings == other.timings
+            && self.workers == other.workers
+            && self.batch_wall == other.batch_wall
+            && self.accounting == other.accounting
+    }
 }
 
 impl AveragedResult {
@@ -408,6 +438,13 @@ where
         .collect();
     let immune: Vec<TimeSeries> = runs.iter().map(|r| r.immunized_fraction.clone()).collect();
 
+    let mut accounting = PacketAccounting::default();
+    let mut phases = PhaseProfile::default();
+    for r in &runs {
+        accounting.merge(&r.accounting);
+        phases.merge(&r.phases);
+    }
+
     Ok(AveragedResult {
         infected_fraction: TimeSeries::mean_of(&infected),
         ever_infected_fraction: TimeSeries::mean_of(&ever),
@@ -417,6 +454,8 @@ where
         timings,
         workers: report.workers,
         batch_wall: report.wall,
+        accounting,
+        phases,
     })
 }
 
@@ -748,6 +787,25 @@ mod tests {
             assert_eq!(serial.runs, pooled.runs, "threads = {threads}");
             assert_eq!(serial.outcomes, pooled.outcomes);
         }
+    }
+
+    #[test]
+    fn merged_accounting_sums_runs_and_conserves() {
+        let w = world();
+        let avg = run_averaged(&w, &config(), WormBehavior::random(), &[1, 2, 3]);
+        let mut expected = crate::metrics::PacketAccounting::default();
+        for r in &avg.runs {
+            assert!(r.accounting.is_conserved());
+            expected.merge(&r.accounting);
+        }
+        assert_eq!(avg.accounting, expected);
+        assert!(avg.accounting.is_conserved());
+        assert_eq!(
+            avg.accounting.worm.delivered,
+            avg.runs.iter().map(|r| r.delivered_packets).sum::<u64>()
+        );
+        // The merged profile covers every surviving run's ticks.
+        assert_eq!(avg.phases.ticks, 3 * 50);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::background::BackgroundStats;
 use crate::config::{ImmunizationTrigger, SimConfig, WormBehavior};
 use crate::error::Error;
 use crate::faults::{FaultEvent, FaultSchedule, FAULT_STREAM_SALT};
+use crate::metrics::{DropReason, PacketAccounting, PacketKind, Phase, PhaseProfile};
 use crate::observer::{NullObserver, SimObserver, TickSnapshot};
 use crate::plan::{FilterDiscipline, HostFilter};
 use crate::world::World;
@@ -46,15 +47,6 @@ enum NodeState {
     Immunized,
 }
 
-/// What a packet carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PacketKind {
-    /// A worm infection attempt.
-    Worm,
-    /// A legitimate background flow (measured, never infects).
-    Background,
-}
-
 /// A packet in flight.
 #[derive(Debug, Clone, Copy)]
 struct Packet {
@@ -67,7 +59,12 @@ struct Packet {
 }
 
 /// Aggregate outcome of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Equality compares every *simulated* field and ignores the
+/// observational [`phases`](SimResult::phases) wall-clock profile, so
+/// the determinism contract ("same seed ⇒ `==` results, regardless of
+/// thread count or machine load") keeps holding.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
     /// Fraction of hosts currently infected, per tick.
     pub infected_fraction: TimeSeries,
@@ -99,6 +96,36 @@ pub struct SimResult {
     /// Background legitimate-traffic delivery statistics (all zeros when
     /// no background workload was configured).
     pub background: BackgroundStats,
+    /// The complete per-[`PacketKind`] packet ledger: packets are
+    /// conserved by construction (`emitted = delivered + drops +
+    /// end-of-run backlog`, per kind — see
+    /// [`KindCounts`](crate::metrics::KindCounts)). The legacy scalar
+    /// counters above are projections of this ledger.
+    pub accounting: PacketAccounting,
+    /// Wall-clock time per engine phase. Observational: excluded from
+    /// `PartialEq`.
+    pub phases: PhaseProfile,
+}
+
+impl PartialEq for SimResult {
+    fn eq(&self, other: &Self) -> bool {
+        // `phases` is deliberately ignored: wall-clock timing differs
+        // between bit-identical runs.
+        self.infected_fraction == other.infected_fraction
+            && self.ever_infected_fraction == other.ever_infected_fraction
+            && self.immunized_fraction == other.immunized_fraction
+            && self.backlog == other.backlog
+            && self.delivered_packets == other.delivered_packets
+            && self.filtered_packets == other.filtered_packets
+            && self.delayed_packets == other.delayed_packets
+            && self.quarantined_hosts == other.quarantined_hosts
+            && self.false_quarantined_hosts == other.false_quarantined_hosts
+            && self.lost_packets == other.lost_packets
+            && self.scan_log == other.scan_log
+            && self.residual_packets == other.residual_packets
+            && self.background == other.background
+            && self.accounting == other.accounting
+    }
 }
 
 /// One seeded simulation run over a shared [`World`].
@@ -125,8 +152,18 @@ pub struct Simulator<'w> {
     in_flight: VecDeque<Packet>,
     immunization_active: bool,
     ever_infected: usize,
-    delivered: u64,
-    filtered: u64,
+    /// Incrementally maintained host-state census (replaces the former
+    /// O(hosts) `count_state` scans; verified against a full scan by a
+    /// per-tick debug assertion).
+    infected_count: usize,
+    immunized_count: usize,
+    /// The per-kind packet ledger, updated on every engine code path.
+    accounting: PacketAccounting,
+    /// Per-phase wall-clock accumulators for the run.
+    phases: PhaseProfile,
+    /// Whether the observer asked for per-packet callbacks (cached at
+    /// run start so the hot paths test one bool).
+    packet_events: bool,
     /// The run's concrete fault realization (empty without a fault plan).
     faults: FaultSchedule,
     /// Dedicated RNG for ongoing fault draws (per-packet loss,
@@ -143,7 +180,6 @@ pub struct Simulator<'w> {
     pending_quarantine: Vec<Option<u64>>,
     /// Cursor into the sorted false-quarantine schedule.
     false_quarantine_cursor: usize,
-    lost: u64,
     false_quarantined: u64,
     background: BackgroundStats,
     /// Carry-over of the fractional background injection rate.
@@ -151,7 +187,6 @@ pub struct Simulator<'w> {
     /// Per-host throttle queues: scans awaiting delayed release, as
     /// `(release_tick, target)`, ordered by release tick.
     delay_queues: Vec<VecDeque<(u64, NodeId)>>,
-    delayed: u64,
     quarantined: u64,
     scan_log: Vec<(u64, NodeId, NodeId)>,
 }
@@ -272,21 +307,22 @@ impl<'w> Simulator<'w> {
             in_flight: VecDeque::new(),
             immunization_active: false,
             ever_infected,
-            delivered: 0,
-            filtered: 0,
+            infected_count: config.initial_infected(),
+            immunized_count: 0,
+            accounting: PacketAccounting::default(),
+            phases: PhaseProfile::default(),
+            packet_events: false,
             link_down: vec![false; world.graph().edge_count()],
             node_down: vec![false; n],
             link_loss,
             pending_quarantine: vec![None; n],
             false_quarantine_cursor: 0,
-            lost: 0,
             false_quarantined: 0,
             faults,
             fault_rng,
             background: BackgroundStats::default(),
             background_credit: 0.0,
             delay_queues: vec![VecDeque::new(); n],
-            delayed: 0,
             quarantined: 0,
             scan_log: Vec::new(),
         })
@@ -296,6 +332,9 @@ impl<'w> Simulator<'w> {
         self.world.hosts().len()
     }
 
+    /// Full O(hosts) census, kept in debug builds only to cross-check
+    /// the incremental `infected_count`/`immunized_count` counters.
+    #[cfg(debug_assertions)]
     fn count_state(&self, s: NodeState) -> usize {
         self.world
             .hosts()
@@ -304,12 +343,41 @@ impl<'w> Simulator<'w> {
             .count()
     }
 
+    /// Asserts (debug builds) that the incremental census matches a full
+    /// state scan — the equivalence proof for retiring the per-tick
+    /// O(hosts) scans.
+    #[inline]
+    fn debug_check_census(&self) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(self.infected_count, self.count_state(NodeState::Infected));
+            debug_assert_eq!(self.immunized_count, self.count_state(NodeState::Immunized));
+        }
+    }
+
+    /// Drops `host`'s pending throttled scans (the queue dies with the
+    /// host): counts them as `cleared` and reports each to the observer.
+    fn drop_queued_scans(&mut self, host: usize, tick: u64, observer: &mut dyn SimObserver) {
+        if self.delay_queues[host].is_empty() {
+            return;
+        }
+        let queue = std::mem::take(&mut self.delay_queues[host]);
+        self.accounting.worm.cleared += queue.len() as u64;
+        if self.packet_events {
+            let at = NodeId::from(host);
+            for &(_, dst) in &queue {
+                observer.on_packet_dropped(tick, PacketKind::Worm, at, dst, DropReason::QueueCleared);
+            }
+        }
+    }
+
     fn infect_at(&mut self, node: NodeId, tick: u64, observer: &mut dyn SimObserver) {
         if self.state[node.index()] == NodeState::Susceptible {
             self.state[node.index()] = NodeState::Infected;
             self.infected_since[node.index()] = tick;
             self.selectors[node.index()] = Some(self.behavior.make_selector());
             self.ever_infected += 1;
+            self.infected_count += 1;
             observer.on_infection(tick, node);
         }
     }
@@ -362,6 +430,7 @@ impl<'w> Simulator<'w> {
             self.false_quarantine_cursor += 1;
             if self.state[host.index()] == NodeState::Susceptible {
                 self.state[host.index()] = NodeState::Immunized;
+                self.immunized_count += 1;
                 self.false_quarantined += 1;
                 observer.on_fault(tick, FaultEvent::FalseQuarantine(host));
             }
@@ -378,8 +447,10 @@ impl<'w> Simulator<'w> {
                 self.pending_quarantine[i] = None;
                 if self.state[i] == NodeState::Infected {
                     self.state[i] = NodeState::Immunized;
+                    self.infected_count -= 1;
+                    self.immunized_count += 1;
                     self.selectors[i] = None;
-                    self.delay_queues[i].clear();
+                    self.drop_queued_scans(i, tick, observer);
                     self.quarantined += 1;
                     observer.on_quarantine(tick, NodeId::from(i));
                 }
@@ -398,8 +469,10 @@ impl<'w> Simulator<'w> {
                 && tick.saturating_sub(self.infected_since[h.index()]) >= delay
             {
                 self.state[h.index()] = NodeState::Immunized;
+                self.infected_count -= 1;
+                self.immunized_count += 1;
                 self.selectors[h.index()] = None;
-                self.delay_queues[h.index()].clear();
+                self.drop_queued_scans(h.index(), tick, observer);
                 observer.on_patch(tick, h);
             }
         }
@@ -427,6 +500,10 @@ impl<'w> Simulator<'w> {
             let s = self.state[h.index()];
             if s != NodeState::Immunized && self.rng.gen_bool(imm.mu) {
                 self.state[h.index()] = NodeState::Immunized;
+                if s == NodeState::Infected {
+                    self.infected_count -= 1;
+                }
+                self.immunized_count += 1;
                 self.selectors[h.index()] = None;
                 observer.on_patch(tick, h);
             }
@@ -463,6 +540,12 @@ impl<'w> Simulator<'w> {
             }
         }
         for (src, dst) in emissions {
+            // Every post-β emission enters the ledger, *before* the
+            // egress filter — filtering is one of the accounted fates.
+            self.accounting.worm.emitted += 1;
+            if self.packet_events {
+                observer.on_packet_emitted(tick, PacketKind::Worm, src, dst);
+            }
             // Host egress filter.
             if let Some(limiter) = self.host_limiters[src.index()].as_mut() {
                 let decision = limiter.check(tick as f64, RemoteKey::new(dst.index() as u64));
@@ -472,11 +555,28 @@ impl<'w> Simulator<'w> {
                         .discipline
                     {
                         FilterDiscipline::Drop => {
-                            self.filtered += 1;
+                            self.accounting.worm.filtered += 1;
+                            if self.packet_events {
+                                observer.on_packet_dropped(
+                                    tick,
+                                    PacketKind::Worm,
+                                    src,
+                                    dst,
+                                    DropReason::Filtered,
+                                );
+                            }
                         }
                         FilterDiscipline::Delay {
                             release_period_ticks,
                         } => {
+                            // A zero release period is rejected at
+                            // SimConfig build time (plan validation);
+                            // the `.max(1)` clamp below is belt and
+                            // braces for engine-internal callers.
+                            debug_assert!(
+                                release_period_ticks > 0,
+                                "Delay {{ release_period_ticks: 0 }} should be rejected at build time"
+                            );
                             // Williamson semantics: queue the scan; the
                             // queue drains one entry per period.
                             let queue = &mut self.delay_queues[src.index()];
@@ -484,15 +584,19 @@ impl<'w> Simulator<'w> {
                             let release =
                                 last.max(tick) + release_period_ticks.max(1);
                             queue.push_back((release, dst));
-                            self.delayed += 1;
+                            self.accounting.worm.delayed += 1;
                             // Dynamic quarantine: a swollen throttle
                             // queue is the detection signal.
                             if let Some(q) = self.config.quarantine() {
                                 if queue.len() >= q.queue_threshold {
                                     if self.faults.quarantine_jitter == 0 {
+                                        if self.state[src.index()] == NodeState::Infected {
+                                            self.infected_count -= 1;
+                                            self.immunized_count += 1;
+                                        }
                                         self.state[src.index()] = NodeState::Immunized;
                                         self.selectors[src.index()] = None;
-                                        self.delay_queues[src.index()].clear();
+                                        self.drop_queued_scans(src.index(), tick, observer);
                                         self.quarantined += 1;
                                         observer.on_quarantine(tick, src);
                                     } else if self.pending_quarantine[src.index()].is_none() {
@@ -528,14 +632,15 @@ impl<'w> Simulator<'w> {
 
     /// Releases throttled scans whose delay has elapsed. A host that was
     /// patched while scans sat in its queue releases nothing (the
-    /// throttle process died with the worm instance).
-    fn release_delayed_scans(&mut self, tick: u64) {
+    /// throttle process died with the worm instance; its queue is
+    /// dropped and counted as `cleared`).
+    fn release_delayed_scans(&mut self, tick: u64, observer: &mut dyn SimObserver) {
         for i in 0..self.delay_queues.len() {
             if self.delay_queues[i].is_empty() {
                 continue;
             }
             if self.state[i] != NodeState::Infected {
-                self.delay_queues[i].clear();
+                self.drop_queued_scans(i, tick, observer);
                 continue;
             }
             while let Some(&(release, dst)) = self.delay_queues[i].front() {
@@ -543,6 +648,7 @@ impl<'w> Simulator<'w> {
                     break;
                 }
                 self.delay_queues[i].pop_front();
+                self.accounting.worm.released += 1;
                 self.in_flight.push_back(Packet {
                     kind: PacketKind::Worm,
                     src: NodeId::from(i),
@@ -555,7 +661,7 @@ impl<'w> Simulator<'w> {
     }
 
     /// Injects this tick's share of background legitimate flows.
-    fn generate_background(&mut self, tick: u64) {
+    fn generate_background(&mut self, tick: u64, observer: &mut dyn SimObserver) {
         let Some(bg) = self.config.background() else {
             return;
         };
@@ -572,6 +678,10 @@ impl<'w> Simulator<'w> {
                 dst = hosts[self.rng.gen_range(0..hosts.len())];
             }
             self.background.injected += 1;
+            self.accounting.background.emitted += 1;
+            if self.packet_events {
+                observer.on_packet_emitted(tick, PacketKind::Background, src, dst);
+            }
             self.in_flight.push_back(Packet {
                 kind: PacketKind::Background,
                 src,
@@ -600,7 +710,18 @@ impl<'w> Simulator<'w> {
         let mut retained = VecDeque::with_capacity(self.in_flight.len());
         while let Some(mut p) = self.in_flight.pop_front() {
             let Some(next) = routing.next_hop(p.current, p.dst) else {
-                // Unroutable (disconnected) — drop.
+                // Unroutable (disconnected topology): the packet leaves
+                // the network, and the ledger says so.
+                self.accounting.kind_mut(p.kind).unroutable += 1;
+                if self.packet_events {
+                    observer.on_packet_dropped(
+                        tick,
+                        p.kind,
+                        p.current,
+                        p.dst,
+                        DropReason::Unroutable,
+                    );
+                }
                 continue;
             };
             let edge = graph
@@ -612,12 +733,14 @@ impl<'w> Simulator<'w> {
                 || self.node_down[next.index()]
                 || self.link_down[edge.index()]
             {
+                self.accounting.kind_mut(p.kind).stalled_on_outage += 1;
                 retained.push_back(p);
                 continue;
             }
             // Link cap: needs a full token.
             let capped = self.link_caps[edge.index()].is_some();
             if capped && self.link_tokens[edge.index()] < 1.0 {
+                self.accounting.kind_mut(p.kind).stalled_on_cap += 1;
                 retained.push_back(p);
                 continue;
             }
@@ -626,6 +749,7 @@ impl<'w> Simulator<'w> {
             let transit = p.current != p.src;
             let node_capped = transit && self.node_caps[p.current.index()].is_some();
             if node_capped && self.node_tokens[p.current.index()] < 1.0 {
+                self.accounting.kind_mut(p.kind).stalled_on_cap += 1;
                 retained.push_back(p);
                 continue;
             }
@@ -639,14 +763,21 @@ impl<'w> Simulator<'w> {
             // tokens but the packet is gone.
             let loss = self.link_loss[edge.index()];
             if loss > 0.0 && self.fault_rng.gen_bool(loss) {
-                self.lost += 1;
+                self.accounting.kind_mut(p.kind).lost += 1;
+                if self.packet_events {
+                    observer.on_packet_dropped(tick, p.kind, p.current, p.dst, DropReason::LinkLoss);
+                }
                 continue;
             }
             p.current = next;
+            self.accounting.kind_mut(p.kind).forwarded += 1;
             if p.current == p.dst {
+                self.accounting.kind_mut(p.kind).delivered += 1;
+                if self.packet_events {
+                    observer.on_packet_delivered(tick, p.kind, p.src, p.dst);
+                }
                 match p.kind {
                     PacketKind::Worm => {
-                        self.delivered += 1;
                         self.infect_at(p.dst, tick, observer);
                     }
                     PacketKind::Background => {
@@ -684,18 +815,25 @@ impl<'w> Simulator<'w> {
     /// *not* reported through [`SimObserver::on_infection`]; every
     /// infection during the run is.
     pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimResult {
+        use std::time::Instant;
+
         let hosts = self.host_count() as f64;
         let mut infected = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
         let mut ever = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
         let mut immune = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
         let mut backlog = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
 
+        // One dynamic dispatch up front; the per-packet hot paths then
+        // test a plain bool.
+        self.packet_events = observer.wants_packet_events();
+
         let record =
             |sim: &Simulator<'_>, t: u64, inf: &mut TimeSeries, ev: &mut TimeSeries, im: &mut TimeSeries| {
-                let i = sim.count_state(NodeState::Infected) as f64 / hosts;
+                sim.debug_check_census();
+                let i = sim.infected_count as f64 / hosts;
                 inf.push(t as f64, i);
                 ev.push(t as f64, sim.ever_infected as f64 / hosts);
-                im.push(t as f64, sim.count_state(NodeState::Immunized) as f64 / hosts);
+                im.push(t as f64, sim.immunized_count as f64 / hosts);
                 i
             };
 
@@ -715,40 +853,72 @@ impl<'w> Simulator<'w> {
             if self.faults.transient_panic && tick == transient_panic_tick {
                 panic!("injected fault: transient failure at tick {tick}");
             }
+            let t0 = Instant::now();
             self.apply_faults(tick, observer);
+            let t1 = Instant::now();
+            self.phases.add(Phase::ApplyFaults, t1 - t0);
             self.immunization_step(tick, infected_fraction, observer);
             self.self_patch_step(tick, observer);
+            let t2 = Instant::now();
             self.generate_scans(tick, observer);
-            self.release_delayed_scans(tick);
-            self.generate_background(tick);
+            let t3 = Instant::now();
+            self.phases.add(Phase::GenerateScans, t3 - t2);
+            self.release_delayed_scans(tick, observer);
+            let t4 = Instant::now();
+            self.phases.add(Phase::ReleaseDelayedScans, t4 - t3);
+            self.generate_background(tick, observer);
+            let t5 = Instant::now();
+            self.phases.add(Phase::GenerateBackground, t5 - t4);
             self.forward_packets(tick, observer);
+            self.phases.add(Phase::ForwardPackets, t5.elapsed());
             infected_fraction = record(&self, tick, &mut infected, &mut ever, &mut immune);
             backlog.push(tick as f64, self.in_flight.len() as f64);
             observer.on_tick(
                 tick,
                 TickSnapshot {
-                    infected: self.count_state(NodeState::Infected),
+                    infected: self.infected_count,
                     ever_infected: self.ever_infected,
-                    immunized: self.count_state(NodeState::Immunized),
+                    immunized: self.immunized_count,
                     in_flight: self.in_flight.len(),
                 },
             );
         }
+        self.phases.ticks = self.config.horizon();
+
+        // Close the ledger: whatever is still moving or queued is the
+        // end-of-run backlog, and with it every emission is accounted
+        // for.
+        for p in &self.in_flight {
+            self.accounting.kind_mut(p.kind).in_flight_at_end += 1;
+        }
+        self.accounting.worm.queued_at_end = self
+            .delay_queues
+            .iter()
+            .map(|q| q.len() as u64)
+            .sum();
+        debug_assert!(
+            self.accounting.is_conserved(),
+            "packet conservation violated: worm defect {}, background defect {}",
+            self.accounting.worm.conservation_defect(),
+            self.accounting.background.conservation_defect()
+        );
 
         SimResult {
             infected_fraction: infected,
             ever_infected_fraction: ever,
             immunized_fraction: immune,
             backlog,
-            delivered_packets: self.delivered,
-            filtered_packets: self.filtered,
-            delayed_packets: self.delayed,
+            delivered_packets: self.accounting.worm.delivered,
+            filtered_packets: self.accounting.worm.filtered,
+            delayed_packets: self.accounting.worm.delayed,
             quarantined_hosts: self.quarantined,
             false_quarantined_hosts: self.false_quarantined,
-            lost_packets: self.lost,
+            lost_packets: self.accounting.worm.lost + self.accounting.background.lost,
             scan_log: std::mem::take(&mut self.scan_log),
             residual_packets: self.in_flight.len() as u64,
             background: self.background,
+            accounting: self.accounting,
+            phases: self.phases,
         }
     }
 

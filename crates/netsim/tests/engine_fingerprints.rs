@@ -1,0 +1,170 @@
+//! Bit-exact fingerprints of representative runs, pinned across engine
+//! refactors.
+//!
+//! The packet-accounting layer rebuilt the engine's hot paths
+//! (incremental state census, per-kind ledgers, phase timers); these
+//! fingerprints were recorded on the engine *before* that change and
+//! must keep reproducing exactly — instrumentation is observation, not
+//! behaviour. Sums are compared as `{:.17e}` strings: 17 significant
+//! digits round-trips every f64, so a match here is a bit-identity
+//! match.
+
+use dynaquar_netsim::background::BackgroundTraffic;
+use dynaquar_netsim::config::{
+    ImmunizationConfig, ImmunizationTrigger, QuarantineConfig, SimConfig, WormBehavior,
+};
+use dynaquar_netsim::faults::FaultPlan;
+use dynaquar_netsim::plan::{HostFilter, RateLimitPlan};
+use dynaquar_netsim::sim::{SimResult, Simulator};
+use dynaquar_netsim::World;
+use dynaquar_topology::generators;
+
+fn series_sum(s: &dynaquar_epidemic::TimeSeries) -> f64 {
+    s.iter().map(|(_, v)| v).sum()
+}
+
+fn pin(label: &str, value: f64, expected: &str) {
+    assert_eq!(
+        format!("{value:.17e}"),
+        expected,
+        "{label} diverged from the pre-instrumentation engine"
+    );
+}
+
+/// Every fingerprinted run must also balance its ledger.
+fn assert_conserved(r: &SimResult) {
+    assert!(
+        r.accounting.is_conserved(),
+        "ledger defect: worm {} / background {}",
+        r.accounting.worm.conservation_defect(),
+        r.accounting.background.conservation_defect()
+    );
+    assert_eq!(r.delivered_packets, r.accounting.worm.delivered);
+    assert_eq!(r.filtered_packets, r.accounting.worm.filtered);
+    assert_eq!(r.delayed_packets, r.accounting.worm.delayed);
+    assert_eq!(
+        r.lost_packets,
+        r.accounting.worm.lost + r.accounting.background.lost
+    );
+    assert_eq!(
+        r.residual_packets,
+        r.accounting.worm.in_flight_at_end + r.accounting.background.in_flight_at_end
+    );
+}
+
+#[test]
+fn dynamic_quarantine_star_is_bit_identical() {
+    let w = World::from_star(generators::star(199).unwrap());
+    let hosts = w.hosts().to_vec();
+    let mut plan = RateLimitPlan::none();
+    plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(200)
+        .initial_infected(2)
+        .plan(plan)
+        .quarantine(QuarantineConfig { queue_threshold: 3 })
+        .build()
+        .unwrap();
+    let r = Simulator::new(&w, &cfg, WormBehavior::random(), 21).run();
+    pin("infected", series_sum(&r.infected_fraction), "3.76884422110552786e-1");
+    pin("ever", series_sum(&r.ever_infected_fraction), "1.46130653266332260e1");
+    pin("immunized", series_sum(&r.immunized_fraction), "1.42361809045226710e1");
+    pin("backlog", series_sum(&r.backlog), "1.50000000000000000e1");
+    assert_eq!(r.delivered_packets, 15);
+    assert_eq!(r.filtered_packets, 0);
+    assert_eq!(r.delayed_packets, 45);
+    assert_eq!(r.quarantined_hosts, 15);
+    assert_eq!(r.residual_packets, 0);
+    assert_conserved(&r);
+}
+
+#[test]
+fn capped_hub_with_background_is_bit_identical() {
+    let star = generators::star(99).unwrap();
+    let hub = star.hub;
+    let w = World::from_star(star);
+    let mut plan = RateLimitPlan::none();
+    plan.limit_links_at_node(w.graph(), hub, 0.3);
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(200)
+        .initial_infected(1)
+        .background(BackgroundTraffic::new(0.5))
+        .plan(plan)
+        .build()
+        .unwrap();
+    let r = Simulator::new(&w, &cfg, WormBehavior::random(), 13).run();
+    pin("infected", series_sum(&r.infected_fraction), "1.70060606060606062e2");
+    pin("backlog", series_sum(&r.backlog), "9.68437000000000000e5");
+    assert_eq!(r.delivered_packets, 1911);
+    assert_eq!(r.background.injected, 100);
+    assert_eq!(r.background.delivered, 26);
+    assert_eq!(r.background.total_delay_ticks, 990);
+    assert_eq!(r.background.max_delay_ticks, 141);
+    assert_eq!(r.background.total_hops, 52);
+    assert_eq!(r.residual_packets, 11333);
+    assert_conserved(&r);
+}
+
+#[test]
+fn welchia_self_patch_is_bit_identical() {
+    let w = World::from_star(generators::star(199).unwrap());
+    let welchia = WormBehavior::random()
+        .with_scan_rate(3)
+        .with_self_patch_after(12);
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(300)
+        .initial_infected(2)
+        .build()
+        .unwrap();
+    let r = Simulator::new(&w, &cfg, welchia, 31).run();
+    pin("infected", series_sum(&r.infected_fraction), "1.20000000000000000e1");
+    pin("ever", series_sum(&r.ever_infected_fraction), "2.94246231155778901e2");
+    pin("immunized", series_sum(&r.immunized_fraction), "2.82246231155778901e2");
+    assert_eq!(r.delivered_packets, 5180);
+    assert_eq!(r.residual_packets, 0);
+    assert_conserved(&r);
+}
+
+#[test]
+fn kitchen_sink_fault_plan_is_bit_identical() {
+    let w = World::from_star(generators::star(149).unwrap());
+    let hosts = w.hosts().to_vec();
+    let mut plan = RateLimitPlan::none();
+    plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 8));
+    let faults = FaultPlan::none()
+        .with_link_outages(5, (5, 40), 15)
+        .with_node_outages(3, (5, 40), 15)
+        .with_link_loss(0.2, 0.1)
+        .with_detector_outages(0.2)
+        .with_false_positives(4, (5, 60))
+        .with_quarantine_jitter(4);
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(150)
+        .initial_infected(2)
+        .plan(plan)
+        .quarantine(QuarantineConfig { queue_threshold: 3 })
+        .immunization(ImmunizationConfig {
+            trigger: ImmunizationTrigger::AtInfectedFraction(0.3),
+            mu: 0.05,
+        })
+        .faults(faults)
+        .build()
+        .unwrap();
+    let r = Simulator::new(&w, &cfg, WormBehavior::random(), 9).run();
+    pin("infected", series_sum(&r.infected_fraction), "6.02684563758389480e0");
+    pin("ever", series_sum(&r.ever_infected_fraction), "8.72416107382550194e1");
+    pin("immunized", series_sum(&r.immunized_fraction), "1.21073825503355636e2");
+    pin("backlog", series_sum(&r.backlog), "4.19000000000000000e2");
+    assert_eq!(r.delivered_packets, 317);
+    assert_eq!(r.filtered_packets, 0);
+    assert_eq!(r.delayed_packets, 297);
+    assert_eq!(r.quarantined_hosts, 69);
+    assert_eq!(r.false_quarantined_hosts, 2);
+    assert_eq!(r.lost_packets, 11);
+    assert_eq!(r.residual_packets, 0);
+    assert_conserved(&r);
+}

@@ -74,8 +74,8 @@ proptest! {
         }
     }
 
-    /// Packet accounting: delivered, filtered, and residual counts are
-    /// consistent with what the worm could have emitted.
+    /// Packet accounting: the per-kind ledger balances and the legacy
+    /// flat counters are views of it.
     #[test]
     fn packet_accounting(seed in 0u64..30, beta in 0.2..1.0f64) {
         let w = star_world(25);
@@ -89,8 +89,57 @@ proptest! {
         // At one scan per tick per infected node, emissions are bounded
         // by hosts * horizon.
         let bound = 25u64 * 50;
-        prop_assert!(r.delivered_packets + r.filtered_packets + r.residual_packets <= bound);
+        prop_assert!(r.accounting.worm.emitted <= bound);
+        prop_assert!(r.accounting.is_conserved(),
+            "defect {}", r.accounting.worm.conservation_defect());
+        prop_assert_eq!(r.delivered_packets, r.accounting.worm.delivered);
+        prop_assert_eq!(r.filtered_packets, r.accounting.worm.filtered);
+        prop_assert_eq!(r.residual_packets, r.accounting.worm.in_flight_at_end);
         prop_assert!(r.delivered_packets >= 24, "star saturates: every other host was infected once");
+    }
+
+    /// The conservation identity survives any mix of filter discipline,
+    /// quarantine threshold, link loss, and background traffic.
+    #[test]
+    fn ledger_conserves_across_random_scenarios(
+        seed in 0u64..40,
+        beta in 0.2..1.0f64,
+        delaying in proptest::bool::ANY,
+        budget in 1usize..4,
+        queue_threshold in 1usize..6,
+        loss in 0.0..0.3f64,
+        bg_rate in 0.0..2.0f64,
+    ) {
+        let w = star_world(40);
+        let mut plan = RateLimitPlan::none();
+        let filter = if delaying {
+            HostFilter::delaying(60, budget, 5)
+        } else {
+            HostFilter::dropping(60, budget)
+        };
+        plan.filter_hosts(w.hosts(), filter);
+        let cfg = SimConfig::builder()
+            .beta(beta)
+            .horizon(80)
+            .initial_infected(1)
+            .plan(plan)
+            .quarantine(dynaquar_netsim::config::QuarantineConfig { queue_threshold })
+            .background(BackgroundTraffic::new(bg_rate))
+            .faults(dynaquar_netsim::faults::FaultPlan::none().with_link_loss(0.2, loss))
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), seed).run();
+        prop_assert!(r.accounting.is_conserved(),
+            "worm defect {} background defect {}\nworm: {}\nbackground: {}",
+            r.accounting.worm.conservation_defect(),
+            r.accounting.background.conservation_defect(),
+            r.accounting.worm,
+            r.accounting.background);
+        // The background ledger never crosses into the worm ledger.
+        prop_assert_eq!(r.background.injected, r.accounting.background.emitted);
+        prop_assert_eq!(r.background.delivered, r.accounting.background.delivered);
+        // Phase timers observed every tick of the run.
+        prop_assert_eq!(r.phases.ticks, 80);
     }
 
     /// Background statistics are internally consistent for any rate.

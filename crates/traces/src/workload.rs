@@ -222,6 +222,41 @@ impl TraceBuilder {
     }
 }
 
+/// Converts a simulator scan log into Section 7 flow records.
+///
+/// Each `(tick, src, dst)` entry becomes a raw-IP TCP probe at
+/// `tick * tick_seconds` — never DNS-translated, never a response —
+/// exactly what the behavioural classifier expects worm traffic to
+/// look like. The entries are plain integers so the simulator and
+/// trace crates stay decoupled; callers map their node-id type down
+/// to `u32` indices.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_traces::workload::scan_log_records;
+///
+/// let records = scan_log_records([(0u64, 1u32, 2u32), (3, 1, 4)], 0.5, 135);
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[1].time, 1.5);
+/// assert!(!records[0].dns_translated);
+/// ```
+pub fn scan_log_records<I>(log: I, tick_seconds: f64, dport: u16) -> Vec<FlowRecord>
+where
+    I: IntoIterator<Item = (u64, u32, u32)>,
+{
+    log.into_iter()
+        .map(|(tick, src, dst)| FlowRecord {
+            time: tick as f64 * tick_seconds,
+            src: HostId::new(src),
+            dst: RemoteKey::new(dst as u64),
+            protocol: Protocol::Tcp { dport },
+            dns_translated: false,
+            prior_contact: false,
+        })
+        .collect()
+}
+
 /// Key-space regions for foreign addresses, so repeated contacts hit the
 /// same keys while scans roam a huge space.
 mod keyspace {

@@ -60,6 +60,9 @@ pub mod prelude {
     pub use dynaquar_core::{ComparisonReport, Deployment, RateLimitParams, Scenario, TopologySpec};
     pub use dynaquar_epidemic::{LabeledSeries, SeriesSet, TimeSeries};
     pub use dynaquar_netsim::config::{ImmunizationConfig, ImmunizationTrigger, WormBehavior};
+    pub use dynaquar_netsim::metrics::{
+        FanoutObserver, JsonlEventWriter, MetricsObserver, PacketAccounting, PhaseProfile,
+    };
     pub use dynaquar_netsim::{RateLimitPlan, SimConfig, Simulator, World};
     pub use dynaquar_ratelimit::{Decision, RateLimiter, RemoteKey};
     pub use dynaquar_worms::WormProfile;

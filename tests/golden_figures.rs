@@ -7,6 +7,9 @@
 //! ODE steppers, or the series sampling fails tier-1 here before it can
 //! silently skew every downstream simulation comparison.
 
+// Golden values are full 17-significant-digit f64 round-trips on purpose.
+#![allow(clippy::excessive_precision)]
+
 use dynaquar::epidemic::immunization::DelayedImmunization;
 use dynaquar::epidemic::logistic::Logistic;
 use dynaquar::epidemic::star::{HubRateLimit, LeafRateLimit};

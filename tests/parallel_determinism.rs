@@ -99,7 +99,7 @@ proptest! {
         let cfg = config(FaultPlan::none());
         let seeds: Vec<u64> = (0..6).map(|k| base_seed + k).collect();
         let run = |a: RunAttempt| {
-            if a.attempt == 1 && a.seed % panic_mod == 0 {
+            if a.attempt == 1 && a.seed.is_multiple_of(panic_mod) {
                 panic!("injected: seed {} fails its first attempt", a.seed);
             }
             Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()

@@ -3,28 +3,24 @@
 //! analysis* pipeline (Section 7), which must flag the infected hosts.
 
 use dynaquar::prelude::*;
-use dynaquar::ratelimit::deploy::HostId;
 use dynaquar::traces::classify::{classify_host, ClassifierConfig};
-use dynaquar::traces::record::{FlowRecord, HostClass, Protocol, Trace};
+use dynaquar::traces::record::{FlowRecord, HostClass, Trace};
 use dynaquar::traces::replay::evaluate_per_class;
-use dynaquar::traces::workload::TraceBuilder;
+use dynaquar::traces::workload::{scan_log_records, TraceBuilder};
 
-/// Converts a simulator scan log into Section 7 flow records: raw-IP
-/// TCP/135 probes, never DNS-translated, never responses.
+/// Maps a simulator scan log onto the plain-integer tuples the trace
+/// crate's converter accepts: raw-IP TCP/135 probes at one tick = one
+/// second, never DNS-translated, never responses.
 fn scan_log_to_records(
     log: &[(u64, dynaquar::topology::NodeId, dynaquar::topology::NodeId)],
     tick_seconds: f64,
 ) -> Vec<FlowRecord> {
-    log.iter()
-        .map(|&(tick, src, dst)| FlowRecord {
-            time: tick as f64 * tick_seconds,
-            src: HostId::new(src.index() as u32),
-            dst: RemoteKey::new(dst.index() as u64),
-            protocol: Protocol::Tcp { dport: 135 },
-            dns_translated: false,
-            prior_contact: false,
-        })
-        .collect()
+    scan_log_records(
+        log.iter()
+            .map(|&(tick, src, dst)| (tick, src.index() as u32, dst.index() as u32)),
+        tick_seconds,
+        135,
+    )
 }
 
 #[test]
