@@ -42,3 +42,4 @@ pub mod strategy;
 pub use report::ComparisonReport;
 pub use scenario::{Scenario, ScenarioOutcome, TopologySpec};
 pub use strategy::{Deployment, RateLimitParams};
+pub use dynaquar_topology::lazy::RoutingKind;

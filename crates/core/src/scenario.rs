@@ -12,6 +12,7 @@ use dynaquar_netsim::runner::run_averaged_parallel;
 use dynaquar_netsim::World;
 use dynaquar_parallel::ParallelConfig;
 use dynaquar_topology::generators;
+use dynaquar_topology::lazy::RoutingKind;
 use serde::{Deserialize, Serialize};
 
 /// Which topology a scenario runs on.
@@ -44,37 +45,51 @@ pub enum TopologySpec {
 }
 
 impl TopologySpec {
-    /// Materializes the world.
+    /// Materializes the world with automatic routing-backend selection
+    /// ([`RoutingKind::Auto`]: dense all-pairs table for paper-scale
+    /// graphs, memory-bounded lazy BFS above 4096 nodes).
     ///
     /// # Panics
     ///
     /// Panics on degenerate sizes (zero leaves/subnets/hosts).
     pub fn build(&self) -> World {
+        self.build_with(RoutingKind::Auto)
+    }
+
+    /// [`TopologySpec::build`] with an explicit routing backend choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate sizes (zero leaves/subnets/hosts).
+    pub fn build_with(&self, routing: RoutingKind) -> World {
         match *self {
-            TopologySpec::Star { leaves } => {
-                World::from_star(generators::star(leaves).expect("valid star size"))
-            }
+            TopologySpec::Star { leaves } => World::from_star_with(
+                generators::star(leaves).expect("valid star size"),
+                routing,
+            ),
             TopologySpec::PowerLaw {
                 nodes,
                 edges_per_node,
                 seed,
-            } => World::from_power_law(
+            } => World::from_power_law_with(
                 generators::barabasi_albert(nodes, edges_per_node, seed)
                     .expect("valid power-law parameters"),
                 0.05,
                 0.10,
+                routing,
             ),
             TopologySpec::Subnets {
                 backbone,
                 subnets,
                 hosts_per_subnet,
-            } => World::from_subnets(
+            } => World::from_subnets_with(
                 generators::SubnetTopologyBuilder::new()
                     .backbone_routers(backbone)
                     .subnets(subnets)
                     .hosts_per_subnet(hosts_per_subnet)
                     .build()
                     .expect("valid subnet parameters"),
+                routing,
             ),
         }
     }
@@ -109,6 +124,7 @@ pub struct Scenario {
     runs: usize,
     seed: u64,
     parallelism: Option<usize>,
+    routing: RoutingKind,
 }
 
 impl Scenario {
@@ -128,6 +144,7 @@ impl Scenario {
             runs: 10,
             seed: 0,
             parallelism: None,
+            routing: RoutingKind::Auto,
         }
     }
 
@@ -199,6 +216,17 @@ impl Scenario {
         self
     }
 
+    /// Picks the routing backend for worlds this scenario builds itself
+    /// (`run_simulated`, `analytic_baseline`). The default
+    /// [`RoutingKind::Auto`] keeps paper-scale topologies on the dense
+    /// all-pairs table and switches large worlds to the memory-bounded
+    /// lazy backend; both produce bit-identical next hops, so this knob
+    /// trades memory for routing-cache work without changing any curve.
+    pub fn routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
     /// Sets the worker-thread count for the averaged runs. The default
     /// (unset) follows `DYNAQUAR_THREADS`, then the machine's available
     /// parallelism. Thread count never changes the result: the runner
@@ -221,7 +249,7 @@ impl Scenario {
     ///
     /// Panics on invalid configuration (degenerate β or horizon).
     pub fn run_simulated(&self) -> ScenarioOutcome {
-        let world = self.topology.build();
+        let world = self.topology.build_with(self.routing);
         self.run_simulated_on(&world)
     }
 
@@ -383,6 +411,27 @@ mod tests {
         let serial = base.clone().parallelism(1).run_simulated_on(&world);
         let pooled = base.clone().parallelism(4).run_simulated_on(&world);
         assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn routing_backend_does_not_change_the_outcome() {
+        let base = Scenario::new(TopologySpec::PowerLaw {
+            nodes: 150,
+            edges_per_node: 2,
+            seed: 11,
+        })
+        .horizon(60)
+        .runs(2);
+        let dense = base.clone().routing(RoutingKind::Dense).run_simulated();
+        let lazy = base
+            .clone()
+            .routing(RoutingKind::Lazy {
+                max_cached_destinations: 16,
+            })
+            .run_simulated();
+        let auto = base.run_simulated();
+        assert_eq!(dense, lazy);
+        assert_eq!(dense, auto);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod observer;
 pub mod plan;
 pub mod runner;
 pub mod sim;
+mod soa;
 pub mod world;
 
 pub use config::{SimConfig, WormBehavior};

@@ -5,7 +5,7 @@
 //! shared across the averaged runs of an experiment.
 
 use crate::error::Error;
-use dynaquar_topology::routing::RoutingTable;
+use dynaquar_topology::routing::RoutingBackend;
 use dynaquar_topology::{EdgeId, Graph, NodeId};
 
 /// Smallest weighted cap a limited link can receive (one packet per 100
@@ -192,7 +192,7 @@ impl RateLimitPlan {
     pub fn weighted_link_caps(
         &mut self,
         graph: &Graph,
-        routing: &RoutingTable,
+        routing: &dyn RoutingBackend,
         limited_nodes: &[NodeId],
         base_cap: f64,
     ) -> &mut Self {
@@ -210,7 +210,7 @@ impl RateLimitPlan {
     pub fn weighted_link_caps_with(
         &mut self,
         graph: &Graph,
-        routing: &RoutingTable,
+        routing: &dyn RoutingBackend,
         limited_nodes: &[NodeId],
         base_cap: f64,
         normalization: Normalization,
@@ -234,7 +234,7 @@ impl RateLimitPlan {
     pub fn weighted_caps_for_edges(
         &mut self,
         graph: &Graph,
-        routing: &RoutingTable,
+        routing: &dyn RoutingBackend,
         edges: &[EdgeId],
         base_cap: f64,
         normalization: Normalization,

@@ -28,6 +28,7 @@ use crate::faults::{FaultEvent, FaultSchedule, FAULT_STREAM_SALT};
 use crate::metrics::{DropReason, PacketAccounting, PacketKind, Phase, PhaseProfile};
 use crate::observer::{NullObserver, SimObserver, TickSnapshot};
 use crate::plan::{FilterDiscipline, HostFilter};
+use crate::soa::{HostStates, NodeState, Packet, PacketPool};
 use crate::world::World;
 use dynaquar_epidemic::TimeSeries;
 use dynaquar_ratelimit::window::UniqueIpWindow;
@@ -38,25 +39,6 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-
-/// Per-node infection state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NodeState {
-    Susceptible,
-    Infected,
-    Immunized,
-}
-
-/// A packet in flight.
-#[derive(Debug, Clone, Copy)]
-struct Packet {
-    kind: PacketKind,
-    src: NodeId,
-    current: NodeId,
-    dst: NodeId,
-    /// Tick at which the packet entered the network.
-    emitted: u64,
-}
 
 /// Aggregate outcome of one simulation run.
 ///
@@ -134,10 +116,11 @@ pub struct Simulator<'w> {
     config: SimConfig,
     behavior: WormBehavior,
     rng: SmallRng,
-    state: Vec<NodeState>,
-    /// Tick at which each currently infected host was infected (for
-    /// Welchia-style self-patching).
-    infected_since: Vec<u64>,
+    /// Struct-of-arrays per-node state (status + infection tick) with
+    /// the incrementally maintained census counters built in (replaces
+    /// the former O(hosts) `count_state` scans; verified against a full
+    /// scan by a per-tick debug assertion).
+    host_state: HostStates,
     selectors: Vec<Option<Box<dyn TargetSelector>>>,
     host_filter_cfg: Vec<Option<HostFilter>>,
     host_limiters: Vec<Option<UniqueIpWindow>>,
@@ -149,14 +132,10 @@ pub struct Simulator<'w> {
     node_caps: Vec<Option<f64>>,
     /// Token accumulator per capped node (same scheme as links).
     node_tokens: Vec<f64>,
-    in_flight: VecDeque<Packet>,
+    /// In-flight packets: a slab + free-list FIFO that reaches its
+    /// high-water mark and then stops allocating.
+    packets: PacketPool,
     immunization_active: bool,
-    ever_infected: usize,
-    /// Incrementally maintained host-state census (replaces the former
-    /// O(hosts) `count_state` scans; verified against a full scan by a
-    /// per-tick debug assertion).
-    infected_count: usize,
-    immunized_count: usize,
     /// The per-kind packet ledger, updated on every engine code path.
     accounting: PacketAccounting,
     /// Per-phase wall-clock accumulators for the run.
@@ -194,8 +173,8 @@ pub struct Simulator<'w> {
 impl std::fmt::Debug for Simulator<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
-            .field("nodes", &self.state.len())
-            .field("in_flight", &self.in_flight.len())
+            .field("nodes", &self.world.graph().node_count())
+            .field("in_flight", &self.packets.queued())
             .finish()
     }
 }
@@ -235,8 +214,7 @@ impl<'w> Simulator<'w> {
             });
         }
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut state = vec![NodeState::Susceptible; n];
-        let infected_since = vec![0u64; n];
+        let mut host_state = HostStates::new(n);
         let mut selectors: Vec<Option<Box<dyn TargetSelector>>> =
             (0..n).map(|_| None).collect();
 
@@ -245,7 +223,7 @@ impl<'w> Simulator<'w> {
         for _ in 0..config.initial_infected() {
             let k = rng.gen_range(0..pool.len());
             let node = pool.swap_remove(k);
-            state[node.index()] = NodeState::Infected;
+            host_state.seed(node.index());
             selectors[node.index()] = Some(behavior.make_selector());
         }
 
@@ -274,7 +252,6 @@ impl<'w> Simulator<'w> {
             .iter()
             .map(|c| c.map_or(0.0, |cap| cap.max(1.0)))
             .collect();
-        let ever_infected = config.initial_infected();
 
         // Expand the fault plan on its own derived RNG stream so an
         // empty plan leaves the main stream (and thus the run) untouched.
@@ -295,8 +272,7 @@ impl<'w> Simulator<'w> {
             config: config.clone(),
             behavior,
             rng,
-            state,
-            infected_since,
+            host_state,
             selectors,
             host_filter_cfg,
             host_limiters,
@@ -304,11 +280,8 @@ impl<'w> Simulator<'w> {
             link_tokens,
             node_tokens,
             node_caps,
-            in_flight: VecDeque::new(),
+            packets: PacketPool::new(),
             immunization_active: false,
-            ever_infected,
-            infected_count: config.initial_infected(),
-            immunized_count: 0,
             accounting: PacketAccounting::default(),
             phases: PhaseProfile::default(),
             packet_events: false,
@@ -333,13 +306,13 @@ impl<'w> Simulator<'w> {
     }
 
     /// Full O(hosts) census, kept in debug builds only to cross-check
-    /// the incremental `infected_count`/`immunized_count` counters.
+    /// the incremental [`HostStates`] counters.
     #[cfg(debug_assertions)]
     fn count_state(&self, s: NodeState) -> usize {
         self.world
             .hosts()
             .iter()
-            .filter(|h| self.state[h.index()] == s)
+            .filter(|h| self.host_state.status(h.index()) == s)
             .count()
     }
 
@@ -350,8 +323,14 @@ impl<'w> Simulator<'w> {
     fn debug_check_census(&self) {
         #[cfg(debug_assertions)]
         {
-            debug_assert_eq!(self.infected_count, self.count_state(NodeState::Infected));
-            debug_assert_eq!(self.immunized_count, self.count_state(NodeState::Immunized));
+            debug_assert_eq!(
+                self.host_state.infected(),
+                self.count_state(NodeState::Infected)
+            );
+            debug_assert_eq!(
+                self.host_state.immunized(),
+                self.count_state(NodeState::Immunized)
+            );
         }
     }
 
@@ -372,12 +351,8 @@ impl<'w> Simulator<'w> {
     }
 
     fn infect_at(&mut self, node: NodeId, tick: u64, observer: &mut dyn SimObserver) {
-        if self.state[node.index()] == NodeState::Susceptible {
-            self.state[node.index()] = NodeState::Infected;
-            self.infected_since[node.index()] = tick;
+        if self.host_state.infect(node.index(), tick) {
             self.selectors[node.index()] = Some(self.behavior.make_selector());
-            self.ever_infected += 1;
-            self.infected_count += 1;
             observer.on_infection(tick, node);
         }
     }
@@ -428,9 +403,7 @@ impl<'w> Simulator<'w> {
                 break;
             }
             self.false_quarantine_cursor += 1;
-            if self.state[host.index()] == NodeState::Susceptible {
-                self.state[host.index()] = NodeState::Immunized;
-                self.immunized_count += 1;
+            if self.host_state.immunize_if_susceptible(host.index()) {
                 self.false_quarantined += 1;
                 observer.on_fault(tick, FaultEvent::FalseQuarantine(host));
             }
@@ -445,10 +418,7 @@ impl<'w> Simulator<'w> {
                     continue;
                 }
                 self.pending_quarantine[i] = None;
-                if self.state[i] == NodeState::Infected {
-                    self.state[i] = NodeState::Immunized;
-                    self.infected_count -= 1;
-                    self.immunized_count += 1;
+                if self.host_state.immunize_infected(i) {
                     self.selectors[i] = None;
                     self.drop_queued_scans(i, tick, observer);
                     self.quarantined += 1;
@@ -465,12 +435,10 @@ impl<'w> Simulator<'w> {
             return;
         };
         for &h in self.world.hosts() {
-            if self.state[h.index()] == NodeState::Infected
-                && tick.saturating_sub(self.infected_since[h.index()]) >= delay
+            if self.host_state.is_infected(h.index())
+                && tick.saturating_sub(self.host_state.infected_since(h.index())) >= delay
             {
-                self.state[h.index()] = NodeState::Immunized;
-                self.infected_count -= 1;
-                self.immunized_count += 1;
+                self.host_state.immunize_infected(h.index());
                 self.selectors[h.index()] = None;
                 self.drop_queued_scans(h.index(), tick, observer);
                 observer.on_patch(tick, h);
@@ -497,13 +465,12 @@ impl<'w> Simulator<'w> {
             return;
         }
         for &h in self.world.hosts() {
-            let s = self.state[h.index()];
-            if s != NodeState::Immunized && self.rng.gen_bool(imm.mu) {
-                self.state[h.index()] = NodeState::Immunized;
-                if s == NodeState::Infected {
-                    self.infected_count -= 1;
-                }
-                self.immunized_count += 1;
+            // Draw order matters for bit-identity: one Bernoulli draw
+            // per not-yet-immunized host, in host order.
+            if self.host_state.status(h.index()) != NodeState::Immunized
+                && self.rng.gen_bool(imm.mu)
+            {
+                self.host_state.immunize_unpatched(h.index());
                 self.selectors[h.index()] = None;
                 observer.on_patch(tick, h);
             }
@@ -515,7 +482,7 @@ impl<'w> Simulator<'w> {
         // Collect scans first to avoid borrowing conflicts with selectors.
         let mut emissions: Vec<(NodeId, NodeId)> = Vec::new();
         for &node in hosts {
-            if self.state[node.index()] != NodeState::Infected {
+            if !self.host_state.is_infected(node.index()) {
                 continue;
             }
             // A host on a downed node cannot scan while the outage lasts.
@@ -590,11 +557,7 @@ impl<'w> Simulator<'w> {
                             if let Some(q) = self.config.quarantine() {
                                 if queue.len() >= q.queue_threshold {
                                     if self.faults.quarantine_jitter == 0 {
-                                        if self.state[src.index()] == NodeState::Infected {
-                                            self.infected_count -= 1;
-                                            self.immunized_count += 1;
-                                        }
-                                        self.state[src.index()] = NodeState::Immunized;
+                                        self.host_state.quarantine(src.index());
                                         self.selectors[src.index()] = None;
                                         self.drop_queued_scans(src.index(), tick, observer);
                                         self.quarantined += 1;
@@ -620,7 +583,7 @@ impl<'w> Simulator<'w> {
             if self.config.log_scans() {
                 self.scan_log.push((tick, src, dst));
             }
-            self.in_flight.push_back(Packet {
+            self.packets.insert(Packet {
                 kind: PacketKind::Worm,
                 src,
                 current: src,
@@ -639,7 +602,7 @@ impl<'w> Simulator<'w> {
             if self.delay_queues[i].is_empty() {
                 continue;
             }
-            if self.state[i] != NodeState::Infected {
+            if !self.host_state.is_infected(i) {
                 self.drop_queued_scans(i, tick, observer);
                 continue;
             }
@@ -649,7 +612,7 @@ impl<'w> Simulator<'w> {
                 }
                 self.delay_queues[i].pop_front();
                 self.accounting.worm.released += 1;
-                self.in_flight.push_back(Packet {
+                self.packets.insert(Packet {
                     kind: PacketKind::Worm,
                     src: NodeId::from(i),
                     current: NodeId::from(i),
@@ -682,7 +645,7 @@ impl<'w> Simulator<'w> {
             if self.packet_events {
                 observer.on_packet_emitted(tick, PacketKind::Background, src, dst);
             }
-            self.in_flight.push_back(Packet {
+            self.packets.insert(Packet {
                 kind: PacketKind::Background,
                 src,
                 current: src,
@@ -707,8 +670,11 @@ impl<'w> Simulator<'w> {
                 self.node_tokens[i] = (self.node_tokens[i] + cap).min(cap.max(1.0));
             }
         }
-        let mut retained = VecDeque::with_capacity(self.in_flight.len());
-        while let Some(mut p) = self.in_flight.pop_front() {
+        // Drain this tick's FIFO through the pool's recycled scratch
+        // queue: retained packets re-queue in order, finished packets
+        // return their slot to the free-list — no per-tick allocation.
+        self.packets.start_drain();
+        while let Some((slot, mut p)) = self.packets.next_drained() {
             let Some(next) = routing.next_hop(p.current, p.dst) else {
                 // Unroutable (disconnected topology): the packet leaves
                 // the network, and the ledger says so.
@@ -722,6 +688,7 @@ impl<'w> Simulator<'w> {
                         DropReason::Unroutable,
                     );
                 }
+                self.packets.release(slot);
                 continue;
             };
             let edge = graph
@@ -734,14 +701,14 @@ impl<'w> Simulator<'w> {
                 || self.link_down[edge.index()]
             {
                 self.accounting.kind_mut(p.kind).stalled_on_outage += 1;
-                retained.push_back(p);
+                self.packets.retain(slot, p);
                 continue;
             }
             // Link cap: needs a full token.
             let capped = self.link_caps[edge.index()].is_some();
             if capped && self.link_tokens[edge.index()] < 1.0 {
                 self.accounting.kind_mut(p.kind).stalled_on_cap += 1;
-                retained.push_back(p);
+                self.packets.retain(slot, p);
                 continue;
             }
             // Node transit cap (only charged when forwarding, not when
@@ -750,7 +717,7 @@ impl<'w> Simulator<'w> {
             let node_capped = transit && self.node_caps[p.current.index()].is_some();
             if node_capped && self.node_tokens[p.current.index()] < 1.0 {
                 self.accounting.kind_mut(p.kind).stalled_on_cap += 1;
-                retained.push_back(p);
+                self.packets.retain(slot, p);
                 continue;
             }
             if capped {
@@ -767,12 +734,14 @@ impl<'w> Simulator<'w> {
                 if self.packet_events {
                     observer.on_packet_dropped(tick, p.kind, p.current, p.dst, DropReason::LinkLoss);
                 }
+                self.packets.release(slot);
                 continue;
             }
             p.current = next;
             self.accounting.kind_mut(p.kind).forwarded += 1;
             if p.current == p.dst {
                 self.accounting.kind_mut(p.kind).delivered += 1;
+                self.packets.release(slot);
                 if self.packet_events {
                     observer.on_packet_delivered(tick, p.kind, p.src, p.dst);
                 }
@@ -797,10 +766,9 @@ impl<'w> Simulator<'w> {
                     }
                 }
             } else {
-                retained.push_back(p);
+                self.packets.retain(slot, p);
             }
         }
-        self.in_flight = retained;
     }
 
     /// Runs the simulation to its horizon and returns the result.
@@ -830,10 +798,10 @@ impl<'w> Simulator<'w> {
         let record =
             |sim: &Simulator<'_>, t: u64, inf: &mut TimeSeries, ev: &mut TimeSeries, im: &mut TimeSeries| {
                 sim.debug_check_census();
-                let i = sim.infected_count as f64 / hosts;
+                let i = sim.host_state.infected() as f64 / hosts;
                 inf.push(t as f64, i);
-                ev.push(t as f64, sim.ever_infected as f64 / hosts);
-                im.push(t as f64, sim.immunized_count as f64 / hosts);
+                ev.push(t as f64, sim.host_state.ever_infected() as f64 / hosts);
+                im.push(t as f64, sim.host_state.immunized() as f64 / hosts);
                 i
             };
 
@@ -872,14 +840,14 @@ impl<'w> Simulator<'w> {
             self.forward_packets(tick, observer);
             self.phases.add(Phase::ForwardPackets, t5.elapsed());
             infected_fraction = record(&self, tick, &mut infected, &mut ever, &mut immune);
-            backlog.push(tick as f64, self.in_flight.len() as f64);
+            backlog.push(tick as f64, self.packets.queued() as f64);
             observer.on_tick(
                 tick,
                 TickSnapshot {
-                    infected: self.infected_count,
-                    ever_infected: self.ever_infected,
-                    immunized: self.immunized_count,
-                    in_flight: self.in_flight.len(),
+                    infected: self.host_state.infected(),
+                    ever_infected: self.host_state.ever_infected(),
+                    immunized: self.host_state.immunized(),
+                    in_flight: self.packets.queued(),
                 },
             );
         }
@@ -888,9 +856,16 @@ impl<'w> Simulator<'w> {
         // Close the ledger: whatever is still moving or queued is the
         // end-of-run backlog, and with it every emission is accounted
         // for.
-        for p in &self.in_flight {
-            self.accounting.kind_mut(p.kind).in_flight_at_end += 1;
+        let mut worm_in_flight = 0;
+        let mut background_in_flight = 0;
+        for p in self.packets.iter_queued() {
+            match p.kind {
+                PacketKind::Worm => worm_in_flight += 1,
+                PacketKind::Background => background_in_flight += 1,
+            }
         }
+        self.accounting.worm.in_flight_at_end += worm_in_flight;
+        self.accounting.background.in_flight_at_end += background_in_flight;
         self.accounting.worm.queued_at_end = self
             .delay_queues
             .iter()
@@ -915,7 +890,7 @@ impl<'w> Simulator<'w> {
             false_quarantined_hosts: self.false_quarantined,
             lost_packets: self.accounting.worm.lost + self.accounting.background.lost,
             scan_log: std::mem::take(&mut self.scan_log),
-            residual_packets: self.in_flight.len() as u64,
+            residual_packets: self.packets.queued() as u64,
             background: self.background,
             accounting: self.accounting,
             phases: self.phases,

@@ -1,0 +1,327 @@
+//! Struct-of-arrays hot state for the tick loop.
+//!
+//! At 100k hosts the per-tick cost is dominated by two things the old
+//! engine representation made needlessly expensive:
+//!
+//! * **host state** lived in parallel `Vec`s spread across the
+//!   `Simulator` with census counters maintained at every call site —
+//!   here it is one [`HostStates`] struct of arrays whose transition
+//!   methods keep the counters consistent by construction;
+//! * **packets** lived in a `VecDeque<Packet>` that was drained and
+//!   rebuilt into a freshly allocated deque every tick — here a
+//!   [`PacketPool`] slab with a free-list and a recycled scratch queue
+//!   forwards packets with zero steady-state allocation while
+//!   preserving exact FIFO order (the order the token caps consume
+//!   budget in, so bit-identity depends on it).
+
+use crate::metrics::PacketKind;
+use dynaquar_topology::NodeId;
+use std::collections::VecDeque;
+
+/// Per-node infection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeState {
+    Susceptible,
+    Infected,
+    Immunized,
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Packet {
+    pub kind: PacketKind,
+    pub src: NodeId,
+    pub current: NodeId,
+    pub dst: NodeId,
+    /// Tick at which the packet entered the network.
+    pub emitted: u64,
+}
+
+/// Struct-of-arrays per-node epidemic state plus the incrementally
+/// maintained census.
+///
+/// Every state transition the engine performs is a method here, so the
+/// `infected`/`immunized`/`ever_infected` counters cannot drift from
+/// the arrays (cross-checked against a full scan by the simulator's
+/// debug census assertion).
+#[derive(Debug)]
+pub(crate) struct HostStates {
+    status: Vec<NodeState>,
+    /// Tick at which each currently infected node was infected (for
+    /// Welchia-style self-patching).
+    infected_since: Vec<u64>,
+    infected: usize,
+    immunized: usize,
+    ever_infected: usize,
+}
+
+impl HostStates {
+    pub fn new(n: usize) -> Self {
+        HostStates {
+            status: vec![NodeState::Susceptible; n],
+            infected_since: vec![0; n],
+            infected: 0,
+            immunized: 0,
+            ever_infected: 0,
+        }
+    }
+
+    #[inline]
+    pub fn status(&self, i: usize) -> NodeState {
+        self.status[i]
+    }
+
+    #[inline]
+    pub fn is_infected(&self, i: usize) -> bool {
+        self.status[i] == NodeState::Infected
+    }
+
+    #[inline]
+    pub fn infected_since(&self, i: usize) -> u64 {
+        self.infected_since[i]
+    }
+
+    pub fn infected(&self) -> usize {
+        self.infected
+    }
+
+    pub fn immunized(&self) -> usize {
+        self.immunized
+    }
+
+    pub fn ever_infected(&self) -> usize {
+        self.ever_infected
+    }
+
+    /// Seeds an initial infection (construction time, `infected_since`
+    /// stays 0).
+    pub fn seed(&mut self, i: usize) {
+        debug_assert_eq!(self.status[i], NodeState::Susceptible);
+        self.status[i] = NodeState::Infected;
+        self.infected += 1;
+        self.ever_infected += 1;
+    }
+
+    /// Infects a susceptible node at `tick`; returns whether the state
+    /// changed (infected/immunized nodes shrug the packet off).
+    pub fn infect(&mut self, i: usize, tick: u64) -> bool {
+        if self.status[i] != NodeState::Susceptible {
+            return false;
+        }
+        self.status[i] = NodeState::Infected;
+        self.infected_since[i] = tick;
+        self.infected += 1;
+        self.ever_infected += 1;
+        true
+    }
+
+    /// Immunizes a *susceptible* node (injected false-positive
+    /// quarantine); returns whether the state changed.
+    pub fn immunize_if_susceptible(&mut self, i: usize) -> bool {
+        if self.status[i] != NodeState::Susceptible {
+            return false;
+        }
+        self.status[i] = NodeState::Immunized;
+        self.immunized += 1;
+        true
+    }
+
+    /// Immunizes an *infected* node (self-patch, jitter-delayed
+    /// quarantine); returns whether the state changed.
+    pub fn immunize_infected(&mut self, i: usize) -> bool {
+        if self.status[i] != NodeState::Infected {
+            return false;
+        }
+        self.status[i] = NodeState::Immunized;
+        self.infected -= 1;
+        self.immunized += 1;
+        true
+    }
+
+    /// Immunizes a node known *not* to be immunized already (the
+    /// immunization sweep draws its random number first and only for
+    /// such nodes).
+    pub fn immunize_unpatched(&mut self, i: usize) {
+        let prev = self.status[i];
+        debug_assert_ne!(prev, NodeState::Immunized);
+        self.status[i] = NodeState::Immunized;
+        if prev == NodeState::Infected {
+            self.infected -= 1;
+        }
+        self.immunized += 1;
+    }
+
+    /// The dynamic-quarantine cut-off: an infected node becomes
+    /// immunized; a node already immunized earlier in the same emission
+    /// sweep stays immunized with no double count.
+    pub fn quarantine(&mut self, i: usize) {
+        if self.status[i] == NodeState::Infected {
+            self.infected -= 1;
+            self.immunized += 1;
+        }
+        self.status[i] = NodeState::Immunized;
+    }
+}
+
+/// Slab-allocated in-flight packet store with a free-list and recycled
+/// FIFO queues.
+///
+/// Packets are stored once in `slots`; the FIFO `queue` holds slot
+/// indices in network-arrival order. Each forwarding tick swaps the
+/// queue with a scratch deque and drains it, re-queuing retained
+/// packets and returning finished slots to the free-list — after the
+/// first few ticks the pool reaches its high-water mark and the hot
+/// loop never allocates.
+#[derive(Debug, Default)]
+pub(crate) struct PacketPool {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+    queue: VecDeque<u32>,
+    scratch: VecDeque<u32>,
+}
+
+impl PacketPool {
+    pub fn new() -> Self {
+        PacketPool::default()
+    }
+
+    /// Packets currently in flight.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admits a packet at the back of the FIFO.
+    pub fn insert(&mut self, p: Packet) {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = p;
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("fewer than 2^32 packets");
+                self.slots.push(p);
+                idx
+            }
+        };
+        self.queue.push_back(idx);
+    }
+
+    /// Starts a forwarding tick: moves the FIFO into the internal
+    /// drain cursor. Every packet must then be consumed via
+    /// [`PacketPool::next_drained`] and either
+    /// [`retained`](PacketPool::retain) or
+    /// [`released`](PacketPool::release).
+    pub fn start_drain(&mut self) {
+        debug_assert!(self.scratch.is_empty(), "previous drain not finished");
+        std::mem::swap(&mut self.queue, &mut self.scratch);
+    }
+
+    /// Next packet of the tick being drained, as `(slot, copy)`.
+    pub fn next_drained(&mut self) -> Option<(u32, Packet)> {
+        let idx = self.scratch.pop_front()?;
+        Some((idx, self.slots[idx as usize]))
+    }
+
+    /// Keeps a drained packet in flight (possibly advanced one hop),
+    /// preserving its FIFO position relative to other retained packets.
+    pub fn retain(&mut self, idx: u32, p: Packet) {
+        self.slots[idx as usize] = p;
+        self.queue.push_back(idx);
+    }
+
+    /// Removes a drained packet from the network, recycling its slot.
+    pub fn release(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+
+    /// In-flight packets in FIFO order.
+    pub fn iter_queued(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter().map(|&idx| &self.slots[idx as usize])
+    }
+
+    /// Capacity high-water mark (allocated slots, free or not).
+    #[cfg(test)]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(tag: u64) -> Packet {
+        Packet {
+            kind: PacketKind::Worm,
+            src: NodeId::new(0),
+            current: NodeId::new(0),
+            dst: NodeId::new(1),
+            emitted: tag,
+        }
+    }
+
+    #[test]
+    fn pool_preserves_fifo_order_across_drains() {
+        let mut pool = PacketPool::new();
+        for t in 0..5 {
+            pool.insert(packet(t));
+        }
+        // Drain keeping odd tags, dropping even ones.
+        pool.start_drain();
+        while let Some((idx, p)) = pool.next_drained() {
+            if p.emitted % 2 == 1 {
+                pool.retain(idx, p);
+            } else {
+                pool.release(idx);
+            }
+        }
+        pool.insert(packet(5));
+        let tags: Vec<u64> = pool.iter_queued().map(|p| p.emitted).collect();
+        assert_eq!(tags, vec![1, 3, 5]);
+        assert_eq!(pool.queued(), 3);
+    }
+
+    #[test]
+    fn pool_recycles_slots() {
+        let mut pool = PacketPool::new();
+        for t in 0..8 {
+            pool.insert(packet(t));
+        }
+        pool.start_drain();
+        while let Some((idx, _)) = pool.next_drained() {
+            pool.release(idx);
+        }
+        assert_eq!(pool.queued(), 0);
+        for t in 0..8 {
+            pool.insert(packet(100 + t));
+        }
+        // All eight re-inserted packets reused freed slots.
+        assert_eq!(pool.slot_count(), 8);
+        assert_eq!(pool.queued(), 8);
+    }
+
+    #[test]
+    fn host_state_transitions_keep_census() {
+        let mut h = HostStates::new(4);
+        h.seed(0);
+        assert!(h.infect(1, 3));
+        assert!(!h.infect(1, 9), "already infected");
+        assert_eq!(h.infected_since(1), 3);
+        assert_eq!((h.infected(), h.immunized(), h.ever_infected()), (2, 0, 2));
+
+        assert!(h.immunize_infected(0));
+        assert!(!h.immunize_infected(2), "susceptible is not infected");
+        assert!(h.immunize_if_susceptible(2));
+        assert!(!h.immunize_if_susceptible(2), "already immunized");
+        assert_eq!((h.infected(), h.immunized(), h.ever_infected()), (1, 2, 2));
+
+        h.quarantine(1);
+        h.quarantine(1); // idempotent on an already-immunized node
+        assert_eq!((h.infected(), h.immunized()), (0, 3));
+
+        h.immunize_unpatched(3);
+        assert_eq!(h.status(3), NodeState::Immunized);
+        assert_eq!(h.immunized(), 4);
+        assert!(!h.is_infected(3));
+    }
+}

@@ -3,21 +3,26 @@
 //! between simulation runs.
 
 use dynaquar_topology::generators::{StarTopology, SubnetId, SubnetTopology};
+use dynaquar_topology::lazy::RoutingKind;
 use dynaquar_topology::roles::{assign_by_degree, nodes_with_role, Role};
-use dynaquar_topology::routing::RoutingTable;
+use dynaquar_topology::routing::RoutingBackend;
 use dynaquar_topology::{Graph, NodeId};
 
 /// A topology prepared for simulation: graph, shortest-path routing,
 /// per-node roles, the infectable host set, and (optional) subnet
 /// membership for local-preferential worms.
 ///
-/// Building a `World` is the expensive part (all-pairs BFS); individual
-/// simulation runs borrow it immutably, so multi-run averaging shares one
-/// `World` across threads.
+/// Routing lives behind a [`RoutingBackend`]: [`RoutingKind::Auto`]
+/// (the default for every constructor) keeps paper-scale worlds on the
+/// dense all-pairs table and switches large worlds to the lazy
+/// memory-bounded backend, so constructing a 100k-node world no longer
+/// forces the `O(n²)` table. Individual simulation runs borrow the
+/// world immutably, so multi-run averaging shares one `World` across
+/// threads.
 #[derive(Debug)]
 pub struct World {
     graph: Graph,
-    routing: RoutingTable,
+    routing: Box<dyn RoutingBackend>,
     roles: Vec<Role>,
     hosts: Vec<NodeId>,
     subnet_of: Vec<Option<SubnetId>>,
@@ -25,18 +30,28 @@ pub struct World {
 }
 
 impl World {
-    /// Prepares a world from a raw graph and explicit roles.
+    /// Prepares a world from a raw graph and explicit roles, choosing
+    /// the routing backend automatically ([`RoutingKind::Auto`]).
     ///
     /// # Panics
     ///
     /// Panics if `roles.len() != graph.node_count()`.
     pub fn new(graph: Graph, roles: Vec<Role>) -> Self {
+        World::new_with(graph, roles, RoutingKind::Auto)
+    }
+
+    /// [`World::new`] with an explicit routing backend choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roles.len() != graph.node_count()`.
+    pub fn new_with(graph: Graph, roles: Vec<Role>, routing: RoutingKind) -> Self {
         assert_eq!(
             roles.len(),
             graph.node_count(),
             "one role per node required"
         );
-        let routing = RoutingTable::shortest_paths(&graph);
+        let routing = routing.build(&graph);
         let hosts = nodes_with_role(&roles, Role::EndHost);
         let n = graph.node_count();
         World {
@@ -58,8 +73,18 @@ impl World {
     /// local-preferential worms a meaningful notion of "local" on the
     /// flat AS-level graph.
     pub fn from_power_law(graph: Graph, backbone_fraction: f64, edge_fraction: f64) -> Self {
+        World::from_power_law_with(graph, backbone_fraction, edge_fraction, RoutingKind::Auto)
+    }
+
+    /// [`World::from_power_law`] with an explicit routing backend choice.
+    pub fn from_power_law_with(
+        graph: Graph,
+        backbone_fraction: f64,
+        edge_fraction: f64,
+        routing: RoutingKind,
+    ) -> Self {
         let roles = assign_by_degree(&graph, backbone_fraction, edge_fraction);
-        let mut world = World::new(graph, roles);
+        let mut world = World::new_with(graph, roles, routing);
         world.assign_subnets_by_nearest_edge_router();
         world
     }
@@ -107,18 +132,28 @@ impl World {
     /// Prepares a world from a star topology. The hub is a router
     /// ([`Role::EdgeRouter`]); every leaf is an infectable host.
     pub fn from_star(star: StarTopology) -> Self {
+        World::from_star_with(star, RoutingKind::Auto)
+    }
+
+    /// [`World::from_star`] with an explicit routing backend choice.
+    pub fn from_star_with(star: StarTopology, routing: RoutingKind) -> Self {
         let mut roles = vec![Role::EndHost; star.graph.node_count()];
         roles[star.hub.index()] = Role::EdgeRouter;
-        World::new(star.graph, roles)
+        World::new_with(star.graph, roles, routing)
     }
 
     /// Prepares a world from a hierarchical subnet topology, keeping its
     /// roles and subnet membership (enables local-preferential worms).
     pub fn from_subnets(topo: SubnetTopology) -> Self {
+        World::from_subnets_with(topo, RoutingKind::Auto)
+    }
+
+    /// [`World::from_subnets`] with an explicit routing backend choice.
+    pub fn from_subnets_with(topo: SubnetTopology, routing: RoutingKind) -> Self {
         let subnet_hosts: Vec<Vec<NodeId>> = (0..topo.subnets)
             .map(|k| topo.hosts_of(SubnetId::new(k as u32)).collect())
             .collect();
-        let routing = RoutingTable::shortest_paths(&topo.graph);
+        let routing = routing.build(&topo.graph);
         let hosts = nodes_with_role(&topo.roles, Role::EndHost);
         World {
             graph: topo.graph,
@@ -135,9 +170,9 @@ impl World {
         &self.graph
     }
 
-    /// The shortest-path routing table.
-    pub fn routing(&self) -> &RoutingTable {
-        &self.routing
+    /// The shortest-path routing backend.
+    pub fn routing(&self) -> &dyn RoutingBackend {
+        self.routing.as_ref()
     }
 
     /// Per-node roles.

@@ -168,3 +168,65 @@ fn kitchen_sink_fault_plan_is_bit_identical() {
     assert_eq!(r.residual_packets, 0);
     assert_conserved(&r);
 }
+
+/// The n = 1000 power-law fingerprint run under a chosen routing
+/// backend: rate-limited hosts plus detection-driven quarantine on the
+/// paper's AS-level topology family.
+fn power_law_1000_run(routing: dynaquar_topology::lazy::RoutingKind) -> SimResult {
+    let g = generators::barabasi_albert(1000, 2, 3).unwrap();
+    let w = World::from_power_law_with(g, 0.05, 0.10, routing);
+    let hosts = w.hosts().to_vec();
+    let mut plan = RateLimitPlan::none();
+    plan.filter_hosts(&hosts, HostFilter::delaying(200, 2, 12));
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(120)
+        .initial_infected(4)
+        .plan(plan)
+        .quarantine(QuarantineConfig { queue_threshold: 4 })
+        .build()
+        .unwrap();
+    Simulator::new(&w, &cfg, WormBehavior::random(), 17).run()
+}
+
+/// The n = 1000 pinned fingerprint, shared by both backend tests below:
+/// the same constants on purpose — the lazy backend must reproduce the
+/// dense run bit for bit.
+fn assert_power_law_1000_fingerprint(r: &SimResult) {
+    pin("infected", series_sum(&r.infected_fraction), "5.97882352941176531e0");
+    pin("ever", series_sum(&r.ever_infected_fraction), "6.86505882352939807e1");
+    pin("immunized", series_sum(&r.immunized_fraction), "6.26717647058822322e1");
+    pin("backlog", series_sum(&r.backlog), "4.44300000000000000e3");
+    assert_eq!(r.delivered_packets, 1346);
+    assert_eq!(r.filtered_packets, 0);
+    assert_eq!(r.delayed_packets, 2668);
+    assert_eq!(r.quarantined_hosts, 667);
+    assert_eq!(r.residual_packets, 0);
+    assert_conserved(r);
+}
+
+#[test]
+fn power_law_1000_dense_backend_is_bit_identical() {
+    let r = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Dense);
+    assert_power_law_1000_fingerprint(&r);
+}
+
+#[test]
+fn power_law_1000_lazy_backend_is_bit_identical() {
+    // An 87-destination cache on a 1000-node world: far under the
+    // active destination set, so the run exercises constant eviction
+    // and recomputation — and still reproduces the dense fingerprint.
+    let r = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Lazy {
+        max_cached_destinations: 87,
+    });
+    assert_power_law_1000_fingerprint(&r);
+}
+
+#[test]
+fn power_law_1000_backends_produce_equal_results() {
+    let dense = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Dense);
+    let lazy = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Lazy {
+        max_cached_destinations: 87,
+    });
+    assert_eq!(dense, lazy, "routing backends diverged on the n=1000 run");
+}

@@ -1,0 +1,480 @@
+//! Memory-bounded lazy routing: per-destination BFS behind a bounded
+//! LRU cache.
+//!
+//! The dense [`RoutingTable`](crate::routing::RoutingTable) costs
+//! `8·n²` bytes — ~800 MB at 10k nodes and ~80 GB at 100k — so it cannot
+//! even be *constructed* for the topologies the production-scale engine
+//! targets. [`LazyRouting`] stores nothing up front: the first query
+//! toward a destination runs one BFS rooted at that destination
+//! (`O(n + m)`, `8·n` bytes) and caches its parent/distance arrays; a
+//! bounded LRU evicts the coldest destination when full, recycling its
+//! buffers into the next computation so steady-state routing allocates
+//! nothing.
+//!
+//! **Equivalence contract:** the per-destination BFS is the *same loop*
+//! the dense table runs per destination — same root, same adjacency
+//! iteration order, same parent assignment — so for every ordered pair
+//! both backends return identical `next_hop` and `distance` (including
+//! `None` on disconnected pairs). `tests/routing_equivalence.rs` proves
+//! this property over random star / Barabási–Albert / Waxman / GLP /
+//! hierarchical / disconnected graphs, and the netsim fingerprint suite
+//! pins full-simulation bit-identity at the paper's n = 1000.
+
+use crate::error::Error;
+use crate::graph::{Graph, NodeId};
+use crate::routing::{RoutingBackend, RoutingTable, NO_HOP};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Which routing backend a world should use.
+///
+/// `Auto` keeps the paper-scale worlds (n ≤ [`DENSE_AUTO_LIMIT`]) on the
+/// dense all-pairs table — bit-for-bit the pre-existing behaviour — and
+/// switches larger worlds to the lazy backend with a capacity sized by
+/// [`default_cache_capacity`], so world construction never forces the
+/// `O(n²)` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// Dense below [`DENSE_AUTO_LIMIT`] nodes, lazy above.
+    Auto,
+    /// Always precompute the dense all-pairs table.
+    Dense,
+    /// Always use the lazy backend with this many cached destinations
+    /// (clamped to at least 1).
+    Lazy {
+        /// Maximum number of destinations whose BFS arrays stay cached.
+        max_cached_destinations: usize,
+    },
+}
+
+/// Node count at and below which [`RoutingKind::Auto`] picks the dense
+/// table (`8·n²` = 134 MB right at the limit).
+pub const DENSE_AUTO_LIMIT: usize = 4096;
+
+/// Memory budget [`RoutingKind::Auto`] grants the lazy cache.
+pub const AUTO_CACHE_BUDGET_BYTES: usize = 256 << 20;
+
+/// The LRU capacity [`RoutingKind::Auto`] uses for an `n`-node graph:
+/// as many destinations as fit [`AUTO_CACHE_BUDGET_BYTES`] (each costs
+/// `8·n` bytes), at least 8, at most `n`.
+pub fn default_cache_capacity(n: usize) -> usize {
+    let per_destination = 8 * n.max(1) + 64;
+    (AUTO_CACHE_BUDGET_BYTES / per_destination).clamp(8, n.max(8))
+}
+
+impl RoutingKind {
+    /// Resolves `Auto` against a concrete node count.
+    pub fn resolve(self, n: usize) -> RoutingKind {
+        match self {
+            RoutingKind::Auto => {
+                if n <= DENSE_AUTO_LIMIT {
+                    RoutingKind::Dense
+                } else {
+                    RoutingKind::Lazy {
+                        max_cached_destinations: default_cache_capacity(n),
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Builds the backend for `graph`.
+    pub fn build(self, graph: &Graph) -> Box<dyn RoutingBackend> {
+        match self.resolve(graph.node_count()) {
+            RoutingKind::Dense => Box::new(RoutingTable::shortest_paths(graph)),
+            RoutingKind::Lazy {
+                max_cached_destinations,
+            } => Box::new(LazyRouting::new(graph, max_cached_destinations)),
+            RoutingKind::Auto => unreachable!("resolve() eliminates Auto"),
+        }
+    }
+}
+
+/// One destination's BFS tree: `next_hop[src]` is src's first hop toward
+/// the destination, `distance[src]` the hop count (`NO_HOP`/`u32::MAX`
+/// when unreachable).
+struct DestRoutes {
+    next_hop: Vec<u32>,
+    distance: Vec<u32>,
+}
+
+struct Slot {
+    routes: DestRoutes,
+    last_used: u64,
+}
+
+/// Cache hit/miss/eviction counters, for benchmarks and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries served from a cached destination.
+    pub hits: u64,
+    /// Queries that had to run a BFS.
+    pub misses: u64,
+    /// Cached destinations discarded to make room.
+    pub evictions: u64,
+}
+
+struct DestCache {
+    map: HashMap<u32, Slot>,
+    clock: u64,
+    stats: CacheStats,
+    /// Recycled arrays from evicted slots: steady-state misses reuse
+    /// them instead of allocating 8·n fresh bytes.
+    spare: Vec<DestRoutes>,
+    /// Reusable BFS frontier.
+    queue: VecDeque<NodeId>,
+}
+
+/// Memory-bounded shortest-path routing: lazily computed per-destination
+/// BFS parent arrays behind a bounded LRU.
+///
+/// # Example
+///
+/// ```
+/// use dynaquar_topology::generators;
+/// use dynaquar_topology::lazy::LazyRouting;
+/// use dynaquar_topology::routing::{RoutingBackend, RoutingTable};
+///
+/// let star = generators::star(4).expect("valid");
+/// let lazy = LazyRouting::new(&star.graph, 2);
+/// let dense = RoutingTable::shortest_paths(&star.graph);
+/// assert_eq!(
+///     RoutingBackend::next_hop(&lazy, 1.into(), 2.into()),
+///     dense.next_hop(1.into(), 2.into()),
+/// );
+/// ```
+pub struct LazyRouting {
+    n: usize,
+    /// Own copy of the adjacency lists (`O(n + m)`), so the backend is
+    /// self-contained like the dense table.
+    adjacency: Vec<Vec<NodeId>>,
+    capacity: usize,
+    cache: Mutex<DestCache>,
+}
+
+impl std::fmt::Debug for LazyRouting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cache = self.cache.lock().expect("routing cache poisoned");
+        f.debug_struct("LazyRouting")
+            .field("nodes", &self.n)
+            .field("capacity", &self.capacity)
+            .field("cached", &cache.map.len())
+            .field("stats", &cache.stats)
+            .finish()
+    }
+}
+
+impl LazyRouting {
+    /// Creates the backend over `graph` with room for `capacity` cached
+    /// destinations (clamped to at least 1).
+    pub fn new(graph: &Graph, capacity: usize) -> Self {
+        let n = graph.node_count();
+        let adjacency = graph.nodes().map(|u| graph.neighbors(u).to_vec()).collect();
+        LazyRouting {
+            n,
+            adjacency,
+            capacity: capacity.max(1),
+            cache: Mutex::new(DestCache {
+                map: HashMap::new(),
+                clock: 0,
+                stats: CacheStats::default(),
+                spare: Vec::new(),
+                queue: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The configured LRU capacity, in destinations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Upper bound on the bytes the cache can pin (`capacity · 8·n`).
+    pub fn memory_bound_bytes(&self) -> usize {
+        self.capacity * 8 * self.n
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("routing cache poisoned").stats
+    }
+
+    /// Destinations currently cached.
+    pub fn cached_destinations(&self) -> usize {
+        self.cache.lock().expect("routing cache poisoned").map.len()
+    }
+
+    fn check_nodes(&self, src: NodeId, dst: NodeId) -> Result<(), Error> {
+        for node in [src, dst] {
+            if node.index() >= self.n {
+                return Err(Error::NodeOutOfRange {
+                    node,
+                    node_count: self.n,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `f` against the BFS arrays rooted at `dst`, computing and
+    /// caching them if absent.
+    fn with_routes<R>(&self, dst: NodeId, f: impl FnOnce(&DestRoutes) -> R) -> R {
+        let mut cache = self.cache.lock().expect("routing cache poisoned");
+        let cache = &mut *cache;
+        cache.clock += 1;
+        let stamp = cache.clock;
+        let key = dst.index() as u32;
+        if let Some(slot) = cache.map.get_mut(&key) {
+            slot.last_used = stamp;
+            cache.stats.hits += 1;
+            return f(&slot.routes);
+        }
+        cache.stats.misses += 1;
+        if cache.map.len() >= self.capacity {
+            // Evict the least-recently-used destination; the scan is
+            // O(capacity), dwarfed by the O(n + m) BFS that follows.
+            let coldest = cache
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(&k, _)| k)
+                .expect("cache is non-empty at capacity");
+            let slot = cache.map.remove(&coldest).expect("key just found");
+            cache.stats.evictions += 1;
+            cache.spare.push(slot.routes);
+        }
+        let mut routes = cache.spare.pop().unwrap_or_else(|| DestRoutes {
+            next_hop: Vec::new(),
+            distance: Vec::new(),
+        });
+        self.bfs_into(dst, &mut routes, &mut cache.queue);
+        let result = f(&routes);
+        cache.map.insert(
+            key,
+            Slot {
+                routes,
+                last_used: stamp,
+            },
+        );
+        result
+    }
+
+    /// One BFS rooted at `dst` — the identical loop body
+    /// [`RoutingTable::shortest_paths`] runs per destination, so the
+    /// resulting `next_hop`/`distance` match the dense table exactly.
+    fn bfs_into(&self, dst: NodeId, routes: &mut DestRoutes, queue: &mut VecDeque<NodeId>) {
+        routes.next_hop.clear();
+        routes.next_hop.resize(self.n, NO_HOP);
+        routes.distance.clear();
+        routes.distance.resize(self.n, u32::MAX);
+        routes.distance[dst.index()] = 0;
+        queue.clear();
+        queue.push_back(dst);
+        while let Some(u) = queue.pop_front() {
+            let du = routes.distance[u.index()];
+            for &v in &self.adjacency[u.index()] {
+                if routes.distance[v.index()] == u32::MAX {
+                    routes.distance[v.index()] = du + 1;
+                    routes.next_hop[v.index()] = u.index() as u32;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+impl RoutingBackend for LazyRouting {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn try_next_hop(&self, src: NodeId, dst: NodeId) -> Result<Option<NodeId>, Error> {
+        self.check_nodes(src, dst)?;
+        if src == dst {
+            return Ok(None);
+        }
+        let hop = self.with_routes(dst, |r| r.next_hop[src.index()]);
+        Ok((hop != NO_HOP).then(|| NodeId::new(hop)))
+    }
+
+    fn try_distance(&self, src: NodeId, dst: NodeId) -> Result<Option<u32>, Error> {
+        self.check_nodes(src, dst)?;
+        let d = self.with_routes(dst, |r| r.distance[src.index()]);
+        Ok((d != u32::MAX).then_some(d))
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "lazy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn assert_pairwise_identical(g: &Graph, capacity: usize) {
+        let dense = RoutingTable::shortest_paths(g);
+        let lazy = LazyRouting::new(g, capacity);
+        let n = g.node_count();
+        for src in 0..n {
+            for dst in 0..n {
+                let (s, d) = (NodeId::from(src), NodeId::from(dst));
+                assert_eq!(
+                    RoutingBackend::next_hop(&lazy, s, d),
+                    dense.next_hop(s, d),
+                    "next_hop({s}, {d})"
+                );
+                assert_eq!(
+                    RoutingBackend::distance(&lazy, s, d),
+                    dense.distance(s, d),
+                    "distance({s}, {d})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_star_even_with_tiny_cache() {
+        let star = generators::star(12).unwrap();
+        assert_pairwise_identical(&star.graph, 1);
+    }
+
+    #[test]
+    fn matches_dense_on_power_law() {
+        let g = generators::barabasi_albert(80, 2, 5).unwrap();
+        assert_pairwise_identical(&g, 7);
+    }
+
+    #[test]
+    fn matches_dense_on_disconnected_graph() {
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(0.into(), 1.into()).unwrap();
+        g.add_edge(1.into(), 2.into()).unwrap();
+        g.add_edge(3.into(), 4.into()).unwrap();
+        assert_pairwise_identical(&g, 2);
+        let lazy = LazyRouting::new(&g, 2);
+        assert_eq!(lazy.try_next_hop(0.into(), 4.into()).unwrap(), None);
+        assert_eq!(lazy.try_distance(5.into(), 0.into()).unwrap(), None);
+    }
+
+    #[test]
+    fn derived_walks_match_dense() {
+        let g = generators::barabasi_albert(40, 2, 9).unwrap();
+        let dense = RoutingTable::shortest_paths(&g);
+        let lazy = LazyRouting::new(&g, 5);
+        assert_eq!(RoutingBackend::diameter(&lazy), dense.diameter());
+        assert!(
+            (RoutingBackend::average_path_length(&lazy) - dense.average_path_length()).abs()
+                < 1e-12
+        );
+        assert_eq!(RoutingBackend::link_loads(&lazy, &g), dense.link_loads(&g));
+        assert_eq!(
+            RoutingBackend::path(&lazy, 3.into(), 31.into()),
+            dense.path(3.into(), 31.into())
+        );
+    }
+
+    #[test]
+    fn cache_is_bounded_and_recycles() {
+        let g = generators::barabasi_albert(50, 2, 3).unwrap();
+        let lazy = LazyRouting::new(&g, 4);
+        for dst in 0..50usize {
+            let _ = RoutingBackend::distance(&lazy, 0.into(), dst.into());
+        }
+        assert!(lazy.cached_destinations() <= 4);
+        let stats = lazy.cache_stats();
+        assert_eq!(stats.misses, 50);
+        assert_eq!(stats.evictions, 46);
+        assert_eq!(lazy.memory_bound_bytes(), 4 * 8 * 50);
+        // Re-query the hot destinations: all hits.
+        for dst in 46..50usize {
+            let _ = RoutingBackend::distance(&lazy, 1.into(), dst.into());
+        }
+        assert_eq!(lazy.cache_stats().hits, stats.hits + 4);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_destinations() {
+        let g = generators::ring(8).unwrap();
+        let lazy = LazyRouting::new(&g, 2);
+        let _ = RoutingBackend::distance(&lazy, 0.into(), 1.into()); // miss: {1}
+        let _ = RoutingBackend::distance(&lazy, 0.into(), 2.into()); // miss: {1, 2}
+        let _ = RoutingBackend::distance(&lazy, 3.into(), 1.into()); // hit, 1 freshest
+        let _ = RoutingBackend::distance(&lazy, 0.into(), 5.into()); // miss, evicts 2
+        let stats = lazy.cache_stats();
+        let _ = RoutingBackend::distance(&lazy, 4.into(), 1.into()); // still a hit
+        assert_eq!(lazy.cache_stats().hits, stats.hits + 1);
+        let _ = RoutingBackend::distance(&lazy, 4.into(), 2.into()); // evicted: a miss
+        assert_eq!(lazy.cache_stats().misses, stats.misses + 1);
+    }
+
+    #[test]
+    fn out_of_range_queries_error() {
+        let g = generators::ring(4).unwrap();
+        let lazy = LazyRouting::new(&g, 2);
+        let bad = NodeId::new(9);
+        assert_eq!(
+            lazy.try_next_hop(bad, 0.into()),
+            Err(Error::NodeOutOfRange {
+                node: bad,
+                node_count: 4
+            })
+        );
+        assert!(lazy.try_distance(0.into(), bad).is_err());
+        assert!(lazy.try_path(bad, bad).is_err());
+    }
+
+    #[test]
+    fn auto_kind_resolves_by_size() {
+        assert_eq!(RoutingKind::Auto.resolve(1000), RoutingKind::Dense);
+        assert_eq!(RoutingKind::Auto.resolve(DENSE_AUTO_LIMIT), RoutingKind::Dense);
+        match RoutingKind::Auto.resolve(DENSE_AUTO_LIMIT + 1) {
+            RoutingKind::Lazy {
+                max_cached_destinations,
+            } => assert_eq!(
+                max_cached_destinations,
+                default_cache_capacity(DENSE_AUTO_LIMIT + 1)
+            ),
+            other => panic!("expected lazy, got {other:?}"),
+        }
+        assert_eq!(
+            RoutingKind::Dense.resolve(1_000_000),
+            RoutingKind::Dense,
+            "explicit kinds resolve to themselves"
+        );
+    }
+
+    #[test]
+    fn default_capacity_fits_the_budget() {
+        for n in [5_000usize, 20_000, 100_000, 1_000_000] {
+            let cap = default_cache_capacity(n);
+            assert!(cap >= 8);
+            assert!(cap * 8 * n <= AUTO_CACHE_BUDGET_BYTES + 8 * n,
+                "cache bound blown at n={n}: {cap}");
+        }
+        // Tiny graphs clamp to n-or-8, never zero.
+        assert!(default_cache_capacity(1) >= 1);
+    }
+
+    #[test]
+    fn kind_build_picks_the_right_backend() {
+        let g = generators::ring(16).unwrap();
+        assert_eq!(RoutingKind::Auto.build(&g).backend_name(), "dense");
+        assert_eq!(RoutingKind::Dense.build(&g).backend_name(), "dense");
+        let lazy = RoutingKind::Lazy {
+            max_cached_destinations: 3,
+        }
+        .build(&g);
+        assert_eq!(lazy.backend_name(), "lazy");
+        assert_eq!(lazy.node_count(), 16);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g = generators::ring(4).unwrap();
+        let lazy = LazyRouting::new(&g, 2);
+        assert!(!format!("{lazy:?}").is_empty());
+    }
+}

@@ -6,7 +6,7 @@
 //! fraction of ordered host pairs whose route is covered.
 
 use crate::graph::{Graph, NodeId};
-use crate::routing::RoutingTable;
+use crate::routing::RoutingBackend;
 
 /// Fraction of ordered pairs (drawn from `endpoints`) whose shortest path
 /// passes through at least one node of `filtered` — counting intermediate
@@ -17,11 +17,16 @@ use crate::routing::RoutingTable;
 ///
 /// Returns `0.0` when `endpoints` has fewer than two nodes.
 ///
+/// Iterates destination-outer so a cache-backed [`RoutingBackend`] (the
+/// lazy LRU) serves each destination from a single BFS; the covered-pair
+/// count is a sum over ordered pairs, so the loop order cannot change
+/// the result.
+///
 /// # Panics
 ///
-/// Panics if any node id is out of range for the routing table.
+/// Panics if any node id is out of range for the routing backend.
 pub fn node_coverage(
-    routing: &RoutingTable,
+    routing: &dyn RoutingBackend,
     endpoints: &[NodeId],
     filtered: &[NodeId],
     count_endpoints: bool,
@@ -36,8 +41,8 @@ pub fn node_coverage(
     }
     let mut covered = 0u64;
     let mut total = 0u64;
-    for &src in endpoints {
-        for &dst in endpoints {
+    for &dst in endpoints {
+        for &src in endpoints {
             if src == dst {
                 continue;
             }
@@ -70,13 +75,16 @@ pub fn node_coverage(
 ///
 /// Returns `0.0` when `endpoints` has fewer than two nodes.
 ///
+/// Iterates destination-outer for the same cache-friendliness reason as
+/// [`node_coverage`].
+///
 /// # Panics
 ///
 /// Panics if the mask length differs from the graph's edge count, or a
 /// node id is out of range.
 pub fn link_coverage(
     graph: &Graph,
-    routing: &RoutingTable,
+    routing: &dyn RoutingBackend,
     endpoints: &[NodeId],
     filtered_edges: &[bool],
 ) -> f64 {
@@ -90,8 +98,8 @@ pub fn link_coverage(
     }
     let mut covered = 0u64;
     let mut total = 0u64;
-    for &src in endpoints {
-        for &dst in endpoints {
+    for &dst in endpoints {
+        for &src in endpoints {
             if src == dst {
                 continue;
             }
@@ -119,6 +127,7 @@ mod tests {
     use super::*;
     use crate::generators;
     use crate::roles::{assign_by_degree, nodes_with_role, Role};
+    use crate::routing::RoutingTable;
 
     #[test]
     fn star_hub_covers_all_leaf_pairs() {

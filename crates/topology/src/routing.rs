@@ -6,13 +6,249 @@
 //! occupies". [`RoutingTable`] precomputes all-pairs next hops by running
 //! one BFS per node, and [`RoutingTable::link_loads`] counts, for every
 //! link, how many ordered node pairs route across it.
+//!
+//! Routing is consumed through the [`RoutingBackend`] trait, which the
+//! dense table implements alongside the memory-bounded
+//! [`LazyRouting`](crate::lazy::LazyRouting) backend; both produce
+//! bit-identical next hops because each runs the same BFS (neighbors in
+//! adjacency order) rooted at the destination.
 
 use crate::error::Error;
 use crate::graph::{EdgeId, Graph, NodeId};
 use std::collections::VecDeque;
 
 /// Sentinel meaning "no route / self".
-const NO_HOP: u32 = u32::MAX;
+pub(crate) const NO_HOP: u32 = u32::MAX;
+
+/// A shortest-path routing oracle over a fixed graph.
+///
+/// Implementations must answer next-hop and distance queries for every
+/// ordered node pair, and must agree with a BFS rooted at the
+/// destination that visits neighbors in adjacency order — the contract
+/// that makes every backend bit-identical to [`RoutingTable`] (the
+/// differential suite in `tests/routing_equivalence.rs` enforces it).
+///
+/// The derived walks ([`path`](RoutingBackend::try_path),
+/// [`link_loads`](RoutingBackend::link_loads),
+/// [`diameter`](RoutingBackend::diameter), …) have default
+/// implementations in terms of the two required queries; they iterate
+/// destination-outer so cache-backed implementations serve each
+/// destination from one BFS.
+pub trait RoutingBackend: std::fmt::Debug + Send + Sync {
+    /// Number of nodes the backend covers.
+    fn node_count(&self) -> usize;
+
+    /// The first hop from `src` toward `dst` (`None` when unreachable or
+    /// `src == dst`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeOutOfRange`] when either node does not exist.
+    fn try_next_hop(&self, src: NodeId, dst: NodeId) -> Result<Option<NodeId>, Error>;
+
+    /// Hop distance from `src` to `dst` (`None` when unreachable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeOutOfRange`] when either node does not exist.
+    fn try_distance(&self, src: NodeId, dst: NodeId) -> Result<Option<u32>, Error>;
+
+    /// A short static label for reports and benchmarks ("dense", "lazy").
+    fn backend_name(&self) -> &'static str;
+
+    /// Panicking variant of [`RoutingBackend::try_next_hop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        match self.try_next_hop(src, dst) {
+            Ok(hop) => hop,
+            Err(e) => panic!("node out of range: {e}"),
+        }
+    }
+
+    /// Panicking variant of [`RoutingBackend::try_distance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    fn distance(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        match self.try_distance(src, dst) {
+            Ok(d) => d,
+            Err(e) => panic!("node out of range: {e}"),
+        }
+    }
+
+    /// The full path from `src` to `dst`, inclusive of both endpoints
+    /// (`None` when unreachable; `Some(vec![src])` when `src == dst`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeOutOfRange`] when either node does not exist.
+    fn try_path(&self, src: NodeId, dst: NodeId) -> Result<Option<Vec<NodeId>>, Error> {
+        if src == dst {
+            // Validate both anyway so out-of-range self-queries error.
+            self.try_distance(src, dst)?;
+            return Ok(Some(vec![src]));
+        }
+        if self.try_distance(src, dst)?.is_none() {
+            return Ok(None);
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self
+                .try_next_hop(cur, dst)?
+                .expect("invariant: finite distance implies a next hop");
+            path.push(cur);
+        }
+        Ok(Some(path))
+    }
+
+    /// Panicking variant of [`RoutingBackend::try_path`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        match self.try_path(src, dst) {
+            Ok(p) => p,
+            Err(e) => panic!("node out of range: {e}"),
+        }
+    }
+
+    /// The edges along the route from `src` to `dst` (empty when
+    /// `src == dst` or unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    fn path_edges(&self, graph: &Graph, src: NodeId, dst: NodeId) -> Vec<EdgeId> {
+        match self.path(src, dst) {
+            None => Vec::new(),
+            Some(p) => p
+                .windows(2)
+                .map(|w| graph.edge_between(w[0], w[1]).expect("consecutive hops"))
+                .collect(),
+        }
+    }
+
+    /// Counts, for each edge, how many *ordered* node pairs route across
+    /// it — the paper's "routing table entries" link weight.
+    ///
+    /// Cost is `O(n² · diameter)` next-hop queries, walked
+    /// destination-outer so a lazily cached backend pays one BFS per
+    /// destination.
+    fn link_loads(&self, graph: &Graph) -> Vec<u64> {
+        let n = self.node_count();
+        let mut loads = vec![0u64; graph.edge_count()];
+        for dst in 0..n {
+            let d = NodeId::from(dst);
+            for src in 0..n {
+                if src == dst {
+                    continue;
+                }
+                let s = NodeId::from(src);
+                if self.distance(s, d).is_none() {
+                    continue;
+                }
+                let mut cur = s;
+                while cur != d {
+                    let nxt = self.next_hop(cur, d).expect("finite distance");
+                    let edge = graph
+                        .edge_between(cur, nxt)
+                        .expect("next hop is a neighbor");
+                    loads[edge.index()] += 1;
+                    cur = nxt;
+                }
+            }
+        }
+        loads
+    }
+
+    /// Average shortest-path length over all reachable ordered pairs.
+    fn average_path_length(&self) -> f64 {
+        let n = self.node_count();
+        let mut total = 0u64;
+        let mut pairs = 0u64;
+        for dst in 0..n {
+            for src in 0..n {
+                if src == dst {
+                    continue;
+                }
+                if let Some(d) = self.distance(NodeId::from(src), NodeId::from(dst)) {
+                    total += u64::from(d);
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            total as f64 / pairs as f64
+        }
+    }
+
+    /// The network diameter: the longest finite shortest-path distance
+    /// over all ordered pairs (`None` for graphs with < 2 nodes or no
+    /// reachable pairs).
+    fn diameter(&self) -> Option<u32> {
+        let n = self.node_count();
+        let mut max: Option<u32> = None;
+        for dst in 0..n {
+            for src in 0..n {
+                if src == dst {
+                    continue;
+                }
+                if let Some(d) = self.distance(NodeId::from(src), NodeId::from(dst)) {
+                    max = Some(max.map_or(d, |m| m.max(d)));
+                }
+            }
+        }
+        max
+    }
+}
+
+impl RoutingBackend for RoutingTable {
+    fn node_count(&self) -> usize {
+        RoutingTable::node_count(self)
+    }
+
+    fn try_next_hop(&self, src: NodeId, dst: NodeId) -> Result<Option<NodeId>, Error> {
+        RoutingTable::try_next_hop(self, src, dst)
+    }
+
+    fn try_distance(&self, src: NodeId, dst: NodeId) -> Result<Option<u32>, Error> {
+        RoutingTable::try_distance(self, src, dst)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "dense"
+    }
+
+    // Route the dyn-dispatched derived queries to the dense inherent
+    // implementations, which read the precomputed arrays directly.
+    fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        RoutingTable::next_hop(self, src, dst)
+    }
+
+    fn distance(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        RoutingTable::distance(self, src, dst)
+    }
+
+    fn link_loads(&self, graph: &Graph) -> Vec<u64> {
+        RoutingTable::link_loads(self, graph)
+    }
+
+    fn average_path_length(&self) -> f64 {
+        RoutingTable::average_path_length(self)
+    }
+
+    fn diameter(&self) -> Option<u32> {
+        RoutingTable::diameter(self)
+    }
+}
 
 /// All-pairs next-hop routing table.
 ///

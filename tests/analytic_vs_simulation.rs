@@ -123,6 +123,114 @@ fn hub_cap_reproduces_equation_five_saturation() {
     assert!(infected_per_tick < 3.0, "cap of 2/tick exceeded: {infected_per_tick:.1}");
 }
 
+/// Three-way cross-validation on the 200-node star: the exact Gillespie
+/// stochastic process, the RK4-integrated SI fluid ODE, and the
+/// packet-level simulator must tell one consistent story.
+///
+/// The quantitative leg: the RK4 solution of `dI/dt = β·I·(N−I)/N` must
+/// lie inside a seeded bootstrap confidence band of the Gillespie
+/// ensemble mean at every grid point — the fluid model is statistically
+/// indistinguishable from the mean of the exact process it is the limit
+/// of. The packet simulator (which pays two real routing hops per
+/// infection that both homogeneous models ignore) is held to the same
+/// qualitative contract as [`simulated_star_tracks_logistic_model`]:
+/// same saturation, bounded time dilation.
+#[test]
+fn gillespie_ode_and_packet_sim_tell_one_story() {
+    use dynaquar::epidemic::ode::{solve_fixed, FnSystem, Rk4};
+    use dynaquar::epidemic::stochastic::StochasticWorm;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const N: f64 = 199.0; // 200-node star: hub + 199 infectable leaves
+    const BETA: f64 = 0.8;
+    const I0: f64 = 4.0;
+    const HORIZON: f64 = 40.0;
+    const GRID: usize = 81;
+    const ENSEMBLE: u64 = 80;
+    const RESAMPLES: usize = 400;
+
+    // Gillespie ensemble, every trajectory on a common grid.
+    let process = StochasticWorm::new(N as u64, BETA, 0.0, I0 as u64).expect("valid");
+    let paths: Vec<TimeSeries> = (0..ENSEMBLE)
+        .map(|k| process.sample_path(HORIZON, 1000 + k).resampled(0.0, HORIZON, GRID))
+        .collect();
+    let ensemble_mean = TimeSeries::mean_of(&paths);
+
+    // RK4 fluid limit of the same process.
+    let si = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| {
+        dy[0] = BETA * y[0] * (N - y[0]) / N;
+    });
+    let ode = solve_fixed(&si, &mut Rk4::new(1), 0.0, &[I0], HORIZON, 0.05)
+        .component(0)
+        .scaled(1.0 / N)
+        .resampled(0.0, HORIZON, GRID);
+
+    // Seeded bootstrap: resample the ensemble (with replacement),
+    // recompute the mean curve, and take per-time-point 0.5%/99.5%
+    // percentiles as the confidence band.
+    let mut rng = SmallRng::seed_from_u64(2026);
+    let mut boot_means: Vec<Vec<f64>> = Vec::with_capacity(RESAMPLES);
+    for _ in 0..RESAMPLES {
+        let draw: Vec<TimeSeries> = (0..paths.len())
+            .map(|_| paths[rng.gen_range(0..paths.len())].clone())
+            .collect();
+        boot_means.push(TimeSeries::mean_of(&draw).iter().map(|(_, v)| v).collect());
+    }
+    let band = |i: usize| {
+        let mut vals: Vec<f64> = boot_means.iter().map(|m| m[i]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = vals[(vals.len() as f64 * 0.005) as usize];
+        let hi = vals[((vals.len() as f64 * 0.995) as usize).min(vals.len() - 1)];
+        (lo, hi)
+    };
+    // Grid-interpolation slack: both curves are piecewise-linear
+    // resamplings of processes with O(1/N) granularity.
+    let slack = 2.0 / N;
+    for (i, (t, ode_v)) in ode.iter().enumerate() {
+        let (lo, hi) = band(i);
+        assert!(
+            ode_v >= lo - slack && ode_v <= hi + slack,
+            "t={t:.1}: ODE {ode_v:.4} outside bootstrap band [{lo:.4}, {hi:.4}]"
+        );
+    }
+    // The band is a real constraint, not vacuously wide: at the
+    // ensemble's mid-epidemic point it must be far narrower than the
+    // epidemic itself.
+    let mid = ensemble_mean
+        .time_to_reach(0.5)
+        .expect("ensemble saturates");
+    let mid_idx = (mid / HORIZON * (GRID - 1) as f64).round() as usize;
+    let (lo, hi) = band(mid_idx);
+    assert!(hi - lo < 0.25, "degenerate band [{lo:.3}, {hi:.3}] at t={mid:.1}");
+
+    // Third leg: the packet-level simulator on the same star, same β,
+    // same seeds-per-run averaging used elsewhere in this suite.
+    let world = star_world(199);
+    let config = SimConfig::builder()
+        .beta(BETA)
+        .horizon(120)
+        .initial_infected(I0 as usize)
+        .build()
+        .expect("valid");
+    let sim = averaged_star_run(&world, &config, 6);
+    assert!(sim.final_value() > 0.98, "packet sim must saturate");
+    assert!((ensemble_mean.final_value() - 1.0).abs() < 1e-9);
+    assert!(ode.final_value() > 0.98);
+    let t_sim = sim.time_to_reach(0.5).expect("saturates");
+    let t_ode = ode.time_to_reach(0.5).expect("saturates");
+    let t_gil = ensemble_mean.time_to_reach(0.5).expect("saturates");
+    // The two homogeneous references agree closely with each other...
+    assert!(
+        (t_ode - t_gil).abs() < 0.2 * t_ode.max(t_gil),
+        "ODE t50 {t_ode:.1} vs Gillespie t50 {t_gil:.1}"
+    );
+    // ...and the packet simulator is slower (it routes every scan over
+    // two hub hops) but by a bounded constant factor.
+    assert!(t_sim >= t_ode, "simulation cannot beat the fluid model");
+    assert!(t_sim < 3.5 * t_ode, "sim {t_sim:.1} vs ODE {t_ode:.1}");
+}
+
 #[test]
 fn backbone_model_matches_measured_alpha() {
     // Build the power-law world, measure the path coverage alpha, feed

@@ -46,13 +46,21 @@ fn experiments_produce_plottable_series() {
 
 #[test]
 fn experiment_outputs_are_deterministic() {
-    // Same id + quality => identical series (all randomness is seeded).
-    let a = experiments::run("fig1b", Quality::Quick).expect("known id");
-    let b = experiments::run("fig1b", Quality::Quick).expect("known id");
-    assert_eq!(a.series, b.series);
-    let c = experiments::run("fig9a", Quality::Quick).expect("known id");
-    let d = experiments::run("fig9a", Quality::Quick).expect("known id");
-    assert_eq!(c.series, d.series);
+    // Same id + quality => identical series and identical check
+    // verdicts, for EVERY registered experiment (all randomness is
+    // seeded; two fixed ids used to spot-check this gate would miss a
+    // nondeterministic newcomer).
+    for exp in experiments::all() {
+        let a = exp.run(Quality::Quick);
+        let b = exp.run(Quality::Quick);
+        assert_eq!(a.series, b.series, "{} series not deterministic", exp.id);
+        assert_eq!(
+            a.checks.iter().map(|c| c.passed).collect::<Vec<_>>(),
+            b.checks.iter().map(|c| c.passed).collect::<Vec<_>>(),
+            "{} check verdicts not deterministic",
+            exp.id
+        );
+    }
 }
 
 #[test]
