@@ -1,10 +1,13 @@
-//! Scaling benchmark for the routing backends on large power-law worlds.
+//! Scaling benchmark for the routing backends and stepping strategies
+//! on large power-law worlds.
 //!
 //! ```text
 //! scale_bench [--sizes N,N,..] [--horizon T] [--seed S] [--initial I]
-//!             [--dense-limit N] [--full] [--cache N] [--out FILE]
-//!             [--check FILE] [--tolerance PCT]
+//!             [--strategy tick|event] [--dense-limit N] [--full]
+//!             [--cache N] [--out FILE] [--check FILE] [--tolerance PCT]
 //!             [--smoke N --max-rss-mb MB]
+//! scale_bench --event-bench FILE [--sizes N,N,..] ...
+//! scale_bench --check-event FILE [--tolerance PCT]
 //! scale_bench --single HOSTS BACKEND [--horizon T] [--seed S] ...
 //! ```
 //!
@@ -31,9 +34,22 @@
 //! `--smoke N --max-rss-mb MB` is the large-world CI smoke: builds an
 //! n = N world under the lazy backend, runs the configured horizon, and
 //! fails if peak RSS exceeded the ceiling.
+//!
+//! `--event-bench FILE` runs the stepping-strategy axis: for every size
+//! the lazy-backend world is simulated under both the tick and the
+//! event strategy (same seed, same config — the engines are
+//! bit-identical, so the rows differ only in wall clock), the per-size
+//! speedup is recorded, and an in-process tick-vs-event bit-identity
+//! verdict at n = 1000 rounds out the report, written to FILE
+//! (`results/BENCH_event.json` in CI).
+//!
+//! `--check-event FILE` is the matching CI guard: re-measures the event
+//! n = 1000 lazy case against the recorded row under `--tolerance`, and
+//! fails if tick and event stopped being bit-identical.
 
 use dynaquar_netsim::config::{SimConfig, WormBehavior};
 use dynaquar_netsim::sim::Simulator;
+use dynaquar_netsim::strategy::SimStrategy;
 use dynaquar_netsim::World;
 use dynaquar_topology::generators;
 use dynaquar_topology::lazy::RoutingKind;
@@ -60,6 +76,9 @@ struct Args {
     smoke: Option<usize>,
     max_rss_mb: Option<f64>,
     single: Option<(usize, String)>,
+    strategy: SimStrategy,
+    event_bench: Option<PathBuf>,
+    check_event: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -78,6 +97,12 @@ fn parse_args() -> Result<Args, String> {
         smoke: None,
         max_rss_mb: None,
         single: None,
+        // Explicit tick: the recorded BENCH_scale baselines predate the
+        // event engine, and `Auto` would silently flip every world
+        // above the size threshold onto it.
+        strategy: SimStrategy::Tick,
+        event_bench: None,
+        check_event: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -115,10 +140,14 @@ fn parse_args() -> Result<Args, String> {
                 let backend = value("--single")?;
                 args.single = Some((hosts, backend));
             }
+            "--strategy" => args.strategy = value("--strategy")?.parse()?,
+            "--event-bench" => args.event_bench = Some(PathBuf::from(value("--event-bench")?)),
+            "--check-event" => args.check_event = Some(PathBuf::from(value("--check-event")?)),
             "--help" | "-h" => {
                 return Err("usage: scale_bench [--sizes N,N,..] [--horizon T] [--seed S] \
-                     [--initial I] [--beta B] [--dense-limit N] [--full] [--cache N] [--out FILE] \
-                     [--check FILE] [--tolerance PCT] [--smoke N --max-rss-mb MB]"
+                     [--initial I] [--beta B] [--strategy tick|event] [--dense-limit N] [--full] \
+                     [--cache N] [--out FILE] [--check FILE] [--tolerance PCT] \
+                     [--smoke N --max-rss-mb MB] [--event-bench FILE] [--check-event FILE]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other}")),
@@ -166,6 +195,7 @@ fn routing_kind(backend: &str, hosts: usize, cache: Option<usize>) -> Result<Rou
 struct CaseResult {
     hosts: usize,
     backend: String,
+    strategy: SimStrategy,
     build_secs: f64,
     run_secs: f64,
     host_ticks_per_sec: f64,
@@ -177,11 +207,13 @@ struct CaseResult {
 impl CaseResult {
     fn to_json_row(&self) -> String {
         format!(
-            "{{\"hosts\": {}, \"backend\": \"{}\", \"build_secs\": {:.4}, \
+            "{{\"hosts\": {}, \"backend\": \"{}\", \"strategy\": \"{}\", \
+             \"build_secs\": {:.4}, \
              \"run_secs\": {:.4}, \"host_ticks_per_sec\": {:.1}, \"peak_rss_mb\": {:.1}, \
              \"ever_infected_hosts\": {}, \"delivered_packets\": {}}}",
             self.hosts,
             self.backend,
+            self.strategy,
             self.build_secs,
             self.run_secs,
             self.host_ticks_per_sec,
@@ -199,6 +231,7 @@ impl CaseResult {
 fn run_case(
     nodes: usize,
     kind: RoutingKind,
+    strategy: SimStrategy,
     args: &Args,
 ) -> (f64, f64, usize, dynaquar_netsim::sim::SimResult) {
     let t0 = Instant::now();
@@ -211,6 +244,7 @@ fn run_case(
         .beta(args.beta)
         .horizon(args.horizon)
         .initial_infected(args.initial)
+        .strategy(strategy)
         .build()
         .expect("valid config");
     let t1 = Instant::now();
@@ -221,10 +255,11 @@ fn run_case(
 /// Child-process mode: run one case, print one JSON row on stdout.
 fn run_single(hosts: usize, backend: &str, args: &Args) -> Result<(), String> {
     let kind = routing_kind(backend, hosts, args.cache)?;
-    let (build_secs, run_secs, host_count, result) = run_case(hosts, kind, args);
+    let (build_secs, run_secs, host_count, result) = run_case(hosts, kind, args.strategy, args);
     let row = CaseResult {
         hosts,
         backend: backend.to_string(),
+        strategy: args.strategy,
         build_secs,
         run_secs,
         host_ticks_per_sec: hosts as f64 * args.horizon as f64 / run_secs.max(1e-9),
@@ -238,12 +273,19 @@ fn run_single(hosts: usize, backend: &str, args: &Args) -> Result<(), String> {
 }
 
 /// Spawns `--single hosts backend` as a child process and parses its row.
-fn spawn_case(hosts: usize, backend: &str, args: &Args) -> Result<String, String> {
+fn spawn_case(
+    hosts: usize,
+    backend: &str,
+    strategy: SimStrategy,
+    args: &Args,
+) -> Result<String, String> {
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
     let mut cmd = std::process::Command::new(exe);
     cmd.arg("--single")
         .arg(hosts.to_string())
         .arg(backend)
+        .arg("--strategy")
+        .arg(strategy.to_string())
         .arg("--horizon")
         .arg(args.horizon.to_string())
         .arg("--seed")
@@ -289,18 +331,132 @@ fn find_row<'t>(text: &'t str, hosts: usize, backend: &str) -> Option<&'t str> {
     Some(&text[at..end])
 }
 
+/// The recorded row for `hosts`+`backend`+`strategy` inside a
+/// BENCH_event report (rows there carry the strategy axis).
+fn find_strategy_row<'t>(
+    text: &'t str,
+    hosts: usize,
+    backend: &str,
+    strategy: SimStrategy,
+) -> Option<&'t str> {
+    let needle =
+        format!("\"hosts\": {hosts}, \"backend\": \"{backend}\", \"strategy\": \"{strategy}\"");
+    let at = text.find(&needle)?;
+    let end = text[at..].find('}').map(|e| at + e)?;
+    Some(&text[at..end])
+}
+
 /// In-process differential: dense and lazy must produce `==` SimResults
 /// on the same n = 1000 world-seed-config triple.
 fn backends_bit_identical(args: &Args) -> bool {
-    let (_, _, _, dense) = run_case(1_000, RoutingKind::Dense, args);
+    let (_, _, _, dense) = run_case(1_000, RoutingKind::Dense, args.strategy, args);
     let (_, _, _, lazy) = run_case(
         1_000,
         RoutingKind::Lazy {
             max_cached_destinations: 64,
         },
+        args.strategy,
         args,
     );
     dense == lazy
+}
+
+/// In-process differential: the tick and event stepping strategies must
+/// produce `==` SimResults on the same n = 1000 lazy world.
+fn strategies_bit_identical(args: &Args) -> bool {
+    let kind = RoutingKind::Lazy {
+        max_cached_destinations: 64,
+    };
+    let (_, _, _, tick) = run_case(1_000, kind, SimStrategy::Tick, args);
+    let (_, _, _, event) = run_case(1_000, kind, SimStrategy::Event, args);
+    tick == event
+}
+
+/// The `--event-bench` mode: the stepping-strategy axis on the lazy
+/// backend, one tick and one event child per size, plus the per-size
+/// speedup and an in-process bit-identity verdict.
+fn run_event_bench(out: &std::path::Path, args: &Args) -> ExitCode {
+    println!(
+        "strategy benchmark: sizes {:?}, horizon {}, seed {}, {} initial infections, beta {}",
+        args.sizes, args.horizon, args.seed, args.initial, args.beta
+    );
+    let mut rows: Vec<String> = Vec::new();
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    for &n in &args.sizes {
+        let mut tps = [0.0f64; 2];
+        for (k, strategy) in [SimStrategy::Tick, SimStrategy::Event].into_iter().enumerate() {
+            match spawn_case(n, "lazy", strategy, args) {
+                Ok(row) => {
+                    println!("  {row}");
+                    tps[k] = json_f64(&row, "host_ticks_per_sec").unwrap_or(0.0);
+                    rows.push(row);
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let speedup = if tps[0] > 0.0 { tps[1] / tps[0] } else { 0.0 };
+        println!("  n={n}: event-over-tick speedup {speedup:.1}x");
+        speedups.push((n, speedup));
+    }
+
+    let identical = strategies_bit_identical(args);
+    println!(
+        "tick vs event at n=1000: {}",
+        if identical { "bit-identical" } else { "DIVERGED" }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"stepping_strategy_scaling\",\n");
+    json.push_str(&format!(
+        "  \"topology\": \"barabasi_albert(m={EDGES_PER_NODE}, seed={GRAPH_SEED})\",\n"
+    ));
+    json.push_str("  \"backend\": \"lazy\",\n");
+    json.push_str(&format!("  \"horizon\": {},\n", args.horizon));
+    json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    json.push_str(&format!("  \"initial_infected\": {},\n", args.initial));
+    json.push_str(&format!("  \"beta\": {},\n", args.beta));
+    json.push_str(&format!(
+        "  \"tick_event_bit_identical_at_1000\": {identical},\n"
+    ));
+    json.push_str("  \"speedups\": [");
+    json.push_str(
+        &speedups
+            .iter()
+            .map(|(n, x)| format!("{{\"hosts\": {n}, \"event_over_tick\": {x:.2}}}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("],\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {row}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -329,7 +485,7 @@ fn main() -> ExitCode {
             eprintln!("--smoke requires --max-rss-mb");
             return ExitCode::FAILURE;
         };
-        let row = match spawn_case(n, "lazy", &args) {
+        let row = match spawn_case(n, "lazy", args.strategy, &args) {
             Ok(r) => r,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -343,6 +499,65 @@ fn main() -> ExitCode {
             eprintln!("REGRESSION: lazy-backend smoke exceeded the memory ceiling");
             return ExitCode::FAILURE;
         }
+        return ExitCode::SUCCESS;
+    }
+
+    // Stepping-strategy benchmark: lazy backend, tick vs event per size.
+    if let Some(out) = args.event_bench.clone() {
+        return run_event_bench(&out, &args);
+    }
+
+    // CI guard for the strategy bench: event n=1000 perf + tick-vs-event
+    // bit-identity.
+    if let Some(baseline_path) = &args.check_event {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // n = 10000: the n = 1000 event runs finish in single-digit
+        // milliseconds, where timer noise swamps any real regression.
+        let Some(recorded) = find_strategy_row(&text, 10_000, "lazy", SimStrategy::Event)
+            .and_then(|row| json_f64(row, "host_ticks_per_sec"))
+        else {
+            eprintln!(
+                "no event n=10000 lazy row in {} — regenerate with --event-bench",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        };
+        let row = match spawn_case(10_000, "lazy", SimStrategy::Event, &args) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let measured = json_f64(&row, "host_ticks_per_sec").unwrap_or(0.0);
+        let pct = if recorded > 0.0 {
+            (1.0 - measured / recorded) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "event n=10000 lazy: {measured:.0} host-ticks/s vs recorded {recorded:.0} \
+             (slowdown {pct:+.1}%, tolerance {:.1}%)",
+            args.tolerance_pct
+        );
+        if pct > args.tolerance_pct {
+            eprintln!(
+                "REGRESSION: event n=10000 slowed {pct:.1}% > {:.1}% tolerance",
+                args.tolerance_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        if !strategies_bit_identical(&args) {
+            eprintln!("REGRESSION: tick and event strategies diverged at n=1000");
+            return ExitCode::FAILURE;
+        }
+        println!("tick and event strategies bit-identical at n=1000");
         return ExitCode::SUCCESS;
     }
 
@@ -364,7 +579,7 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         };
-        let row = match spawn_case(1_000, "dense", &args) {
+        let row = match spawn_case(1_000, "dense", args.strategy, &args) {
             Ok(r) => r,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -411,7 +626,7 @@ fn main() -> ExitCode {
                 skipped.push(format!("{n}/dense (table alone {gb:.0} GB; use --full)"));
                 continue;
             }
-            match spawn_case(n, backend, &args) {
+            match spawn_case(n, backend, args.strategy, &args) {
                 Ok(row) => {
                     println!("  {row}");
                     rows.push(row);

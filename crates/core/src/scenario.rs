@@ -9,6 +9,7 @@ use dynaquar_netsim::config::{ImmunizationConfig, SimConfig, WormBehavior};
 use dynaquar_netsim::faults::FaultPlan;
 use dynaquar_netsim::metrics::PacketAccounting;
 use dynaquar_netsim::runner::run_averaged_parallel;
+use dynaquar_netsim::strategy::SimStrategy;
 use dynaquar_netsim::World;
 use dynaquar_parallel::ParallelConfig;
 use dynaquar_topology::generators;
@@ -125,6 +126,7 @@ pub struct Scenario {
     seed: u64,
     parallelism: Option<usize>,
     routing: RoutingKind,
+    strategy: SimStrategy,
 }
 
 impl Scenario {
@@ -145,6 +147,7 @@ impl Scenario {
             seed: 0,
             parallelism: None,
             routing: RoutingKind::Auto,
+            strategy: SimStrategy::Auto,
         }
     }
 
@@ -227,6 +230,17 @@ impl Scenario {
         self
     }
 
+    /// Picks the engine stepping strategy for every run of the
+    /// scenario. The default [`SimStrategy::Auto`] keeps paper-scale
+    /// worlds on the tick engine and switches large worlds to the
+    /// event-driven engine (same size threshold as
+    /// [`RoutingKind::Auto`]); the two are bit-identical, so like
+    /// [`Scenario::routing`] this knob never changes a curve.
+    pub fn strategy(mut self, strategy: SimStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Sets the worker-thread count for the averaged runs. The default
     /// (unset) follows `DYNAQUAR_THREADS`, then the machine's available
     /// parallelism. Thread count never changes the result: the runner
@@ -267,6 +281,7 @@ impl Scenario {
             .beta(self.beta)
             .horizon(self.horizon)
             .initial_infected(self.initial_infected)
+            .strategy(self.strategy)
             .plan(plan);
         if let Some(imm) = self.immunization {
             builder.immunization(imm);
@@ -432,6 +447,25 @@ mod tests {
         let auto = base.run_simulated();
         assert_eq!(dense, lazy);
         assert_eq!(dense, auto);
+    }
+
+    #[test]
+    fn stepping_strategy_does_not_change_the_outcome() {
+        // The engine-strategy analogue of the routing test above: tick
+        // and event stepping are bit-identical on a scenario exercising
+        // throttling filters and fault injection.
+        let base = Scenario::new(TopologySpec::PowerLaw {
+            nodes: 150,
+            edges_per_node: 2,
+            seed: 11,
+        })
+        .horizon(60)
+        .deployment(Deployment::Hosts { fraction: 1.0 })
+        .faults(FaultPlan::none().with_link_loss(0.2, 0.1))
+        .runs(2);
+        let tick = base.clone().strategy(SimStrategy::Tick).run_simulated();
+        let event = base.clone().strategy(SimStrategy::Event).run_simulated();
+        assert_eq!(tick, event);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::background::BackgroundTraffic;
 use crate::error::Error;
 use crate::faults::FaultPlan;
 use crate::plan::RateLimitPlan;
+use crate::strategy::SimStrategy;
 use dynaquar_worms::profiles::SelectorKind;
 use dynaquar_worms::scanner::{LocalPreferential, Permutation, Sequential, TargetSelector, UniformRandom};
 use serde::{Deserialize, Serialize};
@@ -158,6 +159,10 @@ pub struct SimConfig {
     pub(crate) quarantine: Option<QuarantineConfig>,
     pub(crate) background: Option<BackgroundTraffic>,
     pub(crate) log_scans: bool,
+    /// Stepping strategy ([`SimStrategy::Auto`] resolves against the
+    /// world size at simulator construction).
+    #[serde(default)]
+    pub(crate) strategy: SimStrategy,
     #[serde(skip)]
     pub(crate) plan: RateLimitPlan,
     #[serde(skip)]
@@ -205,6 +210,19 @@ impl SimConfig {
         self.log_scans
     }
 
+    /// The configured stepping strategy (possibly still
+    /// [`SimStrategy::Auto`]).
+    pub fn strategy(&self) -> SimStrategy {
+        self.strategy
+    }
+
+    /// Returns this configuration with `strategy` swapped in — handy
+    /// for differential tests that run one scenario under both engines.
+    pub fn with_strategy(mut self, strategy: SimStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// The rate-limiting plan.
     pub fn plan(&self) -> &RateLimitPlan {
         &self.plan
@@ -226,6 +244,7 @@ pub struct SimConfigBuilder {
     quarantine: Option<QuarantineConfig>,
     background: Option<BackgroundTraffic>,
     log_scans: bool,
+    strategy: SimStrategy,
     plan: RateLimitPlan,
     faults: FaultPlan,
 }
@@ -240,6 +259,7 @@ impl Default for SimConfigBuilder {
             quarantine: None,
             background: None,
             log_scans: false,
+            strategy: SimStrategy::Auto,
             plan: RateLimitPlan::none(),
             faults: FaultPlan::none(),
         }
@@ -308,6 +328,15 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Picks the stepping strategy (default [`SimStrategy::Auto`]:
+    /// tick-driven up to the routing size threshold, event-driven
+    /// above — see `netsim::strategy`). Both strategies are
+    /// bit-identical, so this is purely a performance knob.
+    pub fn strategy(&mut self, strategy: SimStrategy) -> &mut Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -371,6 +400,7 @@ impl SimConfigBuilder {
             quarantine: self.quarantine,
             background: self.background,
             log_scans: self.log_scans,
+            strategy: self.strategy,
             plan: self.plan.clone(),
             faults: self.faults.clone(),
         })

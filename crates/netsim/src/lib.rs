@@ -58,6 +58,7 @@ pub mod plan;
 pub mod runner;
 pub mod sim;
 mod soa;
+pub mod strategy;
 pub mod world;
 
 pub use config::{SimConfig, WormBehavior};
@@ -70,4 +71,5 @@ pub use metrics::{
 pub use plan::RateLimitPlan;
 pub use runner::{ParallelConfig, RunOutcome, RunTiming, RunnerError, SupervisorConfig, WorkerStats};
 pub use sim::{SimResult, Simulator};
+pub use strategy::SimStrategy;
 pub use world::World;

@@ -28,7 +28,8 @@ use crate::faults::{FaultEvent, FaultSchedule, FAULT_STREAM_SALT};
 use crate::metrics::{DropReason, PacketAccounting, PacketKind, Phase, PhaseProfile};
 use crate::observer::{NullObserver, SimObserver, TickSnapshot};
 use crate::plan::{FilterDiscipline, HostFilter};
-use crate::soa::{HostStates, NodeState, Packet, PacketPool};
+use crate::soa::{idx32, HostStates, NodeState, Packet, PacketPool};
+use crate::strategy::SimStrategy;
 use crate::world::World;
 use dynaquar_epidemic::TimeSeries;
 use dynaquar_ratelimit::window::UniqueIpWindow;
@@ -38,7 +39,7 @@ use dynaquar_worms::scanner::{ScanContext, TargetSelector};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Aggregate outcome of one simulation run.
 ///
@@ -168,6 +169,29 @@ pub struct Simulator<'w> {
     delay_queues: Vec<VecDeque<(u64, NodeId)>>,
     quarantined: u64,
     scan_log: Vec<(u64, NodeId, NodeId)>,
+    /// The stepping strategy, already resolved against the world size
+    /// (never [`SimStrategy::Auto`] after construction).
+    strategy: SimStrategy,
+    /// Hosts with a non-empty throttle queue, sorted ascending — the
+    /// event path's release/clear candidates. Maintained by every queue
+    /// mutation (push, drain, clear) on both strategies.
+    queue_hosts: BTreeSet<u32>,
+    /// Hosts with a jitter-delayed quarantine scheduled, sorted
+    /// ascending — the event path's pending-activation candidates.
+    pending_hosts: BTreeSet<u32>,
+    /// Self-patch timer wheel: `(due_tick, host)` appended at infection
+    /// time, so due ticks are nondecreasing and the front of the deque
+    /// is always the next timer to fire. Each due batch is sorted by
+    /// host before firing to match the tick sweep's ascending order.
+    patch_due: VecDeque<(u64, u32)>,
+    /// Edge indexes that carry a token cap, ascending (token refill is
+    /// O(capped), not O(edges), on both strategies).
+    capped_links: Vec<u32>,
+    /// Node indexes that carry a transit cap, ascending.
+    capped_nodes: Vec<u32>,
+    /// Recycled per-tick candidate buffer (activity-index snapshots are
+    /// taken before mutating, since firing an event edits the index).
+    scratch_hosts: Vec<u32>,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -220,11 +244,16 @@ impl<'w> Simulator<'w> {
 
         // Seed the infection.
         let mut pool: Vec<NodeId> = world.hosts().to_vec();
+        let mut patch_due: VecDeque<(u64, u32)> = VecDeque::new();
         for _ in 0..config.initial_infected() {
             let k = rng.gen_range(0..pool.len());
             let node = pool.swap_remove(k);
             host_state.seed(node.index());
             selectors[node.index()] = Some(behavior.make_selector());
+            if let Some(delay) = behavior.self_patch_after {
+                // Seeds count as infected at tick 0.
+                patch_due.push_back((delay, idx32(node.index())));
+            }
         }
 
         let host_filter_cfg = config.plan().dense_host_filters(world.graph());
@@ -251,6 +280,16 @@ impl<'w> Simulator<'w> {
         let node_tokens = node_caps
             .iter()
             .map(|c| c.map_or(0.0, |cap| cap.max(1.0)))
+            .collect();
+        let capped_links: Vec<u32> = link_caps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|_| idx32(i)))
+            .collect();
+        let capped_nodes: Vec<u32> = node_caps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|_| idx32(i)))
             .collect();
 
         // Expand the fault plan on its own derived RNG stream so an
@@ -298,7 +337,20 @@ impl<'w> Simulator<'w> {
             delay_queues: vec![VecDeque::new(); n],
             quarantined: 0,
             scan_log: Vec::new(),
+            strategy: config.strategy().resolve(n),
+            queue_hosts: BTreeSet::new(),
+            pending_hosts: BTreeSet::new(),
+            patch_due,
+            capped_links,
+            capped_nodes,
+            scratch_hosts: Vec::new(),
         })
+    }
+
+    /// The stepping strategy this run uses, resolved against the world
+    /// size (never [`SimStrategy::Auto`]).
+    pub fn resolved_strategy(&self) -> SimStrategy {
+        self.strategy
     }
 
     fn host_count(&self) -> usize {
@@ -331,12 +383,31 @@ impl<'w> Simulator<'w> {
                 self.host_state.immunized(),
                 self.count_state(NodeState::Immunized)
             );
+            // The activity indexes the event path enumerates from must
+            // mirror the dense state exactly — this is the per-tick
+            // proof obligation behind tick/event bit-identity.
+            self.host_state.debug_assert_active_index();
+            for (i, q) in self.delay_queues.iter().enumerate() {
+                debug_assert_eq!(
+                    self.queue_hosts.contains(&idx32(i)),
+                    !q.is_empty(),
+                    "queue index out of sync at host {i}"
+                );
+            }
+            for (i, p) in self.pending_quarantine.iter().enumerate() {
+                debug_assert_eq!(
+                    self.pending_hosts.contains(&idx32(i)),
+                    p.is_some(),
+                    "pending-quarantine index out of sync at host {i}"
+                );
+            }
         }
     }
 
     /// Drops `host`'s pending throttled scans (the queue dies with the
     /// host): counts them as `cleared` and reports each to the observer.
     fn drop_queued_scans(&mut self, host: usize, tick: u64, observer: &mut dyn SimObserver) {
+        self.queue_hosts.remove(&idx32(host));
         if self.delay_queues[host].is_empty() {
             return;
         }
@@ -351,8 +422,19 @@ impl<'w> Simulator<'w> {
     }
 
     fn infect_at(&mut self, node: NodeId, tick: u64, observer: &mut dyn SimObserver) {
+        // `infect` refuses hosts that are no longer susceptible — in
+        // particular a host quarantined *earlier in this same tick*
+        // (e.g. a false-positive quarantine in the fault phase followed
+        // by a worm delivery in the forwarding phase). Guarding every
+        // side effect on its return value keeps the active index, the
+        // selector table, and the self-patch timers free of resurrected
+        // hosts.
         if self.host_state.infect(node.index(), tick) {
             self.selectors[node.index()] = Some(self.behavior.make_selector());
+            if let Some(delay) = self.behavior.self_patch_after {
+                self.patch_due
+                    .push_back((tick.saturating_add(delay), idx32(node.index())));
+            }
             observer.on_infection(tick, node);
         }
     }
@@ -408,23 +490,41 @@ impl<'w> Simulator<'w> {
                 observer.on_fault(tick, FaultEvent::FalseQuarantine(host));
             }
         }
-        // Jitter-delayed quarantine activations that have come due.
+        // Jitter-delayed quarantine activations that have come due. The
+        // tick path sweeps every host; the event path asks the pending
+        // index — both visit due hosts in ascending order.
         if self.faults.quarantine_jitter > 0 {
-            for i in 0..self.pending_quarantine.len() {
-                let Some(due) = self.pending_quarantine[i] else {
-                    continue;
-                };
-                if due > tick {
-                    continue;
+            if self.strategy == SimStrategy::Event {
+                let mut pending = std::mem::take(&mut self.scratch_hosts);
+                pending.clear();
+                pending.extend(self.pending_hosts.iter().copied());
+                for &i in &pending {
+                    self.fire_pending_quarantine(i as usize, tick, observer);
                 }
-                self.pending_quarantine[i] = None;
-                if self.host_state.immunize_infected(i) {
-                    self.selectors[i] = None;
-                    self.drop_queued_scans(i, tick, observer);
-                    self.quarantined += 1;
-                    observer.on_quarantine(tick, NodeId::from(i));
+                self.scratch_hosts = pending;
+            } else {
+                for i in 0..self.pending_quarantine.len() {
+                    self.fire_pending_quarantine(i, tick, observer);
                 }
             }
+        }
+    }
+
+    /// Activates `i`'s jitter-delayed quarantine if it has come due.
+    fn fire_pending_quarantine(&mut self, i: usize, tick: u64, observer: &mut dyn SimObserver) {
+        let Some(due) = self.pending_quarantine[i] else {
+            return;
+        };
+        if due > tick {
+            return;
+        }
+        self.pending_quarantine[i] = None;
+        self.pending_hosts.remove(&idx32(i));
+        if self.host_state.immunize_infected(i) {
+            self.selectors[i] = None;
+            self.drop_queued_scans(i, tick, observer);
+            self.quarantined += 1;
+            observer.on_quarantine(tick, NodeId::from(i));
         }
     }
 
@@ -434,15 +534,44 @@ impl<'w> Simulator<'w> {
         let Some(delay) = self.behavior.self_patch_after else {
             return;
         };
-        for &h in self.world.hosts() {
-            if self.host_state.is_infected(h.index())
-                && tick.saturating_sub(self.host_state.infected_since(h.index())) >= delay
-            {
-                self.host_state.immunize_infected(h.index());
-                self.selectors[h.index()] = None;
-                self.drop_queued_scans(h.index(), tick, observer);
-                observer.on_patch(tick, h);
+        if self.strategy == SimStrategy::Event {
+            // Timers were enqueued at infection time with nondecreasing
+            // due ticks, so everything due sits at the front. Sorting
+            // the due batch by host reproduces the tick sweep's
+            // ascending order; the infected guard in `try_self_patch`
+            // discards timers whose host was quarantined or immunized
+            // in the meantime.
+            let mut due = std::mem::take(&mut self.scratch_hosts);
+            due.clear();
+            while let Some(&(d, h)) = self.patch_due.front() {
+                if d > tick {
+                    break;
+                }
+                self.patch_due.pop_front();
+                due.push(h);
             }
+            due.sort_unstable();
+            for &h in &due {
+                self.try_self_patch(h as usize, tick, delay, observer);
+            }
+            self.scratch_hosts = due;
+        } else {
+            for k in 0..self.world.hosts().len() {
+                let h = self.world.hosts()[k];
+                self.try_self_patch(h.index(), tick, delay, observer);
+            }
+        }
+    }
+
+    /// Patches `i` if it still runs a worm instance old enough to fire.
+    fn try_self_patch(&mut self, i: usize, tick: u64, delay: u64, observer: &mut dyn SimObserver) {
+        if self.host_state.is_infected(i)
+            && tick.saturating_sub(self.host_state.infected_since(i)) >= delay
+        {
+            self.host_state.immunize_infected(i);
+            self.selectors[i] = None;
+            self.drop_queued_scans(i, tick, observer);
+            observer.on_patch(tick, NodeId::from(i));
         }
     }
 
@@ -478,32 +607,35 @@ impl<'w> Simulator<'w> {
     }
 
     fn generate_scans(&mut self, tick: u64, observer: &mut dyn SimObserver) {
-        let hosts = self.world.hosts();
         // Collect scans first to avoid borrowing conflicts with selectors.
         let mut emissions: Vec<(NodeId, NodeId)> = Vec::new();
-        for &node in hosts {
-            if !self.host_state.is_infected(node.index()) {
-                continue;
-            }
-            // A host on a downed node cannot scan while the outage lasts.
-            if self.node_down[node.index()] {
-                continue;
-            }
-            let ctx = ScanContext {
-                scanner: node,
-                hosts: self.world.hosts(),
-                subnet_of: self.world.subnet_of(),
-                subnet_hosts: self.world.subnet_hosts(),
-            };
-            let selector = self.selectors[node.index()]
-                .as_mut()
-                .expect("infected nodes have selectors");
-            for _ in 0..self.behavior.scans_per_tick {
-                if let Some(target) = selector.next_target(&ctx, &mut self.rng) {
-                    if target != node && self.rng.gen_bool(self.config.beta()) {
-                        emissions.push((node, target));
-                    }
+        if self.strategy == SimStrategy::Event {
+            // Event path: enumerate the sorted active index instead of
+            // sweeping every host. Same nodes, same ascending order,
+            // same RNG draw sequence as the tick sweep below.
+            let mut active = std::mem::take(&mut self.scratch_hosts);
+            active.clear();
+            active.extend(self.host_state.active_hosts());
+            for &i in &active {
+                let node = NodeId::from(i as usize);
+                // A host on a downed node cannot scan during the outage.
+                if self.node_down[node.index()] {
+                    continue;
                 }
+                self.scan_from(node, &mut emissions);
+            }
+            self.scratch_hosts = active;
+        } else {
+            for k in 0..self.world.hosts().len() {
+                let node = self.world.hosts()[k];
+                if !self.host_state.is_infected(node.index()) {
+                    continue;
+                }
+                // A host on a downed node cannot scan during the outage.
+                if self.node_down[node.index()] {
+                    continue;
+                }
+                self.scan_from(node, &mut emissions);
             }
         }
         for (src, dst) in emissions {
@@ -551,11 +683,13 @@ impl<'w> Simulator<'w> {
                             let release =
                                 last.max(tick) + release_period_ticks.max(1);
                             queue.push_back((release, dst));
+                            let queue_len = queue.len();
+                            self.queue_hosts.insert(idx32(src.index()));
                             self.accounting.worm.delayed += 1;
                             // Dynamic quarantine: a swollen throttle
                             // queue is the detection signal.
                             if let Some(q) = self.config.quarantine() {
-                                if queue.len() >= q.queue_threshold {
+                                if queue_len >= q.queue_threshold {
                                     if self.faults.quarantine_jitter == 0 {
                                         self.host_state.quarantine(src.index());
                                         self.selectors[src.index()] = None;
@@ -572,6 +706,7 @@ impl<'w> Simulator<'w> {
                                             .gen_range(1..=self.faults.quarantine_jitter);
                                         self.pending_quarantine[src.index()] =
                                             Some(tick + delay);
+                                        self.pending_hosts.insert(idx32(src.index()));
                                     }
                                 }
                             }
@@ -593,33 +728,86 @@ impl<'w> Simulator<'w> {
         }
     }
 
+    /// Draws `scans_per_tick` targets for one infected scanner and
+    /// appends its post-β emissions (shared by both strategies — the
+    /// entire per-host RNG interaction lives here).
+    fn scan_from(&mut self, node: NodeId, emissions: &mut Vec<(NodeId, NodeId)>) {
+        let ctx = ScanContext {
+            scanner: node,
+            hosts: self.world.hosts(),
+            subnet_of: self.world.subnet_of(),
+            subnet_hosts: self.world.subnet_hosts(),
+        };
+        let selector = self.selectors[node.index()]
+            .as_mut()
+            .expect("infected nodes have selectors");
+        for _ in 0..self.behavior.scans_per_tick {
+            if let Some(target) = selector.next_target(&ctx, &mut self.rng) {
+                if target != node && self.rng.gen_bool(self.config.beta()) {
+                    emissions.push((node, target));
+                }
+            }
+        }
+    }
+
     /// Releases throttled scans whose delay has elapsed. A host that was
     /// patched while scans sat in its queue releases nothing (the
     /// throttle process died with the worm instance; its queue is
     /// dropped and counted as `cleared`).
     fn release_delayed_scans(&mut self, tick: u64, observer: &mut dyn SimObserver) {
-        for i in 0..self.delay_queues.len() {
-            if self.delay_queues[i].is_empty() {
-                continue;
+        if self.strategy == SimStrategy::Event {
+            // Snapshot the queue index before draining: releasing or
+            // clearing edits it. The set is sorted, so hosts are
+            // visited in the tick sweep's ascending order — including
+            // hosts whose queue outlived its worm instance (patched or
+            // swept this tick), which get cleared *this* tick exactly
+            // as the dense sweep would.
+            let mut hosts = std::mem::take(&mut self.scratch_hosts);
+            hosts.clear();
+            hosts.extend(self.queue_hosts.iter().copied());
+            for &i in &hosts {
+                self.release_for_host(i as usize, tick, observer);
             }
-            if !self.host_state.is_infected(i) {
-                self.drop_queued_scans(i, tick, observer);
-                continue;
-            }
-            while let Some(&(release, dst)) = self.delay_queues[i].front() {
-                if release > tick {
-                    break;
+            self.scratch_hosts = hosts;
+        } else {
+            for i in 0..self.delay_queues.len() {
+                if self.delay_queues[i].is_empty() {
+                    continue;
                 }
-                self.delay_queues[i].pop_front();
-                self.accounting.worm.released += 1;
-                self.packets.insert(Packet {
-                    kind: PacketKind::Worm,
-                    src: NodeId::from(i),
-                    current: NodeId::from(i),
-                    dst,
-                    emitted: tick,
-                });
+                self.release_for_host(i, tick, observer);
             }
+        }
+    }
+
+    /// Drains one host's due releases (or clears the whole queue if the
+    /// worm instance is gone), keeping the queue index in sync.
+    fn release_for_host(&mut self, i: usize, tick: u64, observer: &mut dyn SimObserver) {
+        if self.delay_queues[i].is_empty() {
+            // A stale index entry points at an already-cleared queue:
+            // there is nothing to release, only the index to heal.
+            self.queue_hosts.remove(&idx32(i));
+            return;
+        }
+        if !self.host_state.is_infected(i) {
+            self.drop_queued_scans(i, tick, observer);
+            return;
+        }
+        while let Some(&(release, dst)) = self.delay_queues[i].front() {
+            if release > tick {
+                break;
+            }
+            self.delay_queues[i].pop_front();
+            self.accounting.worm.released += 1;
+            self.packets.insert(Packet {
+                kind: PacketKind::Worm,
+                src: NodeId::from(i),
+                current: NodeId::from(i),
+                dst,
+                emitted: tick,
+            });
+        }
+        if self.delay_queues[i].is_empty() {
+            self.queue_hosts.remove(&idx32(i));
         }
     }
 
@@ -659,16 +847,19 @@ impl<'w> Simulator<'w> {
         let graph = self.world.graph();
         let routing = self.world.routing();
         // Refill link token accumulators (fractional caps accumulate
-        // credit; burst bounded by max(cap, 1)).
-        for (i, cap) in self.link_caps.iter().enumerate() {
-            if let Some(cap) = cap {
-                self.link_tokens[i] = (self.link_tokens[i] + cap).min(cap.max(1.0));
-            }
+        // credit; burst bounded by max(cap, 1)). Only capped entries
+        // are visited — the index lists hold exactly the `Some` caps in
+        // ascending order, so this is O(capped) with the same per-entry
+        // arithmetic as a dense sweep.
+        for &e in &self.capped_links {
+            let i = e as usize;
+            let cap = self.link_caps[i].expect("capped-link index entries have caps");
+            self.link_tokens[i] = (self.link_tokens[i] + cap).min(cap.max(1.0));
         }
-        for (i, cap) in self.node_caps.iter().enumerate() {
-            if let Some(cap) = cap {
-                self.node_tokens[i] = (self.node_tokens[i] + cap).min(cap.max(1.0));
-            }
+        for &v in &self.capped_nodes {
+            let i = v as usize;
+            let cap = self.node_caps[i].expect("capped-node index entries have caps");
+            self.node_tokens[i] = (self.node_tokens[i] + cap).min(cap.max(1.0));
         }
         // Drain this tick's FIFO through the pool's recycled scratch
         // queue: retained packets re-queue in order, finished packets

@@ -16,7 +16,7 @@
 
 use crate::metrics::PacketKind;
 use dynaquar_topology::NodeId;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Per-node infection state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +50,11 @@ pub(crate) struct HostStates {
     /// Tick at which each currently infected node was infected (for
     /// Welchia-style self-patching).
     infected_since: Vec<u64>,
+    /// Currently infected nodes, sorted ascending by index. Iterating
+    /// this set visits exactly the nodes a full `status` sweep would
+    /// accept, in the same order — the property the event-driven
+    /// strategy's bit-identity rests on (see `netsim::strategy`).
+    active: BTreeSet<u32>,
     infected: usize,
     immunized: usize,
     ever_infected: usize,
@@ -60,6 +65,7 @@ impl HostStates {
         HostStates {
             status: vec![NodeState::Susceptible; n],
             infected_since: vec![0; n],
+            active: BTreeSet::new(),
             infected: 0,
             immunized: 0,
             ever_infected: 0,
@@ -93,11 +99,35 @@ impl HostStates {
         self.ever_infected
     }
 
+    /// Currently infected nodes in ascending index order.
+    pub fn active_hosts(&self) -> impl Iterator<Item = u32> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// Cross-checks the active index against the status array (debug
+    /// builds; called from the simulator's census assertion).
+    #[cfg(debug_assertions)]
+    pub fn debug_assert_active_index(&self) {
+        assert_eq!(
+            self.active.len(),
+            self.infected,
+            "active index size disagrees with infected census"
+        );
+        for &i in &self.active {
+            assert_eq!(
+                self.status[i as usize],
+                NodeState::Infected,
+                "active index holds a non-infected node {i}"
+            );
+        }
+    }
+
     /// Seeds an initial infection (construction time, `infected_since`
     /// stays 0).
     pub fn seed(&mut self, i: usize) {
         debug_assert_eq!(self.status[i], NodeState::Susceptible);
         self.status[i] = NodeState::Infected;
+        self.active.insert(idx32(i));
         self.infected += 1;
         self.ever_infected += 1;
     }
@@ -110,6 +140,7 @@ impl HostStates {
         }
         self.status[i] = NodeState::Infected;
         self.infected_since[i] = tick;
+        self.active.insert(idx32(i));
         self.infected += 1;
         self.ever_infected += 1;
         true
@@ -133,6 +164,7 @@ impl HostStates {
             return false;
         }
         self.status[i] = NodeState::Immunized;
+        self.active.remove(&idx32(i));
         self.infected -= 1;
         self.immunized += 1;
         true
@@ -146,6 +178,7 @@ impl HostStates {
         debug_assert_ne!(prev, NodeState::Immunized);
         self.status[i] = NodeState::Immunized;
         if prev == NodeState::Infected {
+            self.active.remove(&idx32(i));
             self.infected -= 1;
         }
         self.immunized += 1;
@@ -156,11 +189,20 @@ impl HostStates {
     /// sweep stays immunized with no double count.
     pub fn quarantine(&mut self, i: usize) {
         if self.status[i] == NodeState::Infected {
+            self.active.remove(&idx32(i));
             self.infected -= 1;
             self.immunized += 1;
         }
         self.status[i] = NodeState::Immunized;
     }
+}
+
+/// Node indexes are stored as `u32` in the activity indexes (same
+/// assumption the packet pool makes about slot counts).
+#[inline]
+pub(crate) fn idx32(i: usize) -> u32 {
+    debug_assert!(u32::try_from(i).is_ok(), "more than 2^32 nodes");
+    i as u32
 }
 
 /// Slab-allocated in-flight packet store with a free-list and recycled
@@ -323,5 +365,20 @@ mod tests {
         assert_eq!(h.status(3), NodeState::Immunized);
         assert_eq!(h.immunized(), 4);
         assert!(!h.is_infected(3));
+    }
+
+    #[test]
+    fn active_index_is_sorted_and_tracks_every_transition() {
+        let mut h = HostStates::new(6);
+        h.seed(3);
+        assert!(h.infect(5, 1));
+        assert!(h.infect(1, 2));
+        assert_eq!(h.active_hosts().collect::<Vec<_>>(), vec![1, 3, 5]);
+        h.quarantine(3);
+        assert!(h.immunize_infected(5));
+        assert_eq!(h.active_hosts().collect::<Vec<_>>(), vec![1]);
+        h.immunize_unpatched(1);
+        assert_eq!(h.active_hosts().count(), 0);
+        h.debug_assert_active_index();
     }
 }

@@ -1,0 +1,301 @@
+//! Differential tick-vs-event harness: the two stepping strategies must
+//! be **bit-identical** on every scenario.
+//!
+//! The event-driven engine enumerates its per-tick candidates from
+//! sorted activity indexes instead of sweeping every host; because the
+//! indexes iterate in ascending node order — the same order the tick
+//! sweep visits hosts in — both engines perform the identical RNG draw
+//! sequence and side-effect order. These tests pin that equivalence the
+//! strong way: random scenarios across topology × worm profile ×
+//! defense × fault plan × seed, asserting equal [`SimResult`]s (which
+//! carry the census curves, the packet-accounting ledger, and — with
+//! scan logging on — the exact emission sequence), plus a byte-for-byte
+//! comparison of the observer event stream.
+
+use dynaquar_netsim::background::BackgroundTraffic;
+use dynaquar_netsim::config::{
+    ImmunizationConfig, ImmunizationTrigger, QuarantineConfig, SimConfig, SimConfigBuilder,
+    WormBehavior,
+};
+use dynaquar_netsim::faults::FaultPlan;
+use dynaquar_netsim::metrics::JsonlEventWriter;
+use dynaquar_netsim::plan::{HostFilter, RateLimitPlan};
+use dynaquar_netsim::sim::{SimResult, Simulator};
+use dynaquar_netsim::strategy::SimStrategy;
+use dynaquar_netsim::World;
+use dynaquar_topology::generators;
+use proptest::prelude::*;
+
+/// Runs one scenario under both strategies and returns the pair.
+fn both_strategies(
+    world: &World,
+    builder: &mut SimConfigBuilder,
+    behavior: WormBehavior,
+    seed: u64,
+) -> (SimResult, SimResult) {
+    let tick_cfg = builder
+        .strategy(SimStrategy::Tick)
+        .build()
+        .expect("valid config");
+    let event_cfg = tick_cfg.clone().with_strategy(SimStrategy::Event);
+    let tick = Simulator::new(world, &tick_cfg, behavior, seed).run();
+    let event = Simulator::new(world, &event_cfg, behavior, seed).run();
+    (tick, event)
+}
+
+/// Topology axis: 0 = star, 1 = power law, 2 = routed subnets.
+fn build_topology(kind: usize, size: usize, graph_seed: u64) -> World {
+    match kind % 3 {
+        0 => World::from_star(generators::star(20 + size % 40).unwrap()),
+        1 => World::from_power_law(
+            generators::barabasi_albert(80 + size, 2, graph_seed).unwrap(),
+            0.05,
+            0.10,
+        ),
+        _ => World::from_subnets(
+            generators::SubnetTopologyBuilder::new()
+                .backbone_routers(2)
+                .subnets(3 + size % 3)
+                .hosts_per_subnet(5 + size % 5)
+                .build()
+                .unwrap(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline differential property: any random scenario produces
+    /// `==` results under both strategies — series, counters, ledger,
+    /// and (scan logging on) the exact worm emission sequence.
+    #[test]
+    fn tick_and_event_strategies_are_bit_identical(
+        topo_kind in 0usize..3,
+        size in 0usize..120,
+        graph_seed in 0u64..50,
+        defense_kind in 0usize..4,
+        threshold in 2usize..5,
+        chaos_kind in 0usize..3,
+        scans in 1u32..3,
+        self_patch in 0u64..20,
+        immunize in proptest::bool::ANY,
+        background in proptest::bool::ANY,
+        seed in 0u64..500,
+    ) {
+        let world = build_topology(topo_kind, size, graph_seed);
+        let hosts = world.hosts().to_vec();
+        let mut behavior = WormBehavior::random().with_scan_rate(scans);
+        // 0..4 means "no self-patching"; 4..20 is a Welchia-style delay.
+        if self_patch >= 4 {
+            behavior = behavior.with_self_patch_after(self_patch);
+        }
+        let mut builder = SimConfig::builder();
+        builder
+            .beta(0.8)
+            .horizon(80)
+            .initial_infected(2)
+            .log_scans(true);
+        match defense_kind {
+            0 => {}
+            1 => {
+                let mut p = RateLimitPlan::none();
+                p.filter_hosts(&hosts, HostFilter::dropping(50, 2));
+                builder.plan(p);
+            }
+            2 => {
+                let mut p = RateLimitPlan::none();
+                p.filter_hosts(&hosts, HostFilter::delaying(200, 1, 5));
+                builder
+                    .plan(p)
+                    .quarantine(QuarantineConfig { queue_threshold: threshold });
+            }
+            _ => {
+                let mut p = RateLimitPlan::none();
+                // Node 0 is a hub/backbone candidate on every generator.
+                p.limit_node_forwarding(dynaquar_topology::NodeId::new(0), 1.5);
+                builder.plan(p);
+            }
+        }
+        match chaos_kind {
+            0 => {}
+            1 => {
+                builder.faults(
+                    FaultPlan::none()
+                        .with_link_loss(0.3, 0.15)
+                        .with_quarantine_jitter(4)
+                        .with_false_positives(3, (2, 40)),
+                );
+            }
+            _ => {
+                builder.faults(
+                    FaultPlan::none()
+                        .with_node_outages(2, (5, 40), 10)
+                        .with_link_outages(1, (5, 40), 10),
+                );
+            }
+        }
+        if immunize {
+            builder.immunization(ImmunizationConfig {
+                trigger: ImmunizationTrigger::AtTick(10),
+                mu: 0.1,
+            });
+        }
+        if background {
+            builder.background(BackgroundTraffic::new(0.7));
+        }
+        let (tick, event) = both_strategies(&world, &mut builder, behavior, seed);
+        prop_assert_eq!(tick, event);
+    }
+}
+
+/// Regression (active-set hazard 1): a host can be quarantined in the
+/// scan phase and receive a worm delivery in the forwarding phase of
+/// the *same tick*. `HostStates::infect` refuses it, so the event
+/// engine's active index must not resurrect the host as a scanner —
+/// a divergence the differential run below would expose immediately.
+#[test]
+fn host_infected_and_quarantined_in_the_same_tick_is_not_resurrected() {
+    let world = World::from_star(generators::star(79).unwrap());
+    let hosts = world.hosts().to_vec();
+    let mut quarantined_any = false;
+    for seed in 0..12u64 {
+        let mut p = RateLimitPlan::none();
+        // Threshold 1: the very first throttled scan quarantines its
+        // host, so cut-offs land in the same ticks deliveries do.
+        p.filter_hosts(&hosts, HostFilter::delaying(200, 1, 3));
+        let mut builder = SimConfig::builder();
+        builder
+            .beta(1.0)
+            .horizon(60)
+            .initial_infected(4)
+            .log_scans(true)
+            .plan(p)
+            .quarantine(QuarantineConfig { queue_threshold: 1 })
+            .faults(FaultPlan::none().with_false_positives(6, (1, 20)));
+        let (tick, event) = both_strategies(&world, &mut builder, WormBehavior::random(), seed);
+        quarantined_any |= tick.quarantined_hosts > 0 && tick.false_quarantined_hosts > 0;
+        assert_eq!(tick, event, "seed {seed}");
+        assert!(tick.accounting.is_conserved(), "seed {seed}");
+    }
+    assert!(
+        quarantined_any,
+        "the scenario must actually exercise same-tick quarantine + delivery"
+    );
+}
+
+/// Regression (active-set hazard 2): quarantine and the immunization
+/// sweep clear throttle queues whose release timers are still pending.
+/// The event engine must drop those release events with the queue —
+/// releasing from a cleared slot would double-count packets and break
+/// conservation, and clearing a tick late would shift `cleared` vs
+/// `queued_at_end` at the horizon.
+#[test]
+fn release_events_on_cleared_queues_die_with_the_queue() {
+    let world = World::from_star(generators::star(99).unwrap());
+    let hosts = world.hosts().to_vec();
+    let mut cleared_any = false;
+    for seed in 0..12u64 {
+        let mut p = RateLimitPlan::none();
+        // Long release period: queues hold many undelivered timers when
+        // the immunization sweep kills their hosts.
+        p.filter_hosts(&hosts, HostFilter::delaying(200, 1, 15));
+        let mut builder = SimConfig::builder();
+        builder
+            .beta(0.9)
+            .horizon(80)
+            .initial_infected(3)
+            .log_scans(true)
+            .plan(p)
+            .quarantine(QuarantineConfig { queue_threshold: 6 })
+            .immunization(ImmunizationConfig {
+                trigger: ImmunizationTrigger::AtTick(5),
+                mu: 0.25,
+            });
+        let (tick, event) = both_strategies(&world, &mut builder, WormBehavior::random(), seed);
+        cleared_any |= tick.accounting.worm.cleared > 0;
+        assert_eq!(tick, event, "seed {seed}");
+        assert!(tick.accounting.is_conserved(), "seed {seed}");
+    }
+    assert!(
+        cleared_any,
+        "the scenario must actually clear pending release events"
+    );
+}
+
+/// The observer stream — infections, quarantines, patches, faults, and
+/// every per-packet event — is byte-for-byte identical across
+/// strategies, pinning intra-tick event *order*, not just totals.
+#[test]
+fn observer_event_streams_are_byte_identical() {
+    let world = World::from_star(generators::star(59).unwrap());
+    let hosts = world.hosts().to_vec();
+    let mut streams: Vec<Vec<u8>> = Vec::new();
+    for strategy in [SimStrategy::Tick, SimStrategy::Event] {
+        let mut p = RateLimitPlan::none();
+        p.filter_hosts(&hosts, HostFilter::delaying(200, 1, 5));
+        let cfg = SimConfig::builder()
+            .beta(0.9)
+            .horizon(70)
+            .initial_infected(2)
+            .plan(p)
+            .quarantine(QuarantineConfig { queue_threshold: 3 })
+            .background(BackgroundTraffic::new(0.5))
+            .faults(
+                FaultPlan::none()
+                    .with_link_loss(0.2, 0.1)
+                    .with_quarantine_jitter(3)
+                    .with_false_positives(2, (5, 30)),
+            )
+            .strategy(strategy)
+            .build()
+            .unwrap();
+        let mut buf = Vec::new();
+        {
+            let mut writer = JsonlEventWriter::new(&mut buf);
+            let behavior = WormBehavior::random().with_self_patch_after(25);
+            let _ = Simulator::new(&world, &cfg, behavior, 17).run_observed(&mut writer);
+            writer.finish().unwrap();
+        }
+        streams.push(buf);
+    }
+    assert!(!streams[0].is_empty());
+    assert_eq!(
+        streams[0], streams[1],
+        "tick and event observer streams diverged"
+    );
+}
+
+/// Auto resolves per world size (below the threshold: tick; the
+/// explicit strategies pass through) — and every resolution produces
+/// the same result anyway.
+#[test]
+fn auto_selection_matches_explicit_strategies() {
+    let world = World::from_star(generators::star(49).unwrap());
+    let base = SimConfig::builder()
+        .beta(0.8)
+        .horizon(50)
+        .initial_infected(1)
+        .build()
+        .unwrap();
+    let auto = Simulator::new(&world, &base, WormBehavior::random(), 5);
+    // 51 nodes is far below the Auto threshold: tick unless the env
+    // matrix overrides it.
+    let resolved = auto.resolved_strategy();
+    assert_ne!(resolved, SimStrategy::Auto, "construction must resolve Auto");
+    let tick = Simulator::new(
+        &world,
+        &base.clone().with_strategy(SimStrategy::Tick),
+        WormBehavior::random(),
+        5,
+    );
+    assert_eq!(tick.resolved_strategy(), SimStrategy::Tick);
+    let event_cfg = base.with_strategy(SimStrategy::Event);
+    let event = Simulator::new(&world, &event_cfg, WormBehavior::random(), 5);
+    assert_eq!(event.resolved_strategy(), SimStrategy::Event);
+    let a = auto.run();
+    let t = tick.run();
+    let e = event.run();
+    assert_eq!(t, e);
+    assert_eq!(a, t);
+}

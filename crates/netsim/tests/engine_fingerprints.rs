@@ -8,6 +8,12 @@
 //! behaviour. Sums are compared as `{:.17e}` strings: 17 significant
 //! digits round-trips every f64, so a match here is a bit-identity
 //! match.
+//!
+//! Every fingerprinted world now runs under **both stepping
+//! strategies** ([`STRATEGIES`]): the event-driven engine must
+//! reproduce every tick-engine pin bit for bit, with the same
+//! constants on purpose. A pin failure names the strategy that
+//! diverged.
 
 use dynaquar_netsim::background::BackgroundTraffic;
 use dynaquar_netsim::config::{
@@ -16,8 +22,13 @@ use dynaquar_netsim::config::{
 use dynaquar_netsim::faults::FaultPlan;
 use dynaquar_netsim::plan::{HostFilter, RateLimitPlan};
 use dynaquar_netsim::sim::{SimResult, Simulator};
+use dynaquar_netsim::strategy::SimStrategy;
 use dynaquar_netsim::World;
 use dynaquar_topology::generators;
+
+/// Both explicit strategies; every fingerprint world is pinned under
+/// each, so the suite fails loudly if the engines ever diverge.
+const STRATEGIES: [SimStrategy; 2] = [SimStrategy::Tick, SimStrategy::Event];
 
 fn series_sum(s: &dynaquar_epidemic::TimeSeries) -> f64 {
     s.iter().map(|(_, v)| v).sum()
@@ -56,27 +67,42 @@ fn assert_conserved(r: &SimResult) {
 fn dynamic_quarantine_star_is_bit_identical() {
     let w = World::from_star(generators::star(199).unwrap());
     let hosts = w.hosts().to_vec();
-    let mut plan = RateLimitPlan::none();
-    plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
-    let cfg = SimConfig::builder()
-        .beta(0.8)
-        .horizon(200)
-        .initial_infected(2)
-        .plan(plan)
-        .quarantine(QuarantineConfig { queue_threshold: 3 })
-        .build()
-        .unwrap();
-    let r = Simulator::new(&w, &cfg, WormBehavior::random(), 21).run();
-    pin("infected", series_sum(&r.infected_fraction), "3.76884422110552786e-1");
-    pin("ever", series_sum(&r.ever_infected_fraction), "1.46130653266332260e1");
-    pin("immunized", series_sum(&r.immunized_fraction), "1.42361809045226710e1");
-    pin("backlog", series_sum(&r.backlog), "1.50000000000000000e1");
-    assert_eq!(r.delivered_packets, 15);
-    assert_eq!(r.filtered_packets, 0);
-    assert_eq!(r.delayed_packets, 45);
-    assert_eq!(r.quarantined_hosts, 15);
-    assert_eq!(r.residual_packets, 0);
-    assert_conserved(&r);
+    for strategy in STRATEGIES {
+        let mut plan = RateLimitPlan::none();
+        plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(200)
+            .initial_infected(2)
+            .plan(plan)
+            .quarantine(QuarantineConfig { queue_threshold: 3 })
+            .strategy(strategy)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 21).run();
+        pin(
+            &format!("{strategy}/infected"),
+            series_sum(&r.infected_fraction),
+            "3.76884422110552786e-1",
+        );
+        pin(
+            &format!("{strategy}/ever"),
+            series_sum(&r.ever_infected_fraction),
+            "1.46130653266332260e1",
+        );
+        pin(
+            &format!("{strategy}/immunized"),
+            series_sum(&r.immunized_fraction),
+            "1.42361809045226710e1",
+        );
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "1.50000000000000000e1");
+        assert_eq!(r.delivered_packets, 15);
+        assert_eq!(r.filtered_packets, 0);
+        assert_eq!(r.delayed_packets, 45);
+        assert_eq!(r.quarantined_hosts, 15);
+        assert_eq!(r.residual_packets, 0);
+        assert_conserved(&r);
+    }
 }
 
 #[test]
@@ -84,95 +110,135 @@ fn capped_hub_with_background_is_bit_identical() {
     let star = generators::star(99).unwrap();
     let hub = star.hub;
     let w = World::from_star(star);
-    let mut plan = RateLimitPlan::none();
-    plan.limit_links_at_node(w.graph(), hub, 0.3);
-    let cfg = SimConfig::builder()
-        .beta(0.8)
-        .horizon(200)
-        .initial_infected(1)
-        .background(BackgroundTraffic::new(0.5))
-        .plan(plan)
-        .build()
-        .unwrap();
-    let r = Simulator::new(&w, &cfg, WormBehavior::random(), 13).run();
-    pin("infected", series_sum(&r.infected_fraction), "1.70060606060606062e2");
-    pin("backlog", series_sum(&r.backlog), "9.68437000000000000e5");
-    assert_eq!(r.delivered_packets, 1911);
-    assert_eq!(r.background.injected, 100);
-    assert_eq!(r.background.delivered, 26);
-    assert_eq!(r.background.total_delay_ticks, 990);
-    assert_eq!(r.background.max_delay_ticks, 141);
-    assert_eq!(r.background.total_hops, 52);
-    assert_eq!(r.residual_packets, 11333);
-    assert_conserved(&r);
+    for strategy in STRATEGIES {
+        let mut plan = RateLimitPlan::none();
+        plan.limit_links_at_node(w.graph(), hub, 0.3);
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(200)
+            .initial_infected(1)
+            .background(BackgroundTraffic::new(0.5))
+            .plan(plan)
+            .strategy(strategy)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 13).run();
+        pin(
+            &format!("{strategy}/infected"),
+            series_sum(&r.infected_fraction),
+            "1.70060606060606062e2",
+        );
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "9.68437000000000000e5");
+        assert_eq!(r.delivered_packets, 1911);
+        assert_eq!(r.background.injected, 100);
+        assert_eq!(r.background.delivered, 26);
+        assert_eq!(r.background.total_delay_ticks, 990);
+        assert_eq!(r.background.max_delay_ticks, 141);
+        assert_eq!(r.background.total_hops, 52);
+        assert_eq!(r.residual_packets, 11333);
+        assert_conserved(&r);
+    }
 }
 
 #[test]
 fn welchia_self_patch_is_bit_identical() {
     let w = World::from_star(generators::star(199).unwrap());
-    let welchia = WormBehavior::random()
-        .with_scan_rate(3)
-        .with_self_patch_after(12);
-    let cfg = SimConfig::builder()
-        .beta(0.8)
-        .horizon(300)
-        .initial_infected(2)
-        .build()
-        .unwrap();
-    let r = Simulator::new(&w, &cfg, welchia, 31).run();
-    pin("infected", series_sum(&r.infected_fraction), "1.20000000000000000e1");
-    pin("ever", series_sum(&r.ever_infected_fraction), "2.94246231155778901e2");
-    pin("immunized", series_sum(&r.immunized_fraction), "2.82246231155778901e2");
-    assert_eq!(r.delivered_packets, 5180);
-    assert_eq!(r.residual_packets, 0);
-    assert_conserved(&r);
+    for strategy in STRATEGIES {
+        let welchia = WormBehavior::random()
+            .with_scan_rate(3)
+            .with_self_patch_after(12);
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(300)
+            .initial_infected(2)
+            .strategy(strategy)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, welchia, 31).run();
+        pin(
+            &format!("{strategy}/infected"),
+            series_sum(&r.infected_fraction),
+            "1.20000000000000000e1",
+        );
+        pin(
+            &format!("{strategy}/ever"),
+            series_sum(&r.ever_infected_fraction),
+            "2.94246231155778901e2",
+        );
+        pin(
+            &format!("{strategy}/immunized"),
+            series_sum(&r.immunized_fraction),
+            "2.82246231155778901e2",
+        );
+        assert_eq!(r.delivered_packets, 5180);
+        assert_eq!(r.residual_packets, 0);
+        assert_conserved(&r);
+    }
 }
 
 #[test]
 fn kitchen_sink_fault_plan_is_bit_identical() {
     let w = World::from_star(generators::star(149).unwrap());
     let hosts = w.hosts().to_vec();
-    let mut plan = RateLimitPlan::none();
-    plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 8));
-    let faults = FaultPlan::none()
-        .with_link_outages(5, (5, 40), 15)
-        .with_node_outages(3, (5, 40), 15)
-        .with_link_loss(0.2, 0.1)
-        .with_detector_outages(0.2)
-        .with_false_positives(4, (5, 60))
-        .with_quarantine_jitter(4);
-    let cfg = SimConfig::builder()
-        .beta(0.8)
-        .horizon(150)
-        .initial_infected(2)
-        .plan(plan)
-        .quarantine(QuarantineConfig { queue_threshold: 3 })
-        .immunization(ImmunizationConfig {
-            trigger: ImmunizationTrigger::AtInfectedFraction(0.3),
-            mu: 0.05,
-        })
-        .faults(faults)
-        .build()
-        .unwrap();
-    let r = Simulator::new(&w, &cfg, WormBehavior::random(), 9).run();
-    pin("infected", series_sum(&r.infected_fraction), "6.02684563758389480e0");
-    pin("ever", series_sum(&r.ever_infected_fraction), "8.72416107382550194e1");
-    pin("immunized", series_sum(&r.immunized_fraction), "1.21073825503355636e2");
-    pin("backlog", series_sum(&r.backlog), "4.19000000000000000e2");
-    assert_eq!(r.delivered_packets, 317);
-    assert_eq!(r.filtered_packets, 0);
-    assert_eq!(r.delayed_packets, 297);
-    assert_eq!(r.quarantined_hosts, 69);
-    assert_eq!(r.false_quarantined_hosts, 2);
-    assert_eq!(r.lost_packets, 11);
-    assert_eq!(r.residual_packets, 0);
-    assert_conserved(&r);
+    for strategy in STRATEGIES {
+        let mut plan = RateLimitPlan::none();
+        plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 8));
+        let faults = FaultPlan::none()
+            .with_link_outages(5, (5, 40), 15)
+            .with_node_outages(3, (5, 40), 15)
+            .with_link_loss(0.2, 0.1)
+            .with_detector_outages(0.2)
+            .with_false_positives(4, (5, 60))
+            .with_quarantine_jitter(4);
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(150)
+            .initial_infected(2)
+            .plan(plan)
+            .quarantine(QuarantineConfig { queue_threshold: 3 })
+            .immunization(ImmunizationConfig {
+                trigger: ImmunizationTrigger::AtInfectedFraction(0.3),
+                mu: 0.05,
+            })
+            .faults(faults)
+            .strategy(strategy)
+            .build()
+            .unwrap();
+        let r = Simulator::new(&w, &cfg, WormBehavior::random(), 9).run();
+        pin(
+            &format!("{strategy}/infected"),
+            series_sum(&r.infected_fraction),
+            "6.02684563758389480e0",
+        );
+        pin(
+            &format!("{strategy}/ever"),
+            series_sum(&r.ever_infected_fraction),
+            "8.72416107382550194e1",
+        );
+        pin(
+            &format!("{strategy}/immunized"),
+            series_sum(&r.immunized_fraction),
+            "1.21073825503355636e2",
+        );
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "4.19000000000000000e2");
+        assert_eq!(r.delivered_packets, 317);
+        assert_eq!(r.filtered_packets, 0);
+        assert_eq!(r.delayed_packets, 297);
+        assert_eq!(r.quarantined_hosts, 69);
+        assert_eq!(r.false_quarantined_hosts, 2);
+        assert_eq!(r.lost_packets, 11);
+        assert_eq!(r.residual_packets, 0);
+        assert_conserved(&r);
+    }
 }
 
 /// The n = 1000 power-law fingerprint run under a chosen routing
-/// backend: rate-limited hosts plus detection-driven quarantine on the
-/// paper's AS-level topology family.
-fn power_law_1000_run(routing: dynaquar_topology::lazy::RoutingKind) -> SimResult {
+/// backend and stepping strategy: rate-limited hosts plus
+/// detection-driven quarantine on the paper's AS-level topology family.
+fn power_law_1000_run(
+    routing: dynaquar_topology::lazy::RoutingKind,
+    strategy: SimStrategy,
+) -> SimResult {
     let g = generators::barabasi_albert(1000, 2, 3).unwrap();
     let w = World::from_power_law_with(g, 0.05, 0.10, routing);
     let hosts = w.hosts().to_vec();
@@ -184,6 +250,7 @@ fn power_law_1000_run(routing: dynaquar_topology::lazy::RoutingKind) -> SimResul
         .initial_infected(4)
         .plan(plan)
         .quarantine(QuarantineConfig { queue_threshold: 4 })
+        .strategy(strategy)
         .build()
         .unwrap();
     Simulator::new(&w, &cfg, WormBehavior::random(), 17).run()
@@ -207,8 +274,10 @@ fn assert_power_law_1000_fingerprint(r: &SimResult) {
 
 #[test]
 fn power_law_1000_dense_backend_is_bit_identical() {
-    let r = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Dense);
-    assert_power_law_1000_fingerprint(&r);
+    for strategy in STRATEGIES {
+        let r = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Dense, strategy);
+        assert_power_law_1000_fingerprint(&r);
+    }
 }
 
 #[test]
@@ -216,17 +285,82 @@ fn power_law_1000_lazy_backend_is_bit_identical() {
     // An 87-destination cache on a 1000-node world: far under the
     // active destination set, so the run exercises constant eviction
     // and recomputation — and still reproduces the dense fingerprint.
-    let r = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Lazy {
-        max_cached_destinations: 87,
-    });
-    assert_power_law_1000_fingerprint(&r);
+    for strategy in STRATEGIES {
+        let r = power_law_1000_run(
+            dynaquar_topology::lazy::RoutingKind::Lazy {
+                max_cached_destinations: 87,
+            },
+            strategy,
+        );
+        assert_power_law_1000_fingerprint(&r);
+    }
 }
 
 #[test]
 fn power_law_1000_backends_produce_equal_results() {
-    let dense = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Dense);
-    let lazy = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Lazy {
-        max_cached_destinations: 87,
-    });
-    assert_eq!(dense, lazy, "routing backends diverged on the n=1000 run");
+    let dense = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Dense, SimStrategy::Tick);
+    let lazy = power_law_1000_run(
+        dynaquar_topology::lazy::RoutingKind::Lazy {
+            max_cached_destinations: 87,
+        },
+        SimStrategy::Event,
+    );
+    assert_eq!(
+        dense, lazy,
+        "routing backend × stepping strategy diverged on the n=1000 run"
+    );
+}
+
+/// The n = 6000 power-law run — above [`EVENT_AUTO_LIMIT`], so `Auto`
+/// resolves to the event strategy (and lazy routing kicks in on the
+/// `World::from_power_law` auto path). The fingerprint is pinned under
+/// both explicit strategies; a third `Auto` run must equal the event
+/// run exactly.
+fn power_law_6000_run(strategy: SimStrategy) -> SimResult {
+    let g = generators::barabasi_albert(6000, 2, 5).unwrap();
+    let w = World::from_power_law(g, 0.02, 0.05);
+    let hosts = w.hosts().to_vec();
+    let mut plan = RateLimitPlan::none();
+    plan.filter_hosts(&hosts, HostFilter::delaying(200, 2, 12));
+    let cfg = SimConfig::builder()
+        .beta(0.6)
+        .horizon(60)
+        .initial_infected(4)
+        .plan(plan)
+        .quarantine(QuarantineConfig { queue_threshold: 4 })
+        .strategy(strategy)
+        .build()
+        .unwrap();
+    Simulator::new(&w, &cfg, WormBehavior::random(), 23).run()
+}
+
+#[test]
+fn power_law_6000_is_bit_identical_across_strategies() {
+    let mut results = Vec::new();
+    for strategy in STRATEGIES {
+        let r = power_law_6000_run(strategy);
+        pin(
+            &format!("{strategy}/infected"),
+            series_sum(&r.infected_fraction),
+            "3.34731182795698956e0",
+        );
+        pin(
+            &format!("{strategy}/ever"),
+            series_sum(&r.ever_infected_fraction),
+            "5.75215053763440931e0",
+        );
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "1.53800000000000000e4");
+        assert_eq!(r.delivered_packets, 3321);
+        assert_eq!(r.delayed_packets, 6151);
+        assert_eq!(r.quarantined_hosts, 1261);
+        assert_eq!(r.residual_packets, 1061);
+        assert_conserved(&r);
+        results.push(r);
+    }
+    assert_eq!(results[0], results[1], "strategies diverged on the n=6000 run");
+    let auto = power_law_6000_run(SimStrategy::Auto);
+    assert_eq!(
+        auto, results[1],
+        "Auto above the threshold must be the event run exactly"
+    );
 }

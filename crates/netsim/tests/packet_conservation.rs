@@ -22,6 +22,7 @@ use dynaquar_netsim::faults::FaultPlan;
 use dynaquar_netsim::metrics::{JsonlEventWriter, MetricsObserver};
 use dynaquar_netsim::plan::{HostFilter, RateLimitPlan};
 use dynaquar_netsim::sim::{SimResult, Simulator};
+use dynaquar_netsim::strategy::SimStrategy;
 use dynaquar_netsim::World;
 use dynaquar_topology::generators;
 use dynaquar_topology::roles::Role;
@@ -246,8 +247,99 @@ fn conservation_holds_across_filter_cap_and_quarantine_scenarios() {
             let r = Simulator::new(&world, cfg, WormBehavior::random(), seed).run();
             assert!(r.accounting.worm.emitted > 0, "{label}: no scans emitted");
             assert_conserved(&r, label);
+            // The event engine balances the same ledger — and produces
+            // the identical one.
+            let event_cfg = cfg.clone().with_strategy(SimStrategy::Event);
+            let e = Simulator::new(&world, &event_cfg, WormBehavior::random(), seed).run();
+            assert_conserved(&e, label);
+            assert_eq!(r, e, "{label}: strategies diverged");
         }
     }
+}
+
+/// Event-engine edge case: a node outage fires while worm packets are
+/// mid-flight through the downed node. The event engine's in-flight
+/// pool must stall them in place exactly like the tick sweep — every
+/// stalled packet still resolves to a terminal bucket or `in_flight_at_end`.
+#[test]
+fn event_engine_conserves_packets_through_node_outages_mid_flight() {
+    let world = World::from_star(generators::star(49).unwrap());
+    let faults = FaultPlan::none().with_node_outages(4, (5, 30), 20);
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(120)
+        .initial_infected(2)
+        .faults(faults)
+        .strategy(SimStrategy::Event)
+        .build()
+        .unwrap();
+    let mut stalled_any = false;
+    for seed in 0..8u64 {
+        let e = Simulator::new(&world, &cfg, WormBehavior::random(), seed).run();
+        stalled_any |= e.accounting.worm.stalled_on_outage > 0;
+        assert_eq!(
+            e.accounting.worm.unroutable, 0,
+            "outages must stall, not unroute"
+        );
+        assert_conserved(&e, "event engine / node outages");
+        let t = Simulator::new(
+            &world,
+            &cfg.clone().with_strategy(SimStrategy::Tick),
+            WormBehavior::random(),
+            seed,
+        )
+        .run();
+        assert_eq!(t, e, "seed {seed}: strategies diverged under node outages");
+    }
+    assert!(
+        stalled_any,
+        "across 8 seeds at least one run must hit a downed node"
+    );
+}
+
+/// Event-engine edge case: a false-positive quarantine cuts off a
+/// *clean* host whose delay queue still holds throttled background-era
+/// scans. The clear must ledger those packets as `cleared` — and the
+/// pending release events the event engine holds for that queue must
+/// die with it, or conservation breaks.
+#[test]
+fn event_engine_conserves_packets_through_false_positive_quarantine() {
+    let world = World::from_star(generators::star(99).unwrap());
+    let hosts = world.hosts().to_vec();
+    let mut plan = RateLimitPlan::none();
+    plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(120)
+        .initial_infected(2)
+        .plan(plan)
+        .quarantine(QuarantineConfig { queue_threshold: 3 })
+        .faults(
+            FaultPlan::none()
+                .with_false_positives(6, (5, 60))
+                .with_quarantine_jitter(3),
+        )
+        .strategy(SimStrategy::Event)
+        .build()
+        .unwrap();
+    let mut false_any = false;
+    for seed in 0..8u64 {
+        let e = Simulator::new(&world, &cfg, WormBehavior::random(), seed).run();
+        false_any |= e.false_quarantined_hosts > 0;
+        assert_conserved(&e, "event engine / false positives");
+        let t = Simulator::new(
+            &world,
+            &cfg.clone().with_strategy(SimStrategy::Tick),
+            WormBehavior::random(),
+            seed,
+        )
+        .run();
+        assert_eq!(t, e, "seed {seed}: strategies diverged under false positives");
+    }
+    assert!(
+        false_any,
+        "the fault plan must actually quarantine clean hosts"
+    );
 }
 
 #[test]

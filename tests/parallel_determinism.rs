@@ -1,12 +1,17 @@
 //! Property tests for the deterministic parallel runner: thread count
-//! must never leak into results.
+//! must never leak into results — and neither must the stepping
+//! strategy.
 //!
 //! The contract under test (see `dynaquar_netsim::runner`): because each
 //! seeded run derives all of its randomness from its own seed and results
 //! are collected in seed order, `run_averaged` / `run_supervised` /
 //! `infected_envelope` are **bit-identical** for worker pools of 1, 2,
 //! and 8 threads — under fault-free runs, under a non-empty `FaultPlan`,
-//! and with panicking runs retried/dropped by the supervisor.
+//! and with panicking runs retried/dropped by the supervisor. Every
+//! ensemble is additionally swept across the tick and event stepping
+//! strategies against one serial tick baseline, so the matrix is
+//! (threads × strategy) and any divergence between the engines shows up
+//! as an ensemble mismatch here too.
 
 use dynaquar::netsim::config::{SimConfig, WormBehavior};
 use dynaquar::netsim::faults::FaultPlan;
@@ -14,22 +19,25 @@ use dynaquar::netsim::runner::{
     run_averaged_parallel, run_supervised_with_parallel, ParallelConfig, RunAttempt,
     SupervisorConfig,
 };
+use dynaquar::netsim::strategy::SimStrategy;
 use dynaquar::netsim::{Simulator, World};
 use dynaquar::topology::generators;
 use proptest::prelude::*;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const STRATEGIES: [SimStrategy; 2] = [SimStrategy::Tick, SimStrategy::Event];
 
 fn world() -> World {
     World::from_star(generators::star(49).expect("valid star"))
 }
 
-fn config(faults: FaultPlan) -> SimConfig {
+fn config(faults: FaultPlan, strategy: SimStrategy) -> SimConfig {
     SimConfig::builder()
         .beta(0.8)
         .horizon(50)
         .initial_infected(1)
         .faults(faults)
+        .strategy(strategy)
         .build()
         .expect("valid config")
 }
@@ -42,21 +50,27 @@ proptest! {
     #[test]
     fn run_averaged_is_thread_count_invariant(base_seed in 0u64..1000) {
         let w = world();
-        let cfg = config(FaultPlan::none());
         let seeds: Vec<u64> = (0..5).map(|k| base_seed + k).collect();
         let serial = run_averaged_parallel(
-            &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::serial(),
+            &w,
+            &config(FaultPlan::none(), SimStrategy::Tick),
+            WormBehavior::random(),
+            &seeds,
+            &ParallelConfig::serial(),
         );
-        for threads in THREAD_COUNTS {
-            let pooled = run_averaged_parallel(
-                &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::new(threads),
-            );
-            prop_assert_eq!(&serial.infected_fraction, &pooled.infected_fraction);
-            prop_assert_eq!(&serial.ever_infected_fraction, &pooled.ever_infected_fraction);
-            prop_assert_eq!(&serial.immunized_fraction, &pooled.immunized_fraction);
-            prop_assert_eq!(&serial.runs, &pooled.runs);
-            prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
-            prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+        for strategy in STRATEGIES {
+            let cfg = config(FaultPlan::none(), strategy);
+            for threads in THREAD_COUNTS {
+                let pooled = run_averaged_parallel(
+                    &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::new(threads),
+                );
+                prop_assert_eq!(&serial.infected_fraction, &pooled.infected_fraction);
+                prop_assert_eq!(&serial.ever_infected_fraction, &pooled.ever_infected_fraction);
+                prop_assert_eq!(&serial.immunized_fraction, &pooled.immunized_fraction);
+                prop_assert_eq!(&serial.runs, &pooled.runs);
+                prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
+                prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+            }
         }
     }
 
@@ -71,18 +85,27 @@ proptest! {
             .with_detector_outages(0.2)
             .with_false_positives(4, (5, 30))
             .with_quarantine_jitter(5);
-        let cfg = config(faults);
         let seeds: Vec<u64> = (0..5).map(|k| base_seed + k).collect();
         let serial = run_averaged_parallel(
-            &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::serial(),
+            &w,
+            &config(faults.clone(), SimStrategy::Tick),
+            WormBehavior::random(),
+            &seeds,
+            &ParallelConfig::serial(),
         );
-        for threads in THREAD_COUNTS {
-            let pooled = run_averaged_parallel(
-                &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::new(threads),
-            );
-            prop_assert_eq!(&serial.runs, &pooled.runs, "threads = {}", threads);
-            prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
-            prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+        for strategy in STRATEGIES {
+            let cfg = config(faults.clone(), strategy);
+            for threads in THREAD_COUNTS {
+                let pooled = run_averaged_parallel(
+                    &w, &cfg, WormBehavior::random(), &seeds, &ParallelConfig::new(threads),
+                );
+                prop_assert_eq!(
+                    &serial.runs, &pooled.runs,
+                    "threads = {} strategy = {}", threads, strategy
+                );
+                prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
+                prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+            }
         }
     }
 
@@ -96,25 +119,37 @@ proptest! {
         panic_mod in 2u64..4,
     ) {
         let w = world();
-        let cfg = config(FaultPlan::none());
         let seeds: Vec<u64> = (0..6).map(|k| base_seed + k).collect();
-        let run = |a: RunAttempt| {
+        let serial_cfg = config(FaultPlan::none(), SimStrategy::Tick);
+        let serial_run = |a: RunAttempt| {
             if a.attempt == 1 && a.seed.is_multiple_of(panic_mod) {
                 panic!("injected: seed {} fails its first attempt", a.seed);
             }
-            Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+            Simulator::new(&w, &serial_cfg, WormBehavior::random(), a.run_seed).run()
         };
         let serial = run_supervised_with_parallel(
-            &seeds, &SupervisorConfig::default(), &ParallelConfig::serial(), run,
+            &seeds, &SupervisorConfig::default(), &ParallelConfig::serial(), serial_run,
         ).expect("retries always succeed");
-        for threads in THREAD_COUNTS {
-            let pooled = run_supervised_with_parallel(
-                &seeds, &SupervisorConfig::default(), &ParallelConfig::new(threads), run,
-            ).expect("retries always succeed");
-            prop_assert_eq!(&serial.runs, &pooled.runs, "threads = {}", threads);
-            prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
-            prop_assert_eq!(&serial.infected_fraction, &pooled.infected_fraction);
-            prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+        for strategy in STRATEGIES {
+            let cfg = config(FaultPlan::none(), strategy);
+            let run = |a: RunAttempt| {
+                if a.attempt == 1 && a.seed.is_multiple_of(panic_mod) {
+                    panic!("injected: seed {} fails its first attempt", a.seed);
+                }
+                Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+            };
+            for threads in THREAD_COUNTS {
+                let pooled = run_supervised_with_parallel(
+                    &seeds, &SupervisorConfig::default(), &ParallelConfig::new(threads), run,
+                ).expect("retries always succeed");
+                prop_assert_eq!(
+                    &serial.runs, &pooled.runs,
+                    "threads = {} strategy = {}", threads, strategy
+                );
+                prop_assert_eq!(&serial.outcomes, &pooled.outcomes);
+                prop_assert_eq!(&serial.infected_fraction, &pooled.infected_fraction);
+                prop_assert_eq!(serial.infected_envelope(), pooled.infected_envelope());
+            }
         }
     }
 }
@@ -124,31 +159,43 @@ proptest! {
 #[test]
 fn dropped_runs_are_thread_count_invariant() {
     let w = world();
-    let cfg = config(FaultPlan::none());
     let seeds: Vec<u64> = (0..6).collect();
-    let run = |a: RunAttempt| {
-        if a.seed == 2 || a.seed == 4 {
-            panic!("injected: seed {} always fails", a.seed);
-        }
-        Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
-    };
-    let serial = run_supervised_with_parallel(
-        &seeds,
-        &SupervisorConfig::default(),
-        &ParallelConfig::serial(),
-        run,
-    )
-    .expect("four survivors");
-    assert_eq!(serial.dropped_runs(), 2);
-    for threads in THREAD_COUNTS {
-        let pooled = run_supervised_with_parallel(
+    let mut baseline = None;
+    for strategy in STRATEGIES {
+        let cfg = config(FaultPlan::none(), strategy);
+        let run = |a: RunAttempt| {
+            if a.seed == 2 || a.seed == 4 {
+                panic!("injected: seed {} always fails", a.seed);
+            }
+            Simulator::new(&w, &cfg, WormBehavior::random(), a.run_seed).run()
+        };
+        let serial = run_supervised_with_parallel(
             &seeds,
             &SupervisorConfig::default(),
-            &ParallelConfig::new(threads),
+            &ParallelConfig::serial(),
             run,
         )
         .expect("four survivors");
-        assert_eq!(serial.runs, pooled.runs, "threads = {threads}");
-        assert_eq!(serial.outcomes, pooled.outcomes);
+        assert_eq!(serial.dropped_runs(), 2);
+        for threads in THREAD_COUNTS {
+            let pooled = run_supervised_with_parallel(
+                &seeds,
+                &SupervisorConfig::default(),
+                &ParallelConfig::new(threads),
+                run,
+            )
+            .expect("four survivors");
+            assert_eq!(serial.runs, pooled.runs, "threads = {threads} strategy = {strategy}");
+            assert_eq!(serial.outcomes, pooled.outcomes);
+        }
+        // Both strategies drop the same seeds and keep the same
+        // survivors — the ensemble is strategy-invariant too.
+        match &baseline {
+            None => baseline = Some(serial),
+            Some(b) => {
+                assert_eq!(b.runs, serial.runs, "strategy = {strategy}");
+                assert_eq!(b.outcomes, serial.outcomes);
+            }
+        }
     }
 }
