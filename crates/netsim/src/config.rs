@@ -147,6 +147,28 @@ pub struct ImmunizationConfig {
     pub mu: f64,
 }
 
+/// Periodic crash-safe checkpointing of a running simulation.
+///
+/// When installed via [`SimConfigBuilder::checkpoint_every`], the
+/// simulator writes an atomic [`crate::snapshot::Snapshot`] of its
+/// complete state to `directory` every `every_ticks` ticks. The run
+/// supervisor uses the latest checkpoint to resume a run that panicked
+/// mid-flight instead of restarting it from scratch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint cadence in ticks (>= 1).
+    pub every_ticks: u64,
+    /// Directory checkpoint files land in (created on first write).
+    pub directory: std::path::PathBuf,
+}
+
+impl CheckpointPolicy {
+    /// The checkpoint file path for the run with the given seed.
+    pub fn path_for(&self, seed: u64) -> std::path::PathBuf {
+        self.directory.join(format!("ckpt-{seed}.dqsnap"))
+    }
+}
+
 /// Full simulation configuration.
 ///
 /// Build with [`SimConfig::builder`].
@@ -167,6 +189,8 @@ pub struct SimConfig {
     pub(crate) plan: RateLimitPlan,
     #[serde(skip)]
     pub(crate) faults: FaultPlan,
+    #[serde(skip)]
+    pub(crate) checkpoint: Option<CheckpointPolicy>,
 }
 
 impl SimConfig {
@@ -232,6 +256,18 @@ impl SimConfig {
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
     }
+
+    /// Returns this configuration with `faults` swapped in — used by
+    /// the checkpoint supervisor to resume with injected panics cleared.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The checkpoint policy, if periodic checkpointing is enabled.
+    pub fn checkpoint(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
+    }
 }
 
 /// Builder for [`SimConfig`].
@@ -247,6 +283,7 @@ pub struct SimConfigBuilder {
     strategy: SimStrategy,
     plan: RateLimitPlan,
     faults: FaultPlan,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for SimConfigBuilder {
@@ -262,6 +299,7 @@ impl Default for SimConfigBuilder {
             strategy: SimStrategy::Auto,
             plan: RateLimitPlan::none(),
             faults: FaultPlan::none(),
+            checkpoint: None,
         }
     }
 }
@@ -328,6 +366,23 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables periodic crash-safe checkpointing: every `every_ticks`
+    /// ticks the simulator atomically writes a complete
+    /// [`crate::snapshot::Snapshot`] into `directory`, and the run
+    /// supervisor resumes a panicked run from the latest checkpoint
+    /// instead of restarting it.
+    pub fn checkpoint_every(
+        &mut self,
+        every_ticks: u64,
+        directory: impl Into<std::path::PathBuf>,
+    ) -> &mut Self {
+        self.checkpoint = Some(CheckpointPolicy {
+            every_ticks,
+            directory: directory.into(),
+        });
+        self
+    }
+
     /// Picks the stepping strategy (default [`SimStrategy::Auto`]:
     /// tick-driven up to the routing size threshold, event-driven
     /// above — see `netsim::strategy`). Both strategies are
@@ -390,6 +445,14 @@ impl SimConfigBuilder {
                 }
             }
         }
+        if let Some(cp) = &self.checkpoint {
+            if cp.every_ticks == 0 {
+                return Err(Error::InvalidConfig {
+                    name: "checkpoint_every",
+                    reason: "checkpoint cadence must be at least one tick",
+                });
+            }
+        }
         self.plan.validate()?;
         self.faults.validate()?;
         Ok(SimConfig {
@@ -403,6 +466,7 @@ impl SimConfigBuilder {
             strategy: self.strategy,
             plan: self.plan.clone(),
             faults: self.faults.clone(),
+            checkpoint: self.checkpoint.clone(),
         })
     }
 }

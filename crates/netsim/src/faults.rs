@@ -186,6 +186,23 @@ impl FaultPlan {
         self == &FaultPlan::none()
     }
 
+    /// This plan with the injected run failures (fixed-tick and
+    /// transient panics) cleared, every physical fault kept.
+    ///
+    /// Used by the checkpoint supervisor: a resume should replay the
+    /// same world faults without re-tripping the injected crash. The
+    /// physical fault schedule is unchanged because `panic_at_tick`
+    /// costs no RNG draws and the transient-panic probe is deliberately
+    /// the *last* draw in [`FaultPlan::expand`] — clearing either leaves
+    /// every preceding draw, and hence every outage/loss/detector/
+    /// false-quarantine realization, byte-identical.
+    pub fn without_injected_panics(&self) -> Self {
+        let mut plan = self.clone();
+        plan.panic_at_tick = None;
+        plan.transient_failure_probability = 0.0;
+        plan
+    }
+
     /// Validates ranges: fractions and probabilities in `[0, 1]`,
     /// windows ordered, outage durations nonzero.
     ///
@@ -378,6 +395,61 @@ impl FaultSchedule {
             && self.quarantine_jitter == 0
             && self.panic_at_tick.is_none()
             && !self.transient_panic
+    }
+}
+
+/// Checkpoint-file chaos: deliberately damage a snapshot on disk the
+/// way real crashes and bit rot do, so resilience tests can assert the
+/// loader answers with the matching typed
+/// [`SnapshotError`](crate::snapshot::SnapshotError) instead of
+/// panicking or silently resuming wrong state.
+pub mod chaos {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    use std::path::Path;
+
+    /// Truncates the file to its first `keep` bytes — a torn write.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn corrupt_truncate(path: &Path, keep: u64) -> std::io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep)?;
+        file.sync_all()
+    }
+
+    /// Flips the lowest bit of the byte at `byte_offset` — silent media
+    /// corruption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (including seeking past the end).
+    pub fn corrupt_flip_bit(path: &Path, byte_offset: u64) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        file.seek(SeekFrom::Start(byte_offset))?;
+        let mut byte = [0u8; 1];
+        file.read_exact(&mut byte)?;
+        byte[0] ^= 1;
+        file.seek(SeekFrom::Start(byte_offset))?;
+        file.write_all(&byte)?;
+        file.sync_all()
+    }
+
+    /// Increments the format-version word (bytes 8..12) — a snapshot
+    /// from a future build.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn corrupt_version_bump(path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+        file.seek(SeekFrom::Start(8))?;
+        let mut word = [0u8; 4];
+        file.read_exact(&mut word)?;
+        let bumped = u32::from_le_bytes(word).wrapping_add(1);
+        file.seek(SeekFrom::Start(8))?;
+        file.write_all(&bumped.to_le_bytes())?;
+        file.sync_all()
     }
 }
 

@@ -57,11 +57,12 @@ pub mod observer;
 pub mod plan;
 pub mod runner;
 pub mod sim;
+pub mod snapshot;
 mod soa;
 pub mod strategy;
 pub mod world;
 
-pub use config::{SimConfig, WormBehavior};
+pub use config::{CheckpointPolicy, SimConfig, WormBehavior};
 pub use error::Error;
 pub use faults::{FaultPlan, FaultSchedule};
 pub use metrics::{
@@ -71,5 +72,6 @@ pub use metrics::{
 pub use plan::RateLimitPlan;
 pub use runner::{ParallelConfig, RunOutcome, RunTiming, RunnerError, SupervisorConfig, WorkerStats};
 pub use sim::{SimResult, Simulator};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use strategy::SimStrategy;
 pub use world::World;

@@ -25,9 +25,10 @@
 //! [`RunnerError::QuorumNotReached`] is returned when fewer than
 //! [`SupervisorConfig::min_survivors`] runs survive.
 
-use crate::config::{SimConfig, WormBehavior};
+use crate::config::{CheckpointPolicy, SimConfig, WormBehavior};
 use crate::metrics::{PacketAccounting, PhaseProfile};
 use crate::sim::{SimResult, Simulator};
+use crate::snapshot::Snapshot;
 use crate::world::World;
 use dynaquar_epidemic::TimeSeries;
 pub use dynaquar_parallel::{ParallelConfig, WorkerStats};
@@ -141,6 +142,20 @@ pub enum RunOutcome {
         seed: u64,
         /// Attempts spent before giving up.
         attempts: u32,
+    },
+    /// The run panicked mid-flight and was resumed from its latest
+    /// on-disk checkpoint (same seed, same trajectory — the result is
+    /// bit-identical to a run that never crashed). Only produced when
+    /// the config carries a
+    /// [`CheckpointPolicy`](crate::config::CheckpointPolicy).
+    ResumedFromCheckpoint {
+        /// The requested seed (also the seed the resumed run finished
+        /// with — resume does not reseed).
+        seed: u64,
+        /// Total attempts spent (the crashed one plus the resume).
+        attempts: u32,
+        /// The checkpoint tick the run restarted from.
+        resumed_at_tick: u64,
     },
 }
 
@@ -405,10 +420,26 @@ pub fn run_supervised_with_parallel<F>(
 where
     F: Fn(RunAttempt) -> SimResult + Sync,
 {
+    run_batch(seeds, supervisor, parallel, |seed| {
+        supervise_one(seed, supervisor, &run)
+    })
+}
+
+/// Fans one supervision function out over the seed list and assembles
+/// the surviving results into an [`AveragedResult`] — shared by the
+/// retry-only and checkpoint-resume supervision paths so the quorum,
+/// ordering, and merge semantics cannot drift apart.
+fn run_batch<S>(
+    seeds: &[u64],
+    supervisor: &SupervisorConfig,
+    parallel: &ParallelConfig,
+    supervise: S,
+) -> Result<AveragedResult, RunnerError>
+where
+    S: Fn(u64) -> (RunOutcome, Option<SimResult>) + Sync,
+{
     let (results, report) =
-        dynaquar_parallel::ordered_map_report(parallel, seeds.to_vec(), |_, seed| {
-            supervise_one(seed, supervisor, &run)
-        });
+        dynaquar_parallel::ordered_map_report(parallel, seeds.to_vec(), |_, seed| supervise(seed));
 
     let quorum = supervisor.min_survivors.max(1);
     let outcomes: Vec<RunOutcome> = results.iter().map(|(o, _)| *o).collect();
@@ -480,6 +511,12 @@ pub fn run_supervised(
 }
 
 /// [`run_supervised`] on an explicitly sized worker pool.
+///
+/// When the config carries a
+/// [`CheckpointPolicy`](crate::config::CheckpointPolicy), a crashed run
+/// is first resumed from its latest checkpoint (preserving the seed's
+/// exact trajectory) before the reseeding retry ladder is considered;
+/// see [`RunOutcome::ResumedFromCheckpoint`].
 pub fn run_supervised_parallel(
     world: &World,
     config: &SimConfig,
@@ -488,9 +525,98 @@ pub fn run_supervised_parallel(
     supervisor: &SupervisorConfig,
     parallel: &ParallelConfig,
 ) -> Result<AveragedResult, RunnerError> {
+    if let Some(policy) = config.checkpoint() {
+        return run_batch(seeds, supervisor, parallel, |seed| {
+            supervise_one_checkpointed(world, config, behavior, seed, supervisor, policy)
+        });
+    }
     run_supervised_with_parallel(seeds, supervisor, parallel, |a: RunAttempt| {
         Simulator::new(world, config, behavior, a.run_seed).run()
     })
+}
+
+/// Supervision for one seed when checkpoints are on disk: fresh run
+/// first; on panic, resume the same trajectory from the latest
+/// checkpoint (with injected panics disarmed — the physical fault
+/// schedule is untouched, see
+/// [`FaultPlan::without_injected_panics`](crate::faults::FaultPlan::without_injected_panics));
+/// only if no checkpoint exists or the resume itself dies does the
+/// reseeding retry ladder take over.
+fn supervise_one_checkpointed(
+    world: &World,
+    config: &SimConfig,
+    behavior: WormBehavior,
+    seed: u64,
+    supervisor: &SupervisorConfig,
+    policy: &CheckpointPolicy,
+) -> (RunOutcome, Option<SimResult>) {
+    let fresh = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Simulator::new(world, config, behavior, seed).run()
+    }));
+    if let Ok(result) = fresh {
+        return (RunOutcome::Completed { seed }, Some(result));
+    }
+
+    // The crashed attempt checkpointed as it went; restart from the
+    // latest snapshot instead of burning the whole prefix. The resumed
+    // run keeps checkpointing (same policy), but must not re-arm the
+    // panic injection that just killed us — it would fire on every
+    // resume at or before its tick.
+    if let Ok(snap) = Snapshot::read(&policy.path_for(seed)) {
+        let resume_config = config
+            .clone()
+            .with_faults(config.faults().without_injected_panics());
+        let resumed_at_tick = snap.tick();
+        let resumed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulator::resume_with(world, &resume_config, behavior, &snap).map(Simulator::run)
+        }));
+        if let Ok(Ok(result)) = resumed {
+            return (
+                RunOutcome::ResumedFromCheckpoint {
+                    seed,
+                    attempts: 2,
+                    resumed_at_tick,
+                },
+                Some(result),
+            );
+        }
+    }
+
+    // No checkpoint landed before the crash (or the resume failed too):
+    // fall back to the plain retry ladder from attempt 2, mirroring
+    // `supervise_one`'s backoff-then-reseed ordering.
+    let budget = supervisor.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        if attempt >= budget {
+            return (
+                RunOutcome::Dropped {
+                    seed,
+                    attempts: attempt,
+                },
+                None,
+            );
+        }
+        let backoff = supervisor.backoff_for(attempt);
+        if !backoff.is_zero() {
+            (supervisor.sleeper)(backoff);
+        }
+        attempt += 1;
+        let run_seed = derive_retry_seed(seed, attempt);
+        let retried = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Simulator::new(world, config, behavior, run_seed).run()
+        }));
+        if let Ok(result) = retried {
+            return (
+                RunOutcome::Retried {
+                    seed,
+                    attempts: attempt,
+                    final_seed: run_seed,
+                },
+                Some(result),
+            );
+        }
+    }
 }
 
 /// Runs the simulation once per seed (on the default worker pool) and

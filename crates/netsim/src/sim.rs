@@ -22,12 +22,13 @@
 //!    it; a background packet updates the collateral statistics.
 
 use crate::background::BackgroundStats;
-use crate::config::{ImmunizationTrigger, SimConfig, WormBehavior};
+use crate::config::{CheckpointPolicy, ImmunizationTrigger, SimConfig, WormBehavior};
 use crate::error::Error;
 use crate::faults::{FaultEvent, FaultSchedule, FAULT_STREAM_SALT};
 use crate::metrics::{DropReason, PacketAccounting, PacketKind, Phase, PhaseProfile};
 use crate::observer::{NullObserver, SimObserver, TickSnapshot};
 use crate::plan::{FilterDiscipline, HostFilter};
+use crate::snapshot::{config_fingerprint, world_fingerprint, Snapshot, SnapshotError};
 use crate::soa::{idx32, HostStates, NodeState, Packet, PacketPool};
 use crate::strategy::SimStrategy;
 use crate::world::World;
@@ -192,6 +193,23 @@ pub struct Simulator<'w> {
     /// Recycled per-tick candidate buffer (activity-index snapshots are
     /// taken before mutating, since firing an event edits the index).
     scratch_hosts: Vec<u32>,
+    /// The run seed: names the checkpoint file and travels in the
+    /// snapshot header so a resume can rebuild seed-derived state.
+    seed: u64,
+    /// Ticks simulated so far — the cursor [`Simulator::run_until`]
+    /// advances and a resumed run starts from.
+    tick: u64,
+    /// Per-tick infected-fraction series recorded so far.
+    series_infected: TimeSeries,
+    /// Per-tick ever-infected-fraction series recorded so far.
+    series_ever: TimeSeries,
+    /// Per-tick immunized-fraction series recorded so far.
+    series_immune: TimeSeries,
+    /// Per-tick network-backlog series recorded so far.
+    series_backlog: TimeSeries,
+    /// One-shot latch for the checkpoint-write failure warning (a run
+    /// keeps going on its last good checkpoint rather than failing).
+    checkpoint_warned: bool,
 }
 
 impl std::fmt::Debug for Simulator<'_> {
@@ -344,7 +362,21 @@ impl<'w> Simulator<'w> {
             capped_links,
             capped_nodes,
             scratch_hosts: Vec::new(),
+            seed,
+            tick: 0,
+            series_infected: TimeSeries::with_capacity(config.horizon() as usize + 1),
+            series_ever: TimeSeries::with_capacity(config.horizon() as usize + 1),
+            series_immune: TimeSeries::with_capacity(config.horizon() as usize + 1),
+            series_backlog: TimeSeries::with_capacity(config.horizon() as usize + 1),
+            checkpoint_warned: false,
         })
+    }
+
+    /// Ticks simulated so far (0 before the first
+    /// [`Simulator::run_until`] segment; the snapshot tick after a
+    /// resume).
+    pub fn current_tick(&self) -> u64 {
+        self.tick
     }
 
     /// The stepping strategy this run uses, resolved against the world
@@ -974,38 +1006,63 @@ impl<'w> Simulator<'w> {
     /// *not* reported through [`SimObserver::on_infection`]; every
     /// infection during the run is.
     pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimResult {
+        self.run_until(self.config.horizon(), observer);
+        self.finish()
+    }
+
+    /// Records the census at tick `t` into the result series and
+    /// returns the infected fraction (the immunization trigger's input
+    /// for the next tick).
+    fn record_census(&mut self, t: u64) -> f64 {
+        self.debug_check_census();
+        let hosts = self.host_count() as f64;
+        let i = self.host_state.infected() as f64 / hosts;
+        self.series_infected.push(t as f64, i);
+        self.series_ever
+            .push(t as f64, self.host_state.ever_infected() as f64 / hosts);
+        self.series_immune
+            .push(t as f64, self.host_state.immunized() as f64 / hosts);
+        i
+    }
+
+    /// Advances the simulation through tick `target.min(horizon)`,
+    /// delivering per-event callbacks to `observer`. Call repeatedly to
+    /// step a run in segments — each segment continues bit-identically
+    /// where the previous one stopped — then [`Simulator::finish`] to
+    /// close the ledger and take the [`SimResult`]. A tick-0 census is
+    /// recorded once, at the start of the first segment of a fresh run
+    /// (a resumed simulator already carries it in its restored series).
+    ///
+    /// When the config carries a [`CheckpointPolicy`], every
+    /// `every_ticks`-th tick atomically writes a snapshot after the
+    /// tick completes.
+    pub fn run_until(&mut self, target: u64, observer: &mut dyn SimObserver) {
         use std::time::Instant;
 
-        let hosts = self.host_count() as f64;
-        let mut infected = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
-        let mut ever = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
-        let mut immune = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
-        let mut backlog = TimeSeries::with_capacity(self.config.horizon() as usize + 1);
-
+        let target = target.min(self.config.horizon());
         // One dynamic dispatch up front; the per-packet hot paths then
         // test a plain bool.
         self.packet_events = observer.wants_packet_events();
 
-        let record =
-            |sim: &Simulator<'_>, t: u64, inf: &mut TimeSeries, ev: &mut TimeSeries, im: &mut TimeSeries| {
-                sim.debug_check_census();
-                let i = sim.host_state.infected() as f64 / hosts;
-                inf.push(t as f64, i);
-                ev.push(t as f64, sim.host_state.ever_infected() as f64 / hosts);
-                im.push(t as f64, sim.host_state.immunized() as f64 / hosts);
-                i
-            };
-
-        // Detector outages predate the run: report them up front.
-        for i in 0..self.faults.disabled_detectors.len() {
-            let h = self.faults.disabled_detectors[i];
-            observer.on_fault(0, FaultEvent::DetectorDisabled(h));
+        if self.tick == 0 && self.series_infected.is_empty() {
+            // Detector outages predate the run: report them up front.
+            for i in 0..self.faults.disabled_detectors.len() {
+                let h = self.faults.disabled_detectors[i];
+                observer.on_fault(0, FaultEvent::DetectorDisabled(h));
+            }
+            self.record_census(0);
+            self.series_backlog.push(0.0, 0.0);
         }
         let transient_panic_tick = (self.config.horizon() / 2).max(1);
+        // Exactly the value the latest census push recorded (the same
+        // pure division), so a resumed segment hands the immunization
+        // trigger the same input the uninterrupted run would.
+        let mut infected_fraction =
+            self.host_state.infected() as f64 / self.host_count() as f64;
+        let checkpoint = self.config.checkpoint().cloned();
 
-        let mut infected_fraction = record(&self, 0, &mut infected, &mut ever, &mut immune);
-        backlog.push(0.0, 0.0);
-        for tick in 1..=self.config.horizon() {
+        while self.tick < target {
+            let tick = self.tick + 1;
             if self.faults.panic_at_tick == Some(tick) {
                 panic!("injected fault: deliberate panic at tick {tick}");
             }
@@ -1030,8 +1087,10 @@ impl<'w> Simulator<'w> {
             self.phases.add(Phase::GenerateBackground, t5 - t4);
             self.forward_packets(tick, observer);
             self.phases.add(Phase::ForwardPackets, t5.elapsed());
-            infected_fraction = record(&self, tick, &mut infected, &mut ever, &mut immune);
-            backlog.push(tick as f64, self.packets.queued() as f64);
+            infected_fraction = self.record_census(tick);
+            self.series_backlog
+                .push(tick as f64, self.packets.queued() as f64);
+            self.tick = tick;
             observer.on_tick(
                 tick,
                 TickSnapshot {
@@ -1041,8 +1100,36 @@ impl<'w> Simulator<'w> {
                     in_flight: self.packets.queued(),
                 },
             );
+            if let Some(cp) = &checkpoint {
+                if tick.is_multiple_of(cp.every_ticks) {
+                    self.write_checkpoint(cp);
+                }
+            }
         }
-        self.phases.ticks = self.config.horizon();
+    }
+
+    /// Writes the periodic checkpoint, keeping the run alive on
+    /// failure: the previous checkpoint file survives ([`Snapshot`]
+    /// writes are atomic) and a one-shot warning names the error.
+    fn write_checkpoint(&mut self, policy: &CheckpointPolicy) {
+        let path = policy.path_for(self.seed);
+        if let Err(e) = self.snapshot().write_atomic(&path) {
+            if !self.checkpoint_warned {
+                self.checkpoint_warned = true;
+                eprintln!(
+                    "warning: checkpoint write to {} failed ({e}); \
+                     continuing on the last good checkpoint",
+                    path.display()
+                );
+            }
+        }
+    }
+
+    /// Closes the packet ledger and returns the result for the ticks
+    /// simulated so far (the full [`SimResult`] when the run reached
+    /// its horizon).
+    pub fn finish(mut self) -> SimResult {
+        self.phases.ticks = self.tick;
 
         // Close the ledger: whatever is still moving or queued is the
         // end-of-run backlog, and with it every emission is accounted
@@ -1070,10 +1157,10 @@ impl<'w> Simulator<'w> {
         );
 
         SimResult {
-            infected_fraction: infected,
-            ever_infected_fraction: ever,
-            immunized_fraction: immune,
-            backlog,
+            infected_fraction: std::mem::take(&mut self.series_infected),
+            ever_infected_fraction: std::mem::take(&mut self.series_ever),
+            immunized_fraction: std::mem::take(&mut self.series_immune),
+            backlog: std::mem::take(&mut self.series_backlog),
             delivered_packets: self.accounting.worm.delivered,
             filtered_packets: self.accounting.worm.filtered,
             delayed_packets: self.accounting.worm.delayed,
@@ -1092,6 +1179,384 @@ impl<'w> Simulator<'w> {
     pub fn host_filter(&self, node: NodeId) -> Option<HostFilter> {
         self.host_filter_cfg[node.index()]
     }
+
+    /// Captures the complete engine state at the current tick.
+    ///
+    /// Everything bit-identity-critical is serialized verbatim (RNG
+    /// words, slab and free-list order, limiter windows, token
+    /// accumulators, counters, recorded series); state that is a pure
+    /// function of serialized state — activity index sets, the fault
+    /// schedule, outage flags — is rebuilt on resume instead.
+    pub fn snapshot(&self) -> Snapshot {
+        let (status_codes, infected_since, ever_infected) = self.host_state.export();
+        let selectors: Vec<(u32, u64)> = self
+            .host_state
+            .active_hosts()
+            .map(|i| {
+                let cursor = self.selectors[i as usize]
+                    .as_ref()
+                    .expect("infected nodes have selectors")
+                    .export_cursor();
+                (i, cursor)
+            })
+            .collect();
+        let limiters: Vec<(u32, Vec<(u64, u64)>)> = self
+            .host_limiters
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| {
+                let entries = l.as_ref()?.export_entries();
+                if entries.is_empty() {
+                    None
+                } else {
+                    Some((idx32(i), entries))
+                }
+            })
+            .collect();
+        let link_tokens: Vec<(u32, u64)> = self
+            .capped_links
+            .iter()
+            .map(|&e| (e, self.link_tokens[e as usize].to_bits()))
+            .collect();
+        let node_tokens: Vec<(u32, u64)> = self
+            .capped_nodes
+            .iter()
+            .map(|&v| (v, self.node_tokens[v as usize].to_bits()))
+            .collect();
+        let (slots, free, queue) = self.packets.export();
+        let delay_queues: Vec<(u32, Vec<(u64, u32)>)> = self
+            .delay_queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, q)| {
+                (
+                    idx32(i),
+                    q.iter()
+                        .map(|&(release, dst)| (release, idx32(dst.index())))
+                        .collect(),
+                )
+            })
+            .collect();
+        let pending_quarantine: Vec<(u32, u64)> = self
+            .pending_quarantine
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|due| (idx32(i), due)))
+            .collect();
+        let export_series = |s: &TimeSeries| -> Vec<(u64, u64)> {
+            s.points()
+                .iter()
+                .map(|&(t, v)| (t.to_bits(), v.to_bits()))
+                .collect()
+        };
+        Snapshot {
+            seed: self.seed,
+            tick: self.tick,
+            horizon: self.config.horizon(),
+            strategy: self.strategy,
+            world_fingerprint: world_fingerprint(self.world),
+            config_fingerprint: config_fingerprint(&self.config, &self.behavior),
+            nodes: self.world.graph().node_count() as u64,
+            edges: self.world.graph().edge_count() as u64,
+            hosts: self.world.hosts().len() as u64,
+            rng_state: self.rng.state(),
+            fault_rng_state: self.fault_rng.state(),
+            status_codes,
+            infected_since: infected_since.to_vec(),
+            ever_infected,
+            selectors,
+            limiters,
+            link_tokens,
+            node_tokens,
+            packet_slots: slots.to_vec(),
+            packet_free: free.to_vec(),
+            packet_queue: queue.collect(),
+            delay_queues,
+            pending_quarantine,
+            patch_due: self.patch_due.iter().copied().collect(),
+            immunization_active: self.immunization_active,
+            background: self.background,
+            background_credit: self.background_credit.to_bits(),
+            quarantined: self.quarantined,
+            false_quarantined: self.false_quarantined,
+            accounting: self.accounting,
+            series: [
+                export_series(&self.series_infected),
+                export_series(&self.series_ever),
+                export_series(&self.series_immune),
+                export_series(&self.series_backlog),
+            ],
+            scan_log: self
+                .scan_log
+                .iter()
+                .map(|&(t, s, d)| (t, idx32(s.index()), idx32(d.index())))
+                .collect(),
+        }
+    }
+
+    /// Resumes a snapshotted run under the *same* simulated semantics.
+    ///
+    /// Continuing with [`Simulator::run_until`] /
+    /// [`Simulator::run_observed`] from here is bit-identical to the
+    /// uninterrupted run — under either stepping strategy and routing
+    /// backend (the strategy is deliberately outside the config
+    /// fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ConfigMismatch`] when `(config, behavior)`
+    /// differ semantically from the snapshotting run (fork deliberately
+    /// via [`Simulator::resume_with`] instead), plus everything
+    /// [`Simulator::resume_with`] returns.
+    pub fn resume(
+        world: &'w World,
+        config: &SimConfig,
+        behavior: WormBehavior,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        if config_fingerprint(config, &behavior) != snap.config_fingerprint {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        Self::resume_with(world, config, behavior, snap)
+    }
+
+    /// Resumes a snapshotted run under a possibly *modified* config —
+    /// the fork-at-tick API. The world must be the one the snapshot was
+    /// taken on; the defense plan, fault plan, quarantine settings, and
+    /// horizon may differ (what-if forks: "same outbreak up to tick T,
+    /// different response from T on").
+    ///
+    /// Fork semantics for defense state: limiter windows and token
+    /// accumulators are restored only where the new plan still installs
+    /// the corresponding filter or cap; newly added defenses start
+    /// fresh.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::WorldMismatch`] on a topology fingerprint
+    /// mismatch, [`SnapshotError::InvalidResume`] when the snapshot
+    /// tick exceeds the new horizon or the config cannot build a
+    /// simulator, and [`SnapshotError::Corrupt`] when a
+    /// checksum-valid snapshot decodes to impossible state.
+    pub fn resume_with(
+        world: &'w World,
+        config: &SimConfig,
+        behavior: WormBehavior,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        if world_fingerprint(world) != snap.world_fingerprint {
+            return Err(SnapshotError::WorldMismatch);
+        }
+        if snap.tick > config.horizon() {
+            return Err(SnapshotError::InvalidResume {
+                reason: format!(
+                    "snapshot tick {} is beyond the horizon {}",
+                    snap.tick,
+                    config.horizon()
+                ),
+            });
+        }
+        let n = world.graph().node_count();
+        if snap.status_codes.len() != n || snap.infected_since.len() != n {
+            return Err(SnapshotError::Corrupt {
+                what: "host-state arrays do not match the world size",
+            });
+        }
+
+        // Build a fresh simulator for the seed (this realizes the fault
+        // schedule, filters, and caps from the *new* config), then
+        // overwrite every piece of run state from the snapshot.
+        let mut sim = Self::try_new(world, config, behavior, snap.seed).map_err(|e| {
+            SnapshotError::InvalidResume {
+                reason: e.to_string(),
+            }
+        })?;
+        sim.rng = SmallRng::from_state(snap.rng_state);
+        sim.fault_rng = SmallRng::from_state(snap.fault_rng_state);
+        sim.host_state =
+            HostStates::from_export(&snap.status_codes, snap.infected_since.clone(), snap.ever_infected)
+                .ok_or(SnapshotError::Corrupt {
+                    what: "host-state arrays are inconsistent",
+                })?;
+
+        // Selectors: exactly the infected hosts carry one.
+        sim.selectors.iter_mut().for_each(|s| *s = None);
+        for &(h, cursor) in &snap.selectors {
+            let i = h as usize;
+            if i >= n || !sim.host_state.is_infected(i) {
+                return Err(SnapshotError::Corrupt {
+                    what: "selector cursor for a non-infected host",
+                });
+            }
+            let mut selector = sim.behavior.make_selector();
+            selector.import_cursor(cursor);
+            sim.selectors[i] = Some(selector);
+        }
+        if snap.selectors.len() != sim.host_state.infected() {
+            return Err(SnapshotError::Corrupt {
+                what: "selector count does not match the infected census",
+            });
+        }
+
+        // Self-patch timers (try_new seeded fresh ones; the snapshot's
+        // wheel is authoritative).
+        sim.patch_due.clear();
+        for &(due, h) in &snap.patch_due {
+            if (h as usize) >= n {
+                return Err(SnapshotError::Corrupt {
+                    what: "self-patch timer for an out-of-range host",
+                });
+            }
+            sim.patch_due.push_back((due, h));
+        }
+
+        // Defense state restores only where the new config still
+        // installs the defense (fork semantics).
+        for (h, entries) in &snap.limiters {
+            let i = *h as usize;
+            if i >= n {
+                return Err(SnapshotError::Corrupt {
+                    what: "limiter window for an out-of-range host",
+                });
+            }
+            if let Some(limiter) = sim.host_limiters[i].as_mut() {
+                limiter.import_entries(entries);
+            }
+        }
+        for &(e, bits) in &snap.link_tokens {
+            let i = e as usize;
+            if i < sim.link_tokens.len() && sim.link_caps[i].is_some() {
+                sim.link_tokens[i] = f64::from_bits(bits);
+            }
+        }
+        for &(v, bits) in &snap.node_tokens {
+            let i = v as usize;
+            if i < sim.node_tokens.len() && sim.node_caps[i].is_some() {
+                sim.node_tokens[i] = f64::from_bits(bits);
+            }
+        }
+
+        // Packet slab: slot order, free-list order, and FIFO order are
+        // all bit-identity-critical and restored verbatim.
+        if snap
+            .packet_slots
+            .iter()
+            .any(|p| p.src.index() >= n || p.current.index() >= n || p.dst.index() >= n)
+        {
+            return Err(SnapshotError::Corrupt {
+                what: "packet endpoint outside the world",
+            });
+        }
+        sim.packets = PacketPool::from_export(
+            snap.packet_slots.clone(),
+            snap.packet_free.clone(),
+            snap.packet_queue.clone(),
+        )
+        .ok_or(SnapshotError::Corrupt {
+            what: "packet slab indices are inconsistent",
+        })?;
+
+        // Throttle queues and their activity index.
+        sim.queue_hosts.clear();
+        sim.delay_queues.iter_mut().for_each(|q| q.clear());
+        for (h, entries) in &snap.delay_queues {
+            let i = *h as usize;
+            if i >= n || entries.is_empty() {
+                return Err(SnapshotError::Corrupt {
+                    what: "throttle queue empty or for an out-of-range host",
+                });
+            }
+            let queue = &mut sim.delay_queues[i];
+            for &(release, dst) in entries {
+                if (dst as usize) >= n {
+                    return Err(SnapshotError::Corrupt {
+                        what: "throttled scan targets an out-of-range host",
+                    });
+                }
+                queue.push_back((release, NodeId::from(dst as usize)));
+            }
+            sim.queue_hosts.insert(*h);
+        }
+
+        // Jitter-delayed quarantines and their activity index.
+        sim.pending_hosts.clear();
+        sim.pending_quarantine.iter_mut().for_each(|p| *p = None);
+        for &(h, due) in &snap.pending_quarantine {
+            let i = h as usize;
+            if i >= n {
+                return Err(SnapshotError::Corrupt {
+                    what: "pending quarantine for an out-of-range host",
+                });
+            }
+            sim.pending_quarantine[i] = Some(due);
+            sim.pending_hosts.insert(h);
+        }
+
+        // Counters and ledgers.
+        sim.immunization_active = snap.immunization_active;
+        sim.background = snap.background;
+        sim.background_credit = f64::from_bits(snap.background_credit);
+        sim.quarantined = snap.quarantined;
+        sim.false_quarantined = snap.false_quarantined;
+        sim.accounting = snap.accounting;
+
+        // Recorded series (validated: TimeSeries::push would panic on
+        // NaN or non-chronological input, and corrupt data must not).
+        sim.series_infected = restore_series(&snap.series[0], sim.config.horizon())?;
+        sim.series_ever = restore_series(&snap.series[1], sim.config.horizon())?;
+        sim.series_immune = restore_series(&snap.series[2], sim.config.horizon())?;
+        sim.series_backlog = restore_series(&snap.series[3], sim.config.horizon())?;
+
+        sim.scan_log = Vec::with_capacity(snap.scan_log.len());
+        for &(t, s, d) in &snap.scan_log {
+            if (s as usize) >= n || (d as usize) >= n {
+                return Err(SnapshotError::Corrupt {
+                    what: "scan-log entry references an out-of-range host",
+                });
+            }
+            sim.scan_log
+                .push((t, NodeId::from(s as usize), NodeId::from(d as usize)));
+        }
+
+        // Recomputed-from-serialized state: the false-quarantine cursor
+        // and the outage flags as of the snapshot tick (apply_faults
+        // reports transitions relative to these on the next tick).
+        sim.false_quarantine_cursor = sim
+            .faults
+            .false_quarantines
+            .partition_point(|&(due, _)| due <= snap.tick);
+        for &(edge, start, end) in &sim.faults.link_down {
+            sim.link_down[edge.index()] = snap.tick >= start && snap.tick < end;
+        }
+        for &(node, start, end) in &sim.faults.node_down {
+            sim.node_down[node.index()] = snap.tick >= start && snap.tick < end;
+        }
+
+        sim.tick = snap.tick;
+        sim.debug_check_census();
+        Ok(sim)
+    }
+}
+
+/// Rebuilds a [`TimeSeries`] from snapshot bit pairs, refusing data
+/// that would violate the series invariants (NaN or non-chronological
+/// times panic inside `push`; corrupt snapshots must error instead).
+fn restore_series(points: &[(u64, u64)], horizon: u64) -> Result<TimeSeries, SnapshotError> {
+    let mut series = TimeSeries::with_capacity(points.len().min(horizon as usize + 1));
+    let mut last: Option<f64> = None;
+    for &(t_bits, v_bits) in points {
+        let t = f64::from_bits(t_bits);
+        let v = f64::from_bits(v_bits);
+        if t.is_nan() || v.is_nan() || last.is_some_and(|prev| t <= prev) {
+            return Err(SnapshotError::Corrupt {
+                what: "recorded series is non-chronological or contains NaN",
+            });
+        }
+        series.push(t, v);
+        last = Some(t);
+    }
+    Ok(series)
 }
 
 #[cfg(test)]

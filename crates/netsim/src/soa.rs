@@ -26,6 +26,29 @@ pub(crate) enum NodeState {
     Immunized,
 }
 
+impl NodeState {
+    /// Stable on-disk code for snapshots (do not reorder without a
+    /// snapshot format-version bump).
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            NodeState::Susceptible => 0,
+            NodeState::Infected => 1,
+            NodeState::Immunized => 2,
+        }
+    }
+
+    /// Inverse of [`NodeState::code`]; `None` for unknown codes (a
+    /// corrupted snapshot, surfaced as a typed error by the loader).
+    pub(crate) fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(NodeState::Susceptible),
+            1 => Some(NodeState::Infected),
+            2 => Some(NodeState::Immunized),
+            _ => None,
+        }
+    }
+}
+
 /// A packet in flight.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Packet {
@@ -195,6 +218,55 @@ impl HostStates {
         }
         self.status[i] = NodeState::Immunized;
     }
+
+    /// Snapshot view: `(status codes, infected_since, ever_infected)`.
+    /// The census counters and active index are derivable from the
+    /// status array — except `ever_infected`, which also counts hosts
+    /// that have since been immunized, so it travels explicitly.
+    pub fn export(&self) -> (Vec<u8>, &[u64], u64) {
+        (
+            self.status.iter().map(|s| s.code()).collect(),
+            &self.infected_since,
+            self.ever_infected as u64,
+        )
+    }
+
+    /// Rebuilds host state from an [`HostStates::export`] capture.
+    /// Returns `None` when a status code is invalid or the array
+    /// lengths disagree (corrupted snapshot).
+    pub fn from_export(
+        status_codes: &[u8],
+        infected_since: Vec<u64>,
+        ever_infected: u64,
+    ) -> Option<Self> {
+        if status_codes.len() != infected_since.len() {
+            return None;
+        }
+        let mut status = Vec::with_capacity(status_codes.len());
+        let mut active = BTreeSet::new();
+        let mut infected = 0usize;
+        let mut immunized = 0usize;
+        for (i, &code) in status_codes.iter().enumerate() {
+            let s = NodeState::from_code(code)?;
+            match s {
+                NodeState::Infected => {
+                    active.insert(idx32(i));
+                    infected += 1;
+                }
+                NodeState::Immunized => immunized += 1,
+                NodeState::Susceptible => {}
+            }
+            status.push(s);
+        }
+        Some(HostStates {
+            status,
+            infected_since,
+            active,
+            infected,
+            immunized,
+            ever_infected: ever_infected as usize,
+        })
+    }
 }
 
 /// Node indexes are stored as `u32` in the activity indexes (same
@@ -285,6 +357,30 @@ impl PacketPool {
     #[cfg(test)]
     pub fn slot_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Snapshot view: `(slots, free-list, FIFO queue)`. All three travel
+    /// verbatim — the free-list is a LIFO stack whose pop order decides
+    /// future slot assignment, and the queue order is the order token
+    /// caps consume budget in, so both are bit-identity-critical.
+    pub fn export(&self) -> (&[Packet], &[u32], impl Iterator<Item = u32> + '_) {
+        debug_assert!(self.scratch.is_empty(), "export mid-drain");
+        (&self.slots, &self.free, self.queue.iter().copied())
+    }
+
+    /// Rebuilds a pool from an [`PacketPool::export`] capture. Returns
+    /// `None` when an index is out of slab bounds (corrupted snapshot).
+    pub fn from_export(slots: Vec<Packet>, free: Vec<u32>, queue: Vec<u32>) -> Option<Self> {
+        let n = slots.len();
+        if free.iter().chain(queue.iter()).any(|&i| i as usize >= n) {
+            return None;
+        }
+        Some(PacketPool {
+            slots,
+            free,
+            queue: queue.into(),
+            scratch: VecDeque::new(),
+        })
     }
 }
 

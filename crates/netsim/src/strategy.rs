@@ -29,7 +29,9 @@ use serde::{Deserialize, Serialize};
 /// Environment variable consulted by [`SimStrategy::Auto`]: `tick` or
 /// `event` forces that strategy for every Auto-configured run (the CI
 /// strategy matrix drives the whole test suite through each engine this
-/// way). Unset or unparsable falls back to the size rule.
+/// way). Unset, empty, or `auto` falls back to the size rule; any other
+/// value also falls back but emits a one-shot warning naming the bad
+/// value — a typo must not silently change which engine ran.
 pub const STRATEGY_ENV: &str = "DYNAQUAR_STRATEGY";
 
 /// Node count above which [`SimStrategy::Auto`] picks the event-driven
@@ -64,9 +66,24 @@ impl SimStrategy {
                     match v.trim().to_ascii_lowercase().as_str() {
                         "tick" => return SimStrategy::Tick,
                         "event" => return SimStrategy::Event,
-                        // Unparsable values fall back to the size rule,
-                        // mirroring DYNAQUAR_THREADS handling.
-                        _ => {}
+                        // Explicitly asking for the default is not a typo.
+                        "auto" | "" => {}
+                        other => {
+                            // One warning per process: a misspelled
+                            // override must not silently fall through to
+                            // the size rule (it would change which engine
+                            // the whole run used), and must not spam a
+                            // per-construction message either.
+                            static WARNED: std::sync::Once = std::sync::Once::new();
+                            let other = other.to_owned();
+                            WARNED.call_once(|| {
+                                eprintln!(
+                                    "warning: ignoring invalid {STRATEGY_ENV}={other:?}; \
+                                     accepted values are \"tick\", \"event\", or \"auto\" \
+                                     (falling back to the auto size rule)"
+                                );
+                            });
+                        }
                     }
                 }
                 if nodes > EVENT_AUTO_LIMIT {

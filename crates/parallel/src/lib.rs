@@ -32,7 +32,10 @@ use std::time::{Duration, Instant};
 
 /// Environment variable overriding the default worker count
 /// (`ParallelConfig::from_env`). `1` forces the serial path; unset or
-/// unparsable falls back to the machine's available parallelism.
+/// empty falls back to the machine's available parallelism. Any other
+/// unparsable value also falls back, but emits a one-shot warning
+/// naming the bad value — a typo must not silently change the pool
+/// size.
 pub const THREADS_ENV: &str = "DYNAQUAR_THREADS";
 
 /// Worker-pool sizing for the deterministic parallel map.
@@ -72,7 +75,22 @@ impl ParallelConfig {
         match std::env::var(THREADS_ENV) {
             Ok(v) => match v.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => ParallelConfig::new(n),
-                _ => ParallelConfig::available(),
+                _ => {
+                    if !v.trim().is_empty() {
+                        // One warning per process: an invalid override
+                        // must not silently size the pool off the
+                        // machine instead of the user's intent.
+                        static WARNED: std::sync::Once = std::sync::Once::new();
+                        WARNED.call_once(|| {
+                            eprintln!(
+                                "warning: ignoring invalid {THREADS_ENV}={v:?}; \
+                                 expected a positive integer worker count \
+                                 (falling back to available parallelism)"
+                            );
+                        });
+                    }
+                    ParallelConfig::available()
+                }
             },
             Err(_) => ParallelConfig::available(),
         }

@@ -83,6 +83,35 @@ impl UniqueIpWindow {
         self.seen.len()
     }
 
+    /// The live window entries in expiry order, for engine checkpoints.
+    ///
+    /// Between calls to [`RateLimiter::check`] the expiry queue and the
+    /// first-seen map describe the same set (an entry is only popped
+    /// together with its map removal, and a key is only re-inserted once
+    /// absent from the map), so the queue alone captures the full state.
+    /// Times are returned as raw `f64` bits so callers round-trip them
+    /// exactly.
+    pub fn export_entries(&self) -> Vec<(u64, u64)> {
+        self.order
+            .iter()
+            .map(|&(t, key)| (t.to_bits(), key.value()))
+            .collect()
+    }
+
+    /// Restores state captured by [`UniqueIpWindow::export_entries`],
+    /// replacing any current contents. After this the limiter issues
+    /// bit-identical decisions to the exported one.
+    pub fn import_entries(&mut self, entries: &[(u64, u64)]) {
+        self.seen.clear();
+        self.order.clear();
+        for &(t_bits, key) in entries {
+            let t = f64::from_bits(t_bits);
+            let key = RemoteKey::new(key);
+            self.order.push_back((t, key));
+            self.seen.insert(key, t);
+        }
+    }
+
     fn expire(&mut self, now: f64) {
         while let Some(&(t, key)) = self.order.front() {
             if now - t >= self.window {
@@ -194,6 +223,27 @@ mod tests {
         assert!(w.check(0.0, RemoteKey::new(1)).is_allow());
         w.reset();
         assert!(w.check(0.0, RemoteKey::new(2)).is_allow());
+    }
+
+    #[test]
+    fn export_import_round_trip_is_bit_identical() {
+        let mut w = UniqueIpWindow::new(5.0, 3).unwrap();
+        for k in 0..10u64 {
+            w.check(k as f64 * 0.7, RemoteKey::new(k % 4));
+        }
+        let entries = w.export_entries();
+        let mut restored = UniqueIpWindow::new(5.0, 3).unwrap();
+        restored.import_entries(&entries);
+        assert_eq!(restored.current_unique(), w.current_unique());
+        // Identical decision stream from here on.
+        for k in 0..40u64 {
+            let t = 7.0 + k as f64 * 0.3;
+            assert_eq!(
+                w.check(t, RemoteKey::new(k % 6)),
+                restored.check(t, RemoteKey::new(k % 6)),
+                "diverged at contact {k}"
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::error::Error;
 use crate::graph::{Graph, NodeId};
 use crate::routing::{RoutingBackend, RoutingTable, NO_HOP};
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Which routing backend a world should use.
 ///
@@ -155,7 +155,7 @@ pub struct LazyRouting {
 
 impl std::fmt::Debug for LazyRouting {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let cache = self.cache.lock().expect("routing cache poisoned");
+        let cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         f.debug_struct("LazyRouting")
             .field("nodes", &self.n)
             .field("capacity", &self.capacity)
@@ -197,12 +197,19 @@ impl LazyRouting {
 
     /// Snapshot of the hit/miss/eviction counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("routing cache poisoned").stats
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats
     }
 
     /// Destinations currently cached.
     pub fn cached_destinations(&self) -> usize {
-        self.cache.lock().expect("routing cache poisoned").map.len()
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
     }
 
     fn check_nodes(&self, src: NodeId, dst: NodeId) -> Result<(), Error> {
@@ -220,7 +227,12 @@ impl LazyRouting {
     /// Runs `f` against the BFS arrays rooted at `dst`, computing and
     /// caching them if absent.
     fn with_routes<R>(&self, dst: NodeId, f: impl FnOnce(&DestRoutes) -> R) -> R {
-        let mut cache = self.cache.lock().expect("routing cache poisoned");
+        // Poison recovery is sound here: every cache mutation (counter
+        // bump, map insert, LRU eviction) completes before control
+        // leaves this module, so a panic in a caller-supplied closure on
+        // another thread can only poison the lock *between* individually
+        // consistent states — never mid-update.
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         let cache = &mut *cache;
         cache.clock += 1;
         let stamp = cache.clock;

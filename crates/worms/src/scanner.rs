@@ -53,6 +53,39 @@ pub trait TargetSelector: Send {
 
     /// Short strategy name for labels and reports.
     fn name(&self) -> &'static str;
+
+    /// The selector's mutable cursor state packed into one word, for
+    /// engine checkpoints. Stateless selectors return 0; cursor-bearing
+    /// selectors encode "not started" as `u64::MAX` and a position `c`
+    /// as `c`. A freshly built selector of the same kind fed this word
+    /// through [`TargetSelector::import_cursor`] must reproduce the
+    /// exact target sequence the original would have produced.
+    fn export_cursor(&self) -> u64 {
+        0
+    }
+
+    /// Restores cursor state captured by
+    /// [`TargetSelector::export_cursor`]. A no-op for stateless
+    /// selectors.
+    fn import_cursor(&mut self, _cursor: u64) {}
+}
+
+/// Packs an optional cursor position into the on-wire word used by
+/// [`TargetSelector::export_cursor`] (`None` ⇒ `u64::MAX`).
+fn pack_cursor(cursor: Option<usize>) -> u64 {
+    match cursor {
+        Some(c) => c as u64,
+        None => u64::MAX,
+    }
+}
+
+/// Inverse of [`pack_cursor`].
+fn unpack_cursor(word: u64) -> Option<usize> {
+    if word == u64::MAX {
+        None
+    } else {
+        Some(word as usize)
+    }
 }
 
 /// Uniform random scanning over the whole population — Code Red I style.
@@ -167,6 +200,14 @@ impl TargetSelector for Sequential {
     fn name(&self) -> &'static str {
         "sequential"
     }
+
+    fn export_cursor(&self) -> u64 {
+        pack_cursor(self.cursor)
+    }
+
+    fn import_cursor(&mut self, cursor: u64) {
+        self.cursor = unpack_cursor(cursor);
+    }
 }
 
 /// Permutation scanning (Staniford et al.): every worm instance walks
@@ -242,6 +283,14 @@ impl TargetSelector for Permutation {
     fn name(&self) -> &'static str {
         "permutation"
     }
+
+    fn export_cursor(&self) -> u64 {
+        pack_cursor(self.cursor)
+    }
+
+    fn import_cursor(&mut self, cursor: u64) {
+        self.cursor = unpack_cursor(cursor);
+    }
 }
 
 /// Hit-list scanning: a precomputed target list (Staniford et al.'s
@@ -281,6 +330,14 @@ impl TargetSelector for HitList {
 
     fn name(&self) -> &'static str {
         "hit-list"
+    }
+
+    fn export_cursor(&self) -> u64 {
+        self.cursor as u64
+    }
+
+    fn import_cursor(&mut self, cursor: u64) {
+        self.cursor = (cursor as usize).min(self.list.len());
     }
 }
 
@@ -467,6 +524,48 @@ mod tests {
         let ctx = f.ctx();
         assert_eq!(ctx.own_subnet(), Some(SubnetId::new(0)));
         assert_eq!(ctx.local_hosts().len(), 10);
+    }
+
+    #[test]
+    fn cursor_round_trip_resumes_the_exact_sequence() {
+        let f = fixture();
+        let mut rng = SmallRng::seed_from_u64(13);
+        // Every cursor-bearing selector: advance, export, rebuild fresh,
+        // import — the tails must match the original's continuation.
+        let mut seq = Sequential::new();
+        let mut perm = Permutation::new(0xABCD);
+        let mut hit = HitList::new(vec![f.hosts[1], f.hosts[5], f.hosts[9]]);
+        for _ in 0..7 {
+            seq.next_target(&f.ctx(), &mut rng).unwrap();
+            perm.next_target(&f.ctx(), &mut rng).unwrap();
+            hit.next_target(&f.ctx(), &mut rng).unwrap();
+        }
+        let mut seq2 = Sequential::new();
+        seq2.import_cursor(seq.export_cursor());
+        let mut perm2 = Permutation::new(0xABCD);
+        perm2.import_cursor(perm.export_cursor());
+        let mut hit2 = HitList::new(vec![f.hosts[1], f.hosts[5], f.hosts[9]]);
+        hit2.import_cursor(hit.export_cursor());
+        // Clone the RNG stream so original and resumed see identical draws.
+        let mut rng_a = SmallRng::seed_from_u64(77);
+        let mut rng_b = SmallRng::seed_from_u64(77);
+        for _ in 0..20 {
+            assert_eq!(
+                seq.next_target(&f.ctx(), &mut rng_a),
+                seq2.next_target(&f.ctx(), &mut rng_b)
+            );
+            assert_eq!(
+                perm.next_target(&f.ctx(), &mut rng_a),
+                perm2.next_target(&f.ctx(), &mut rng_b)
+            );
+            assert_eq!(
+                hit.next_target(&f.ctx(), &mut rng_a),
+                hit2.next_target(&f.ctx(), &mut rng_b)
+            );
+        }
+        // Stateless selectors export the zero word and ignore imports.
+        assert_eq!(UniformRandom::new().export_cursor(), 0);
+        assert_eq!(LocalPreferential::new(0.5).export_cursor(), 0);
     }
 
     #[test]

@@ -167,6 +167,13 @@ fn main() {
                     RunOutcome::Dropped { seed, attempts } => {
                         println!("  seed {seed}: dropped after {attempts} attempts")
                     }
+                    RunOutcome::ResumedFromCheckpoint {
+                        seed,
+                        resumed_at_tick,
+                        ..
+                    } => println!(
+                        "  seed {seed}: resumed from the tick-{resumed_at_tick} checkpoint"
+                    ),
                 }
             }
             println!(

@@ -7,7 +7,11 @@
 //! 2. `FaultPlan::none()` leaves the simulator bit-identical to the
 //!    fault-free engine;
 //! 3. the run supervisor survives panicking runs: it retries, drops,
-//!    records provenance, and still averages the survivors.
+//!    records provenance, and still averages the survivors;
+//! 4. checkpoint I/O failure is always a typed [`SnapshotError`], never
+//!    a panic: truncated, bit-flipped, or version-bumped snapshot files
+//!    are rejected loudly, and a snapshot resumed against the wrong
+//!    world or config is refused before any state is touched.
 
 use dynaquar::netsim::config::QuarantineConfig;
 use dynaquar::netsim::faults::FaultPlan;
@@ -15,6 +19,7 @@ use dynaquar::netsim::plan::{HostFilter, RateLimitPlan};
 use dynaquar::netsim::runner::{
     run_averaged, run_supervised, run_supervised_with, RunAttempt, RunOutcome, SupervisorConfig,
 };
+use dynaquar::netsim::snapshot::{Snapshot, SnapshotError};
 use dynaquar::netsim::world::World;
 use dynaquar::netsim::{SimConfig, Simulator, WormBehavior};
 use dynaquar::topology::generators;
@@ -313,4 +318,145 @@ fn false_positives_quarantine_scheduled_hosts_and_no_others() {
     let n = w.hosts().len() as f64;
     let expected_fraction = log.0.len() as f64 / n;
     assert!((result.immunized_fraction.final_value() - expected_fraction).abs() < 1e-12);
+}
+
+/// Writes a mid-run snapshot of a small scenario to `dir/name` and
+/// returns its path plus the world/config/behavior that produced it.
+fn checkpoint_fixture(
+    dir: &std::path::Path,
+    name: &str,
+) -> (std::path::PathBuf, World, SimConfig, WormBehavior) {
+    use dynaquar::netsim::observer::NullObserver;
+
+    let w = star_world(29);
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(40)
+        .initial_infected(1)
+        .build()
+        .unwrap();
+    let behavior = WormBehavior::random();
+    let mut sim = Simulator::new(&w, &cfg, behavior, 42);
+    sim.run_until(20, &mut NullObserver);
+    let path = dir.join(name);
+    sim.snapshot().write_atomic(&path).unwrap();
+    (path, w, cfg, behavior)
+}
+
+/// Contract 4: every way a checkpoint file can rot on disk — partial
+/// write, flipped bit, future format version — surfaces as the matching
+/// typed error from [`Snapshot::read`]. Nothing panics.
+#[test]
+fn corrupted_checkpoint_files_yield_typed_errors() {
+    use dynaquar::netsim::faults::chaos;
+
+    let dir = std::env::temp_dir().join(format!("dqsnap-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The intact file loads.
+    let (path, w, cfg, behavior) = checkpoint_fixture(&dir, "intact.dqsnap");
+    let snap = Snapshot::read(&path).unwrap();
+    assert_eq!(snap.tick(), 20);
+    assert!(Simulator::resume(&w, &cfg, behavior, &snap).is_ok());
+    let len = std::fs::metadata(&path).unwrap().len();
+
+    // A crash mid-write (no atomic rename) truncates: every prefix is
+    // rejected as Truncated or a checksum mismatch, never accepted.
+    for keep in [0, 4, 11, len / 2, len - 1] {
+        let (p, ..) = checkpoint_fixture(&dir, "truncated.dqsnap");
+        chaos::corrupt_truncate(&p, keep).unwrap();
+        match Snapshot::read(&p) {
+            Err(SnapshotError::Truncated | SnapshotError::ChecksumMismatch { .. }) => {}
+            Err(SnapshotError::BadMagic { .. }) if keep < 8 => {}
+            other => panic!("keep={keep}: expected a typed corruption error, got {other:?}"),
+        }
+    }
+
+    // A single flipped bit anywhere in a section payload trips that
+    // section's checksum.
+    for offset in [16, 40, len / 2, len - 9] {
+        let (p, ..) = checkpoint_fixture(&dir, "flipped.dqsnap");
+        chaos::corrupt_flip_bit(&p, offset).unwrap();
+        assert!(
+            matches!(
+                Snapshot::read(&p),
+                Err(SnapshotError::ChecksumMismatch { .. } | SnapshotError::Corrupt { .. })
+            ),
+            "offset {offset}"
+        );
+    }
+
+    // A file written by a future format version is refused up front,
+    // with both versions named.
+    let (p, ..) = checkpoint_fixture(&dir, "future.dqsnap");
+    chaos::corrupt_version_bump(&p).unwrap();
+    match Snapshot::read(&p) {
+        Err(SnapshotError::VersionMismatch { found, supported }) => {
+            assert_eq!(found, supported + 1);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+
+    // Not a snapshot at all.
+    let junk = dir.join("junk.dqsnap");
+    std::fs::write(&junk, b"definitely not a snapshot").unwrap();
+    assert!(matches!(
+        Snapshot::read(&junk),
+        Err(SnapshotError::BadMagic { .. })
+    ));
+
+    // Missing file: a plain Io error, still typed.
+    assert!(matches!(
+        Snapshot::read(&dir.join("never-written.dqsnap")),
+        Err(SnapshotError::Io(_))
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Contract 4, resume side: an intact snapshot resumed against the
+/// wrong world or the wrong config is refused before any engine state
+/// is rebuilt.
+#[test]
+fn resume_against_mismatched_world_or_config_is_refused() {
+    let dir = std::env::temp_dir().join(format!("dqsnap-mismatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (path, w, cfg, behavior) = checkpoint_fixture(&dir, "intact.dqsnap");
+    let snap = Snapshot::read(&path).unwrap();
+
+    // Different topology: fingerprint mismatch.
+    let other_world = star_world(31);
+    assert!(matches!(
+        Simulator::resume(&other_world, &cfg, behavior, &snap),
+        Err(SnapshotError::WorldMismatch)
+    ));
+
+    // Different physics: `resume` refuses, `resume_with` (the explicit
+    // fork API) accepts the same change deliberately.
+    let other_cfg = SimConfig::builder()
+        .beta(0.5)
+        .horizon(40)
+        .initial_infected(1)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        Simulator::resume(&w, &other_cfg, behavior, &snap),
+        Err(SnapshotError::ConfigMismatch)
+    ));
+    assert!(Simulator::resume_with(&w, &other_cfg, behavior, &snap).is_ok());
+
+    // A horizon behind the snapshot's tick cannot be resumed even by
+    // the fork API.
+    let short_cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(10)
+        .initial_infected(1)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        Simulator::resume_with(&w, &short_cfg, behavior, &snap),
+        Err(SnapshotError::InvalidResume { .. })
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
