@@ -8,7 +8,9 @@
 //!             [--smoke N --max-rss-mb MB]
 //! scale_bench --event-bench FILE [--sizes N,N,..] ...
 //! scale_bench --check-event FILE [--tolerance PCT]
-//! scale_bench --single HOSTS BACKEND [--horizon T] [--seed S] ...
+//! scale_bench --routing-bench FILE [--horizon T] [--seed S] ...
+//! scale_bench --check-routing FILE [--tolerance PCT]
+//! scale_bench --single HOSTS BACKEND [--subnet B,S,H] [--horizon T] ...
 //! ```
 //!
 //! For each `hosts × backend` case the orchestrator re-executes itself
@@ -46,6 +48,19 @@
 //! `--check-event FILE` is the matching CI guard: re-measures the event
 //! n = 1000 lazy case against the recorded row under `--tolerance`, and
 //! fails if tick and event stopped being bit-identical.
+//!
+//! `--routing-bench FILE` runs the routing-backend axis on the
+//! *hierarchical* subnet worlds where the two-level backend earns its
+//! keep (flat power-law graphs don't peel, so the main grid tells that
+//! story): dense, lazy, and hier children per world, the per-world
+//! hier-over-lazy speedup, the dense n ≈ 10k build time, and an
+//! in-process three-way bit-identity verdict, written to FILE
+//! (`results/BENCH_routing.json` in CI).
+//!
+//! `--check-routing FILE` is the matching CI guard: re-measures the
+//! hier case on the n ≈ 10k subnet world against the recorded row
+//! under `--tolerance`, and fails if dense, lazy, and hier stopped
+//! being bit-identical on a subnet world.
 
 use dynaquar_netsim::config::{SimConfig, WormBehavior};
 use dynaquar_netsim::sim::Simulator;
@@ -79,6 +94,11 @@ struct Args {
     strategy: SimStrategy,
     event_bench: Option<PathBuf>,
     check_event: Option<PathBuf>,
+    routing_bench: Option<PathBuf>,
+    check_routing: Option<PathBuf>,
+    /// `--subnet B,S,H`: build a hierarchical subnet world instead of
+    /// the Barabási–Albert graph (child mode for the routing bench).
+    subnet: Option<(usize, usize, usize)>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -103,6 +123,9 @@ fn parse_args() -> Result<Args, String> {
         strategy: SimStrategy::Tick,
         event_bench: None,
         check_event: None,
+        routing_bench: None,
+        check_routing: None,
+        subnet: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -143,11 +166,29 @@ fn parse_args() -> Result<Args, String> {
             "--strategy" => args.strategy = value("--strategy")?.parse()?,
             "--event-bench" => args.event_bench = Some(PathBuf::from(value("--event-bench")?)),
             "--check-event" => args.check_event = Some(PathBuf::from(value("--check-event")?)),
+            "--routing-bench" => {
+                args.routing_bench = Some(PathBuf::from(value("--routing-bench")?))
+            }
+            "--check-routing" => {
+                args.check_routing = Some(PathBuf::from(value("--check-routing")?))
+            }
+            "--subnet" => {
+                let spec = value("--subnet")?;
+                let parts: Vec<usize> = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("{e}")))
+                    .collect::<Result<_, _>>()?;
+                let [b, s, h] = parts[..] else {
+                    return Err("--subnet wants B,S,H".to_string());
+                };
+                args.subnet = Some((b, s, h));
+            }
             "--help" | "-h" => {
                 return Err("usage: scale_bench [--sizes N,N,..] [--horizon T] [--seed S] \
                      [--initial I] [--beta B] [--strategy tick|event] [--dense-limit N] [--full] \
                      [--cache N] [--out FILE] [--check FILE] [--tolerance PCT] \
-                     [--smoke N --max-rss-mb MB] [--event-bench FILE] [--check-event FILE]"
+                     [--smoke N --max-rss-mb MB] [--event-bench FILE] [--check-event FILE] \
+                     [--routing-bench FILE] [--check-routing FILE] [--subnet B,S,H]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other}")),
@@ -188,7 +229,8 @@ fn routing_kind(backend: &str, hosts: usize, cache: Option<usize>) -> Result<Rou
             max_cached_destinations: cache
                 .unwrap_or_else(|| dynaquar_topology::lazy::default_cache_capacity(hosts)),
         }),
-        other => Err(format!("unknown backend {other} (want dense|lazy)")),
+        "hier" => Ok(RoutingKind::Hier),
+        other => Err(format!("unknown backend {other} (want dense|lazy|hier)")),
     }
 }
 
@@ -235,9 +277,29 @@ fn run_case(
     args: &Args,
 ) -> (f64, f64, usize, dynaquar_netsim::sim::SimResult) {
     let t0 = Instant::now();
-    let graph = generators::barabasi_albert(nodes, EDGES_PER_NODE, GRAPH_SEED)
-        .expect("valid power-law parameters");
-    let world = World::from_power_law_with(graph, 0.05, 0.10, kind);
+    let world = match args.subnet {
+        Some((b, s, h)) => {
+            let topo = generators::SubnetTopologyBuilder::new()
+                .backbone_routers(b)
+                .subnets(s)
+                .hosts_per_subnet(h)
+                .build()
+                .expect("valid subnet parameters");
+            assert_eq!(
+                topo.graph.node_count(),
+                nodes,
+                "--subnet {b},{s},{h} does not match the declared node count"
+            );
+            World::from_subnets_with(topo, kind)
+        }
+        None => World::from_power_law_with(
+            generators::barabasi_albert(nodes, EDGES_PER_NODE, GRAPH_SEED)
+                .expect("valid power-law parameters"),
+            0.05,
+            0.10,
+            kind,
+        ),
+    };
     let build_secs = t0.elapsed().as_secs_f64();
     let host_count = world.hosts().len();
     let config = SimConfig::builder()
@@ -297,6 +359,9 @@ fn spawn_case(
     if let Some(cache) = args.cache {
         cmd.arg("--cache").arg(cache.to_string());
     }
+    if let Some((b, s, h)) = args.subnet {
+        cmd.arg("--subnet").arg(format!("{b},{s},{h}"));
+    }
     let out = cmd.output().map_err(|e| format!("spawn: {e}"))?;
     std::io::Write::write_all(&mut std::io::stderr(), &out.stderr).ok();
     if !out.status.success() {
@@ -346,8 +411,8 @@ fn find_strategy_row<'t>(
     Some(&text[at..end])
 }
 
-/// In-process differential: dense and lazy must produce `==` SimResults
-/// on the same n = 1000 world-seed-config triple.
+/// In-process differential: dense, lazy, and hier must produce `==`
+/// SimResults on the same n = 1000 world-seed-config triple.
 fn backends_bit_identical(args: &Args) -> bool {
     let (_, _, _, dense) = run_case(1_000, RoutingKind::Dense, args.strategy, args);
     let (_, _, _, lazy) = run_case(
@@ -358,7 +423,27 @@ fn backends_bit_identical(args: &Args) -> bool {
         args.strategy,
         args,
     );
-    dense == lazy
+    let (_, _, _, hier) = run_case(1_000, RoutingKind::Hier, args.strategy, args);
+    dense == lazy && dense == hier
+}
+
+/// In-process differential on the hier backend's home turf: a subnet
+/// world (n = 491, backbone ring core) under all three backends.
+fn subnet_backends_bit_identical(args: &Args) -> bool {
+    let mut sub = args.clone();
+    sub.subnet = Some((3, 8, 60));
+    let n = 3 + 8 * 61;
+    let (_, _, _, dense) = run_case(n, RoutingKind::Dense, args.strategy, &sub);
+    let (_, _, _, lazy) = run_case(
+        n,
+        RoutingKind::Lazy {
+            max_cached_destinations: 64,
+        },
+        args.strategy,
+        &sub,
+    );
+    let (_, _, _, hier) = run_case(n, RoutingKind::Hier, args.strategy, &sub);
+    dense == lazy && dense == hier
 }
 
 /// In-process differential: the tick and event stepping strategies must
@@ -459,6 +544,148 @@ fn run_event_bench(out: &std::path::Path, args: &Args) -> ExitCode {
     }
 }
 
+/// The hierarchical worlds the routing bench sweeps: the paper-shaped
+/// subnet topology at n ≈ 10k, 100k, and 1M (`n = B + S·(H+1)`). All
+/// peel to their backbone ring, so the hier backend routes them off a
+/// tiny dense core table while lazy re-runs whole-graph BFS on every
+/// cache miss — the gap this bench exists to record.
+const ROUTING_WORLDS: [(usize, usize, usize); 3] =
+    [(8, 40, 250), (32, 400, 250), (64, 4000, 250)];
+
+/// Dense cutoff for the routing bench: the n ≈ 10k world's table is
+/// compact-packed (4·n² = 0.4 GB) and builds in seconds — recording
+/// that build time is part of the report — while at n ≈ 100k the
+/// wide-packed table alone is 80 GB. `--full` overrides.
+const ROUTING_DENSE_LIMIT: usize = 20_000;
+
+/// The `--routing-bench` mode: dense/lazy/hier children on hierarchical
+/// subnet worlds, per-world hier-over-lazy speedup, plus an in-process
+/// three-way bit-identity verdict on a small subnet world.
+fn run_routing_bench(out: &std::path::Path, args: &Args) -> ExitCode {
+    println!(
+        "routing benchmark: subnet worlds {ROUTING_WORLDS:?}, horizon {}, seed {}, \
+         {} initial infections, beta {}",
+        args.horizon, args.seed, args.initial, args.beta
+    );
+    let mut rows: Vec<String> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    let mut dense_build_10k = f64::NAN;
+    for (b, s, h) in ROUTING_WORLDS {
+        let n = b + s * (h + 1);
+        let mut sub = args.clone();
+        sub.subnet = Some((b, s, h));
+        let mut tps = [0.0f64; 2]; // lazy, hier
+        for backend in ["dense", "lazy", "hier"] {
+            if backend == "dense" && n > ROUTING_DENSE_LIMIT && !args.full {
+                let gb = 8.0 * (n as f64) * (n as f64) / 1e9;
+                skipped.push(format!("{n}/dense (table alone {gb:.0} GB; use --full)"));
+                continue;
+            }
+            match spawn_case(n, backend, args.strategy, &sub) {
+                Ok(row) => {
+                    println!("  {row}");
+                    match backend {
+                        "lazy" => tps[0] = json_f64(&row, "host_ticks_per_sec").unwrap_or(0.0),
+                        "hier" => tps[1] = json_f64(&row, "host_ticks_per_sec").unwrap_or(0.0),
+                        _ => {
+                            if n <= ROUTING_DENSE_LIMIT {
+                                dense_build_10k =
+                                    json_f64(&row, "build_secs").unwrap_or(f64::NAN);
+                            }
+                        }
+                    }
+                    rows.push(row);
+                }
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let speedup = if tps[0] > 0.0 { tps[1] / tps[0] } else { 0.0 };
+        println!("  n={n}: hier-over-lazy speedup {speedup:.1}x");
+        speedups.push((n, speedup));
+    }
+    for s in &skipped {
+        println!("  skipped {s}");
+    }
+
+    let identical = subnet_backends_bit_identical(args);
+    println!(
+        "dense vs lazy vs hier on the n=491 subnet world: {}",
+        if identical { "bit-identical" } else { "DIVERGED" }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"hierarchical_routing_scaling\",\n");
+    json.push_str("  \"topology\": \"subnet(backbone, subnets, hosts_per_subnet)\",\n");
+    json.push_str("  \"worlds\": [");
+    json.push_str(
+        &ROUTING_WORLDS
+            .iter()
+            .map(|(b, s, h)| format!("[{b}, {s}, {h}]"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("],\n");
+    json.push_str(&format!("  \"horizon\": {},\n", args.horizon));
+    json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    json.push_str(&format!("  \"initial_infected\": {},\n", args.initial));
+    json.push_str(&format!("  \"beta\": {},\n", args.beta));
+    json.push_str(&format!(
+        "  \"backends_bit_identical_on_subnet_world\": {identical},\n"
+    ));
+    json.push_str(&format!(
+        "  \"dense_build_secs_at_10k\": {dense_build_10k:.4},\n"
+    ));
+    json.push_str("  \"hier_over_lazy\": [");
+    json.push_str(
+        &speedups
+            .iter()
+            .map(|(n, x)| format!("{{\"hosts\": {n}, \"speedup\": {x:.2}}}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("],\n");
+    json.push_str("  \"skipped\": [");
+    json.push_str(
+        &skipped
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    json.push_str("],\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {row}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+    if identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -505,6 +732,67 @@ fn main() -> ExitCode {
     // Stepping-strategy benchmark: lazy backend, tick vs event per size.
     if let Some(out) = args.event_bench.clone() {
         return run_event_bench(&out, &args);
+    }
+
+    // Routing-backend benchmark on hierarchical subnet worlds.
+    if let Some(out) = args.routing_bench.clone() {
+        return run_routing_bench(&out, &args);
+    }
+
+    // CI guard for the routing bench: hier n≈10k perf + three-way
+    // bit-identity on a subnet world.
+    if let Some(baseline_path) = &args.check_routing {
+        let text = match std::fs::read_to_string(baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", baseline_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let (b, s, h) = ROUTING_WORLDS[0];
+        let n = b + s * (h + 1);
+        let Some(recorded) =
+            find_row(&text, n, "hier").and_then(|row| json_f64(row, "host_ticks_per_sec"))
+        else {
+            eprintln!(
+                "no hier n={n} row in {} — regenerate with --routing-bench",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        };
+        let mut sub = args.clone();
+        sub.subnet = Some((b, s, h));
+        let row = match spawn_case(n, "hier", args.strategy, &sub) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let measured = json_f64(&row, "host_ticks_per_sec").unwrap_or(0.0);
+        let pct = if recorded > 0.0 {
+            (1.0 - measured / recorded) * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "hier n={n} subnet: {measured:.0} host-ticks/s vs recorded {recorded:.0} \
+             (slowdown {pct:+.1}%, tolerance {:.1}%)",
+            args.tolerance_pct
+        );
+        if pct > args.tolerance_pct {
+            eprintln!(
+                "REGRESSION: hier n={n} slowed {pct:.1}% > {:.1}% tolerance",
+                args.tolerance_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        if !subnet_backends_bit_identical(&args) {
+            eprintln!("REGRESSION: dense, lazy, and hier diverged on the subnet world");
+            return ExitCode::FAILURE;
+        }
+        println!("dense, lazy, and hier backends bit-identical on the subnet world");
+        return ExitCode::SUCCESS;
     }
 
     // CI guard for the strategy bench: event n=1000 perf + tick-vs-event
@@ -605,10 +893,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         if !backends_bit_identical(&args) {
-            eprintln!("REGRESSION: dense and lazy backends diverged at n=1000");
+            eprintln!("REGRESSION: routing backends diverged at n=1000");
             return ExitCode::FAILURE;
         }
-        println!("dense and lazy backends bit-identical at n=1000");
+        println!("dense, lazy, and hier backends bit-identical at n=1000");
         return ExitCode::SUCCESS;
     }
 
@@ -620,10 +908,14 @@ fn main() -> ExitCode {
     let mut rows: Vec<String> = Vec::new();
     let mut skipped: Vec<String> = Vec::new();
     for &n in &args.sizes {
-        for backend in ["dense", "lazy"] {
-            if backend == "dense" && n > args.dense_limit && !args.full {
+        for backend in ["dense", "lazy", "hier"] {
+            // Flat power-law graphs (minimum degree 2) don't peel, so
+            // the hier backend's core table is the full dense table —
+            // same memory wall, same skip rule. Its subnet-world story
+            // lives in `--routing-bench`.
+            if (backend == "dense" || backend == "hier") && n > args.dense_limit && !args.full {
                 let gb = 8.0 * (n as f64) * (n as f64) / 1e9;
-                skipped.push(format!("{n}/dense (table alone {gb:.0} GB; use --full)"));
+                skipped.push(format!("{n}/{backend} (table alone {gb:.0} GB; use --full)"));
                 continue;
             }
             match spawn_case(n, backend, args.strategy, &args) {
@@ -644,7 +936,7 @@ fn main() -> ExitCode {
 
     let identical = backends_bit_identical(&args);
     println!(
-        "dense vs lazy at n=1000: {}",
+        "dense vs lazy vs hier at n=1000: {}",
         if identical {
             "bit-identical"
         } else {
@@ -662,7 +954,7 @@ fn main() -> ExitCode {
     json.push_str(&format!("  \"initial_infected\": {},\n", args.initial));
     json.push_str(&format!("  \"beta\": {},\n", args.beta));
     json.push_str(&format!(
-        "  \"dense_lazy_bit_identical_at_1000\": {identical},\n"
+        "  \"backends_bit_identical_at_1000\": {identical},\n"
     ));
     json.push_str("  \"skipped\": [");
     json.push_str(

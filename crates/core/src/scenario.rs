@@ -48,7 +48,10 @@ pub enum TopologySpec {
 impl TopologySpec {
     /// Materializes the world with automatic routing-backend selection
     /// ([`RoutingKind::Auto`]: dense all-pairs table for paper-scale
-    /// graphs, memory-bounded lazy BFS above 4096 nodes).
+    /// graphs; above 4096 nodes the two-level hierarchical backend when
+    /// degree-1 peeling leaves a dense-sized core — subnet worlds
+    /// collapse to their backbone — or memory-bounded lazy BFS
+    /// otherwise).
     ///
     /// # Panics
     ///
@@ -224,9 +227,11 @@ impl Scenario {
     /// Picks the routing backend for worlds this scenario builds itself
     /// (`run_simulated`, `analytic_baseline`). The default
     /// [`RoutingKind::Auto`] keeps paper-scale topologies on the dense
-    /// all-pairs table and switches large worlds to the memory-bounded
-    /// lazy backend; both produce bit-identical next hops, so this knob
-    /// trades memory for routing-cache work without changing any curve.
+    /// all-pairs table and switches large worlds to the two-level
+    /// hierarchical backend (when degree-1 peeling leaves a dense-sized
+    /// core) or the memory-bounded lazy backend; all backends produce
+    /// bit-identical next hops, so this knob trades memory for
+    /// routing-cache work without changing any curve.
     pub fn routing(mut self, routing: RoutingKind) -> Self {
         self.routing = routing;
         self
@@ -473,9 +478,36 @@ mod tests {
                 max_cached_destinations: 16,
             })
             .run_simulated();
+        let hier = base.clone().routing(RoutingKind::Hier).run_simulated();
         let auto = base.run_simulated();
         assert_eq!(dense, lazy);
+        assert_eq!(dense, hier);
         assert_eq!(dense, auto);
+    }
+
+    #[test]
+    fn routing_backend_does_not_change_the_outcome_on_subnet_worlds() {
+        // The hier backend's home turf: host stars and edge routers
+        // peel, the backbone ring is the core. All three backends (and
+        // Auto, which picks hier here once the world outgrows the dense
+        // threshold) must trace the same curves.
+        let base = Scenario::new(TopologySpec::Subnets {
+            backbone: 3,
+            subnets: 8,
+            hosts_per_subnet: 12,
+        })
+        .horizon(60)
+        .runs(2);
+        let dense = base.clone().routing(RoutingKind::Dense).run_simulated();
+        let lazy = base
+            .clone()
+            .routing(RoutingKind::Lazy {
+                max_cached_destinations: 16,
+            })
+            .run_simulated();
+        let hier = base.clone().routing(RoutingKind::Hier).run_simulated();
+        assert_eq!(dense, lazy);
+        assert_eq!(dense, hier);
     }
 
     #[test]

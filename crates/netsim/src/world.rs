@@ -14,10 +14,13 @@ use dynaquar_topology::{Graph, NodeId};
 ///
 /// Routing lives behind a [`RoutingBackend`]: [`RoutingKind::Auto`]
 /// (the default for every constructor) keeps paper-scale worlds on the
-/// dense all-pairs table and switches large worlds to the lazy
-/// memory-bounded backend, so constructing a 100k-node world no longer
-/// forces the `O(n²)` table. Individual simulation runs borrow the
-/// world immutably, so multi-run averaging shares one `World` across
+/// dense all-pairs table and switches large worlds to the two-level
+/// hierarchical backend when degree-1 peeling leaves a dense-sized
+/// core (the paper's subnet worlds collapse to their backbone), or the
+/// lazy memory-bounded backend otherwise — so constructing a 100k-node
+/// world no longer forces the `O(n²)` table. All backends return
+/// bit-identical routes. Individual simulation runs borrow the world
+/// immutably, so multi-run averaging shares one `World` across
 /// threads.
 #[derive(Debug)]
 pub struct World {

@@ -25,10 +25,25 @@ use dynaquar_netsim::sim::{SimResult, Simulator};
 use dynaquar_netsim::strategy::SimStrategy;
 use dynaquar_netsim::World;
 use dynaquar_topology::generators;
+use dynaquar_topology::lazy::RoutingKind;
 
 /// Both explicit strategies; every fingerprint world is pinned under
 /// each, so the suite fails loudly if the engines ever diverge.
 const STRATEGIES: [SimStrategy; 2] = [SimStrategy::Tick, SimStrategy::Event];
+
+/// The star worlds are pinned under both the dense table (now the
+/// parallel-built packed-cell construction) and the two-level hier
+/// backend (a star is a pure tree: everything peels to the hub), with
+/// the same constants on purpose — routing is pure function, so the
+/// backend must never show up in a fingerprint.
+const ROUTINGS: [RoutingKind; 2] = [RoutingKind::Dense, RoutingKind::Hier];
+
+/// Every (strategy, routing) combination the star pins sweep.
+fn strategy_routing_matrix() -> impl Iterator<Item = (SimStrategy, RoutingKind)> {
+    STRATEGIES
+        .into_iter()
+        .flat_map(|s| ROUTINGS.into_iter().map(move |r| (s, r)))
+}
 
 fn series_sum(s: &dynaquar_epidemic::TimeSeries) -> f64 {
     s.iter().map(|(_, v)| v).sum()
@@ -65,9 +80,9 @@ fn assert_conserved(r: &SimResult) {
 
 #[test]
 fn dynamic_quarantine_star_is_bit_identical() {
-    let w = World::from_star(generators::star(199).unwrap());
-    let hosts = w.hosts().to_vec();
-    for strategy in STRATEGIES {
+    for (strategy, routing) in strategy_routing_matrix() {
+        let w = World::from_star_with(generators::star(199).unwrap(), routing);
+        let hosts = w.hosts().to_vec();
         let mut plan = RateLimitPlan::none();
         plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 10));
         let cfg = SimConfig::builder()
@@ -107,10 +122,10 @@ fn dynamic_quarantine_star_is_bit_identical() {
 
 #[test]
 fn capped_hub_with_background_is_bit_identical() {
-    let star = generators::star(99).unwrap();
-    let hub = star.hub;
-    let w = World::from_star(star);
-    for strategy in STRATEGIES {
+    for (strategy, routing) in strategy_routing_matrix() {
+        let star = generators::star(99).unwrap();
+        let hub = star.hub;
+        let w = World::from_star_with(star, routing);
         let mut plan = RateLimitPlan::none();
         plan.limit_links_at_node(w.graph(), hub, 0.3);
         let cfg = SimConfig::builder()
@@ -142,8 +157,8 @@ fn capped_hub_with_background_is_bit_identical() {
 
 #[test]
 fn welchia_self_patch_is_bit_identical() {
-    let w = World::from_star(generators::star(199).unwrap());
-    for strategy in STRATEGIES {
+    for (strategy, routing) in strategy_routing_matrix() {
+        let w = World::from_star_with(generators::star(199).unwrap(), routing);
         let welchia = WormBehavior::random()
             .with_scan_rate(3)
             .with_self_patch_after(12);
@@ -178,9 +193,9 @@ fn welchia_self_patch_is_bit_identical() {
 
 #[test]
 fn kitchen_sink_fault_plan_is_bit_identical() {
-    let w = World::from_star(generators::star(149).unwrap());
-    let hosts = w.hosts().to_vec();
-    for strategy in STRATEGIES {
+    for (strategy, routing) in strategy_routing_matrix() {
+        let w = World::from_star_with(generators::star(149).unwrap(), routing);
+        let hosts = w.hosts().to_vec();
         let mut plan = RateLimitPlan::none();
         plan.filter_hosts(&hosts, HostFilter::delaying(200, 1, 8));
         let faults = FaultPlan::none()
@@ -297,6 +312,17 @@ fn power_law_1000_lazy_backend_is_bit_identical() {
 }
 
 #[test]
+fn power_law_1000_hier_backend_is_bit_identical() {
+    // BA with m = 2 has minimum degree 2, so nothing peels and the
+    // hier backend degenerates to a dense core table over the whole
+    // graph — the worst case for hier, still bit-identical.
+    for strategy in STRATEGIES {
+        let r = power_law_1000_run(RoutingKind::Hier, strategy);
+        assert_power_law_1000_fingerprint(&r);
+    }
+}
+
+#[test]
 fn power_law_1000_backends_produce_equal_results() {
     let dense = power_law_1000_run(dynaquar_topology::lazy::RoutingKind::Dense, SimStrategy::Tick);
     let lazy = power_law_1000_run(
@@ -332,6 +358,76 @@ fn power_law_6000_run(strategy: SimStrategy) -> SimResult {
         .build()
         .unwrap();
     Simulator::new(&w, &cfg, WormBehavior::random(), 23).run()
+}
+
+/// The n = 20,096 hierarchical subnet world (16 backbone routers, 80
+/// subnets × 250 hosts) — above every Auto threshold, so this is the
+/// scale where `RoutingKind::Auto` now picks the hier backend (the
+/// world peels to its 16-router backbone core) and the event strategy.
+fn subnet_20k_run(routing: RoutingKind, strategy: SimStrategy) -> SimResult {
+    let topo = generators::SubnetTopologyBuilder::new()
+        .backbone_routers(16)
+        .subnets(80)
+        .hosts_per_subnet(250)
+        .build()
+        .unwrap();
+    let w = World::from_subnets_with(topo, routing);
+    let hosts = w.hosts().to_vec();
+    let mut plan = RateLimitPlan::none();
+    plan.filter_hosts(&hosts, HostFilter::delaying(200, 2, 12));
+    let cfg = SimConfig::builder()
+        .beta(0.8)
+        .horizon(40)
+        .initial_infected(40)
+        .plan(plan)
+        .quarantine(QuarantineConfig { queue_threshold: 4 })
+        .strategy(strategy)
+        .build()
+        .unwrap();
+    Simulator::new(&w, &cfg, WormBehavior::random(), 29).run()
+}
+
+#[test]
+fn subnet_20k_is_bit_identical_across_routing_and_strategies() {
+    // A 600-destination cache on a 20k-node world keeps the lazy legs
+    // evicting; the hier legs route through the 16-node core table.
+    let lazy = RoutingKind::Lazy {
+        max_cached_destinations: 600,
+    };
+    let mut results = Vec::new();
+    for strategy in STRATEGIES {
+        for routing in [lazy, RoutingKind::Hier] {
+            let r = subnet_20k_run(routing, strategy);
+            let label = |what: &str| format!("{strategy}/{routing:?}/{what}");
+            pin(
+                &label("infected"),
+                series_sum(&r.infected_fraction),
+                "7.18350000000000155e-1",
+            );
+            pin(
+                &label("ever"),
+                series_sum(&r.ever_infected_fraction),
+                "1.37404999999999999e0",
+            );
+            pin(&label("backlog"), series_sum(&r.backlog), "1.91830000000000000e4");
+            assert_eq!(r.delivered_packets, 2655);
+            assert_eq!(r.delayed_packets, 6219);
+            assert_eq!(r.quarantined_hosts, 1301);
+            assert_eq!(r.residual_packets, 1650);
+            assert_conserved(&r);
+            results.push(r);
+        }
+    }
+    for r in &results[1..] {
+        assert_eq!(
+            &results[0], r,
+            "routing backend × stepping strategy diverged on the n=20k run"
+        );
+    }
+    // The full-auto path (hier routing + event stepping) must be one
+    // of the pinned runs exactly.
+    let auto = subnet_20k_run(RoutingKind::Auto, SimStrategy::Auto);
+    assert_eq!(auto, results[0], "Auto diverged on the n=20k run");
 }
 
 #[test]

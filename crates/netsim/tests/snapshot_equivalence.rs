@@ -198,6 +198,7 @@ fn resume_matrix_across_strategy_and_routing() {
         RoutingKind::Lazy {
             max_cached_destinations: 16,
         },
+        RoutingKind::Hier,
     ] {
         let world = World::from_power_law_with(graph.clone(), 0.05, 0.10, routing);
         let hosts = world.hosts().to_vec();
@@ -228,9 +229,72 @@ fn resume_matrix_across_strategy_and_routing() {
             results.push(full);
         }
     }
-    // All four combinations agree with each other too.
+    // All six combinations agree with each other too.
     for r in &results[1..] {
         assert_eq!(&results[0], r);
+    }
+}
+
+/// A snapshot taken on a world routed by one backend resumes on a
+/// world routed by a *different* backend with no divergence: routing
+/// caches are pure-function state (deliberately excluded from the
+/// snapshot), and the world fingerprint is structural — so like
+/// cross-strategy migration, cross-routing-kind resume is legitimate.
+#[test]
+fn cross_routing_kind_resume_is_bit_identical() {
+    let build_world = |routing: RoutingKind| {
+        let topo = generators::SubnetTopologyBuilder::new()
+            .backbone_routers(3)
+            .subnets(6)
+            .hosts_per_subnet(8)
+            .build()
+            .unwrap();
+        World::from_subnets_with(topo, routing)
+    };
+    let lazy = RoutingKind::Lazy {
+        max_cached_destinations: 8,
+    };
+    let cfg = |strategy: SimStrategy| {
+        SimConfig::builder()
+            .beta(0.9)
+            .horizon(60)
+            .initial_infected(2)
+            .log_scans(true)
+            .quarantine(QuarantineConfig { queue_threshold: 3 })
+            .strategy(strategy)
+            .build()
+            .unwrap()
+    };
+    let behavior = WormBehavior::random();
+    for (first, second) in [
+        (lazy, RoutingKind::Hier),
+        (RoutingKind::Hier, RoutingKind::Dense),
+        (RoutingKind::Dense, lazy),
+    ] {
+        // Migrate the routing backend *and* the stepping strategy at
+        // the split — both must be invisible to the trajectory.
+        let w_first = build_world(first);
+        let w_second = build_world(second);
+        let (full, full_stream) = full_run(&w_second, &cfg(SimStrategy::Event), behavior, 23);
+        let mut sim = Simulator::new(&w_first, &cfg(SimStrategy::Tick), behavior, 23);
+        sim.run_until(30, &mut dynaquar_netsim::observer::NullObserver);
+        let snap = Snapshot::from_bytes(&sim.snapshot().to_bytes()).unwrap();
+        let mut stream = Vec::new();
+        let migrated = {
+            let mut writer = JsonlEventWriter::new(&mut stream);
+            let r = Simulator::resume(&w_second, &cfg(SimStrategy::Event), behavior, &snap)
+                .expect("cross-routing-kind resume is legitimate")
+                .run_observed(&mut writer);
+            writer.finish().unwrap();
+            r
+        };
+        assert_eq!(full, migrated, "{first:?} -> {second:?} migration diverged");
+        // The observer stream after the split matches the tail of the
+        // uninterrupted stream byte for byte.
+        assert!(
+            full_stream.ends_with(&stream),
+            "{first:?} -> {second:?}: post-split stream diverged"
+        );
     }
 }
 

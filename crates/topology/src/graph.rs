@@ -266,6 +266,82 @@ impl PartialEq for Graph {
     }
 }
 
+/// Compressed-sparse-row snapshot of a [`Graph`]'s adjacency.
+///
+/// Every routing backend runs its BFS over this layout: two flat arrays
+/// (`offsets`, `targets`) replace the per-node `Vec<NodeId>` pointer
+/// chase, so a BFS touches one contiguous slice per node instead of a
+/// heap allocation per node. **Neighbor order is preserved exactly** —
+/// `neighbors(u)` yields the same sequence as [`Graph::neighbors`] —
+/// which is what keeps CSR-based BFS bit-identical to the adjacency-list
+/// BFS the routing equivalence contract is written against.
+///
+/// The snapshot is derived (never serialized); [`Graph`]'s adjacency-list
+/// representation and serde format are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// `offsets[u]..offsets[u + 1]` indexes `targets` for node `u`
+    /// (length `n + 1`).
+    offsets: Vec<usize>,
+    /// Neighbor node indices, concatenated in adjacency order.
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the CSR snapshot of `graph`, preserving adjacency order.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * graph.edge_count());
+        offsets.push(0);
+        for u in 0..n {
+            for &v in &graph.adjacency[u] {
+                targets.push(v.index() as u32);
+            }
+            offsets.push(targets.len());
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Assembles a CSR from prebuilt arrays (`offsets.len() == n + 1`,
+    /// monotone, bounded by `targets.len()`). Used for induced
+    /// subgraphs whose neighbor order must mirror the parent graph's.
+    pub(crate) fn from_parts(offsets: Vec<usize>, targets: Vec<u32>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes the snapshot covers.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total directed adjacency entries (`2 · edge_count`).
+    pub fn entry_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The neighbors of node `u`, in the graph's adjacency order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// The degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +450,34 @@ mod tests {
         let mut b = triangle();
         b.edge_lookup.clear();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csr_preserves_adjacency_order() {
+        let g = triangle();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.entry_count(), 6);
+        for u in 0..3 {
+            let expected: Vec<u32> = g
+                .neighbors(NodeId::from(u))
+                .iter()
+                .map(|v| v.index() as u32)
+                .collect();
+            assert_eq!(csr.neighbors(u), expected.as_slice());
+            assert_eq!(csr.degree(u), g.degree(NodeId::from(u)));
+        }
+    }
+
+    #[test]
+    fn csr_handles_isolated_nodes_and_empty_graphs() {
+        let csr = Csr::from_graph(&Graph::new());
+        assert_eq!(csr.node_count(), 0);
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0.into(), 2.into()).unwrap();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.neighbors(1), &[] as &[u32]);
+        assert_eq!(csr.neighbors(0), &[2]);
+        assert_eq!(csr.neighbors(2), &[0]);
     }
 }

@@ -9,16 +9,215 @@
 //!
 //! Routing is consumed through the [`RoutingBackend`] trait, which the
 //! dense table implements alongside the memory-bounded
-//! [`LazyRouting`](crate::lazy::LazyRouting) backend; both produce
-//! bit-identical next hops because each runs the same BFS (neighbors in
-//! adjacency order) rooted at the destination.
+//! [`LazyRouting`](crate::lazy::LazyRouting) backend and the two-level
+//! [`HierRouting`](crate::hier::HierRouting) backend; all produce
+//! bit-identical next hops because each reproduces the same BFS
+//! (neighbors in adjacency order) rooted at the destination.
+//!
+//! Every backend's BFS runs over the shared [`Csr`] adjacency snapshot
+//! and writes **destination-major** rows (`table[dst * n + src]`): one
+//! BFS fills one contiguous row, so construction streams through memory
+//! instead of scattering stride-`n` writes. Construction fans the
+//! per-destination BFS out over the `dynaquar-parallel` pool in
+//! deterministic destination order ([`RoutingTable::shortest_paths_with`]);
+//! [`RoutingTable::shortest_paths_serial`] keeps the original
+//! adjacency-list serial loop as the independent oracle the differential
+//! suite (`tests/routing_oracle.rs`) pins every other construction
+//! against.
 
 use crate::error::Error;
-use crate::graph::{EdgeId, Graph, NodeId};
+use crate::graph::{Csr, EdgeId, Graph, NodeId};
+use dynaquar_parallel::{ordered_map, ParallelConfig};
 use std::collections::VecDeque;
 
 /// Sentinel meaning "no route / self".
 pub(crate) const NO_HOP: u32 = u32::MAX;
+
+/// One table cell holding a packed (next hop, distance) pair.
+///
+/// Two widths exist: [`u32`] packs two `u16` halves (graphs up to 65,535
+/// nodes — every dense table that fits in memory in practice), [`u64`]
+/// packs two `u32` halves (the general case, used by the lazy backend's
+/// per-destination rows). Packing matters twice over: one store per BFS
+/// discovery instead of two, and half the table bytes, which on the
+/// latency-bound all-pairs build is the difference between ~3 s and
+/// ~13 s at n = 10k.
+pub(crate) trait PackedCell: Copy + Eq + Send + 'static {
+    /// Cell value for a node the BFS never reached (no hop, no distance).
+    const UNREACHED: Self;
+    /// Cell value for the BFS root (no hop, distance 0).
+    const ROOT: Self;
+    /// Packs a discovered node's parent and hop count.
+    fn pack(hop: u32, dist: u32) -> Self;
+    /// The next-hop half ([`NO_HOP`] when absent).
+    fn hop(self) -> u32;
+    /// The distance half (`u32::MAX` when unreached).
+    fn dist(self) -> u32;
+    /// Whether this cell is still [`PackedCell::UNREACHED`].
+    fn is_unreached(self) -> bool;
+}
+
+impl PackedCell for u32 {
+    const UNREACHED: Self = 0xFFFF_FFFF;
+    const ROOT: Self = 0xFFFF_0000;
+
+    #[inline]
+    fn pack(hop: u32, dist: u32) -> Self {
+        (hop << 16) | dist
+    }
+
+    #[inline]
+    fn hop(self) -> u32 {
+        let h = self >> 16;
+        if h == 0xFFFF {
+            NO_HOP
+        } else {
+            h
+        }
+    }
+
+    #[inline]
+    fn dist(self) -> u32 {
+        let d = self & 0xFFFF;
+        if d == 0xFFFF {
+            u32::MAX
+        } else {
+            d
+        }
+    }
+
+    #[inline]
+    fn is_unreached(self) -> bool {
+        self & 0xFFFF == 0xFFFF
+    }
+}
+
+impl PackedCell for u64 {
+    const UNREACHED: Self = u64::MAX;
+    const ROOT: Self = (u32::MAX as u64) << 32;
+
+    #[inline]
+    fn pack(hop: u32, dist: u32) -> Self {
+        (u64::from(hop) << 32) | u64::from(dist)
+    }
+
+    #[inline]
+    fn hop(self) -> u32 {
+        (self >> 32) as u32
+    }
+
+    #[inline]
+    fn dist(self) -> u32 {
+        self as u32
+    }
+
+    #[inline]
+    fn is_unreached(self) -> bool {
+        self as u32 == u32::MAX
+    }
+}
+
+/// Largest node count the compact (`u32` cell, `u16` halves) table
+/// representation covers: hop and distance values stay below the
+/// `0xFFFF` sentinel.
+pub(crate) const COMPACT_LIMIT: usize = u16::MAX as usize;
+
+/// One BFS rooted at `dst`, filling the `n`-wide packed row.
+///
+/// This is the single kernel every backend shares: neighbors are visited
+/// in [`Csr`] order (= adjacency order), level-synchronously (frontier
+/// order equals FIFO queue order), parents are assigned on first
+/// discovery — so for a fixed graph the filled row is bit-identical no
+/// matter which backend (dense, lazy, hier core) runs it, at either cell
+/// width.
+pub(crate) fn bfs_fill_row<C: PackedCell>(
+    csr: &Csr,
+    dst: u32,
+    row: &mut [C],
+    cur: &mut Vec<u32>,
+    next: &mut Vec<u32>,
+) {
+    let n = row.len();
+    row.fill(C::UNREACHED);
+    row[dst as usize] = C::ROOT;
+    cur.clear();
+    cur.push(dst);
+    let mut d = 0u32;
+    let mut seen = 1usize;
+    while !cur.is_empty() && seen < n {
+        d += 1;
+        next.clear();
+        for &u in cur.iter() {
+            for &v in csr.neighbors(u as usize) {
+                let cell = &mut row[v as usize];
+                if cell.is_unreached() {
+                    *cell = C::pack(u, d);
+                    next.push(v);
+                }
+            }
+        }
+        seen += next.len();
+        std::mem::swap(cur, next);
+    }
+}
+
+/// Builds the full destination-major packed table (`cells[dst * n + src]`)
+/// for every destination of `csr`, fanning per-destination BFS over
+/// `pool`.
+///
+/// Rows are computed in small reused buffers (hot in cache — BFS writes
+/// scattered within a row, which is ruinously slow against cold memory)
+/// and appended to the output in destination order. On a single worker
+/// the rows stream straight into the final allocation; with more workers
+/// each takes a contiguous destination range so `ordered_map`'s
+/// order-preservation makes the concatenation deterministic. The kernel
+/// is pure, so the table is bit-identical for any thread count.
+pub(crate) fn build_dense_cells<C: PackedCell>(csr: &Csr, pool: &ParallelConfig) -> Vec<C> {
+    let n = csr.node_count();
+    const BATCH: usize = 8;
+    if pool.threads() <= 1 {
+        let mut out: Vec<C> = Vec::with_capacity(n * n);
+        fill_range_cells(csr, 0, n, &mut out);
+        return out;
+    }
+    // One contiguous destination range per work item, sized so every
+    // worker gets several items to balance on.
+    let ranges: Vec<(usize, usize)> = {
+        let span = n.div_ceil(pool.threads() * 4).max(BATCH);
+        (0..n)
+            .step_by(span)
+            .map(|lo| (lo, (lo + span).min(n)))
+            .collect()
+    };
+    let chunks = ordered_map(pool, ranges, |_, (lo, hi)| {
+        let mut out: Vec<C> = Vec::with_capacity((hi - lo) * n);
+        fill_range_cells(csr, lo, hi, &mut out);
+        out
+    });
+    let mut out: Vec<C> = Vec::with_capacity(n * n);
+    for chunk in chunks {
+        out.extend_from_slice(&chunk);
+    }
+    out
+}
+
+/// Appends packed rows for destinations `lo..hi` to `out`, running each
+/// BFS in a small reused batch buffer.
+fn fill_range_cells<C: PackedCell>(csr: &Csr, lo: usize, hi: usize, out: &mut Vec<C>) {
+    let n = csr.node_count();
+    const BATCH: usize = 8;
+    let mut buf = vec![C::UNREACHED; BATCH * n];
+    let (mut cur, mut next) = (Vec::new(), Vec::new());
+    let mut b_lo = lo;
+    while b_lo < hi {
+        let b_hi = (b_lo + BATCH).min(hi);
+        for (i, dst) in (b_lo..b_hi).enumerate() {
+            bfs_fill_row(csr, dst as u32, &mut buf[i * n..(i + 1) * n], &mut cur, &mut next);
+        }
+        out.extend_from_slice(&buf[..(b_hi - b_lo) * n]);
+        b_lo = b_hi;
+    }
+}
 
 /// A shortest-path routing oracle over a fixed graph.
 ///
@@ -267,18 +466,74 @@ impl RoutingBackend for RoutingTable {
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     n: usize,
-    /// `next_hop[src * n + dst]` = first hop from `src` toward `dst`.
-    next_hop: Vec<u32>,
-    /// `distance[src * n + dst]` = hop count, `u32::MAX` if unreachable.
-    distance: Vec<u32>,
+    /// Packed `(next_hop, distance)` cells, destination-major:
+    /// `cells[dst * n + src]`. One BFS fills one contiguous row.
+    cells: Cells,
+}
+
+/// Table storage at one of two cell widths (see [`PackedCell`]).
+///
+/// Shared by the dense table and the hier backend's core table; the
+/// width is picked from the covered node count at build time.
+#[derive(Debug, Clone)]
+pub(crate) enum Cells {
+    /// `u16` halves — graphs up to [`COMPACT_LIMIT`] nodes.
+    Compact(Vec<u32>),
+    /// `u32` halves — the general case.
+    Wide(Vec<u64>),
+}
+
+impl Cells {
+    /// Builds the full destination-major table for `csr`, choosing the
+    /// compact width whenever the node count permits.
+    pub(crate) fn build(csr: &Csr, pool: &ParallelConfig) -> Self {
+        if csr.node_count() <= COMPACT_LIMIT {
+            Cells::Compact(build_dense_cells::<u32>(csr, pool))
+        } else {
+            Cells::Wide(build_dense_cells::<u64>(csr, pool))
+        }
+    }
+
+    /// The `(next_hop, distance)` pair at flat index `idx`
+    /// (= `dst * n + src`), with sentinels widened to
+    /// [`NO_HOP`] / `u32::MAX`.
+    #[inline]
+    pub(crate) fn hop_dist(&self, idx: usize) -> (u32, u32) {
+        match self {
+            Cells::Compact(v) => (v[idx].hop(), v[idx].dist()),
+            Cells::Wide(v) => (v[idx].hop(), v[idx].dist()),
+        }
+    }
 }
 
 impl RoutingTable {
-    /// Computes shortest-path routing for `graph` (one BFS per node).
+    /// Computes shortest-path routing for `graph` (one BFS per node),
+    /// fanning the per-destination BFS over the pool sized by
+    /// `DYNAQUAR_THREADS` / available parallelism.
     ///
-    /// BFS visits neighbors in adjacency order, so for a given graph the
-    /// table is deterministic.
+    /// BFS visits neighbors in adjacency order and destinations are
+    /// assembled in order, so for a given graph the table is
+    /// deterministic and bit-identical to
+    /// [`RoutingTable::shortest_paths_serial`] at any thread count.
     pub fn shortest_paths(graph: &Graph) -> Self {
+        Self::shortest_paths_with(graph, &ParallelConfig::from_env())
+    }
+
+    /// [`RoutingTable::shortest_paths`] with an explicit pool size.
+    pub fn shortest_paths_with(graph: &Graph, pool: &ParallelConfig) -> Self {
+        let csr = Csr::from_graph(graph);
+        let n = csr.node_count();
+        let cells = Cells::build(&csr, pool);
+        RoutingTable { n, cells }
+    }
+
+    /// The original serial adjacency-list construction, kept as the
+    /// independent oracle for the differential routing suite: one
+    /// queue-driven BFS per destination over [`Graph::neighbors`], no
+    /// CSR snapshot, no pool, no packing tricks (the plain `next_hop` /
+    /// `distance` arrays are zipped into cells only after the BFS
+    /// loop finishes).
+    pub fn shortest_paths_serial(graph: &Graph) -> Self {
         let n = graph.node_count();
         let mut next_hop = vec![NO_HOP; n * n];
         let mut distance = vec![u32::MAX; n * n];
@@ -286,27 +541,44 @@ impl RoutingTable {
         // BFS from each destination; record the parent pointer toward it.
         // parent[u] on a BFS tree rooted at dst is u's next hop to dst.
         for dst in 0..n {
-            let base = |src: usize| src * n + dst;
-            distance[base(dst)] = 0;
+            let row = dst * n;
+            distance[row + dst] = 0;
             queue.clear();
             queue.push_back(NodeId::from(dst));
             while let Some(u) = queue.pop_front() {
-                let du = distance[base(u.index())];
+                let du = distance[row + u.index()];
                 for &v in graph.neighbors(u) {
-                    let slot = base(v.index());
-                    if distance[slot] == u32::MAX {
-                        distance[slot] = du + 1;
-                        next_hop[slot] = u.index() as u32;
+                    if distance[row + v.index()] == u32::MAX {
+                        distance[row + v.index()] = du + 1;
+                        next_hop[row + v.index()] = u.index() as u32;
                         queue.push_back(v);
                     }
                 }
             }
         }
+        let cells = next_hop
+            .iter()
+            .zip(&distance)
+            .map(|(&h, &d)| {
+                if d == u32::MAX {
+                    u64::UNREACHED
+                } else if h == NO_HOP {
+                    <u64 as PackedCell>::ROOT | u64::from(d)
+                } else {
+                    <u64 as PackedCell>::pack(h, d)
+                }
+            })
+            .collect();
         RoutingTable {
             n,
-            next_hop,
-            distance,
+            cells: Cells::Wide(cells),
         }
+    }
+
+    /// The packed cell at `(src, dst)`, width-erased.
+    #[inline]
+    fn cell(&self, src: usize, dst: usize) -> (u32, u32) {
+        self.cells.hop_dist(dst * self.n + src)
     }
 
     /// Number of nodes the table covers.
@@ -352,7 +624,7 @@ impl RoutingTable {
         if src == dst {
             return Ok(None);
         }
-        let hop = self.next_hop[src.index() * self.n + dst.index()];
+        let (hop, _) = self.cell(src.index(), dst.index());
         Ok((hop != NO_HOP).then(|| NodeId::new(hop)))
     }
 
@@ -377,7 +649,7 @@ impl RoutingTable {
     /// in the table.
     pub fn try_distance(&self, src: NodeId, dst: NodeId) -> Result<Option<u32>, Error> {
         self.check_nodes(src, dst)?;
-        let d = self.distance[src.index() * self.n + dst.index()];
+        let (_, d) = self.cell(src.index(), dst.index());
         Ok((d != u32::MAX).then_some(d))
     }
 
@@ -429,8 +701,8 @@ impl RoutingTable {
     /// is a few million pointer chases.
     pub fn link_loads(&self, graph: &Graph) -> Vec<u64> {
         let mut loads = vec![0u64; graph.edge_count()];
-        for src in 0..self.n {
-            for dst in 0..self.n {
+        for dst in 0..self.n {
+            for src in 0..self.n {
                 if src == dst {
                     continue;
                 }
@@ -456,12 +728,12 @@ impl RoutingTable {
     pub fn average_path_length(&self) -> f64 {
         let mut total = 0u64;
         let mut pairs = 0u64;
-        for src in 0..self.n {
-            for dst in 0..self.n {
+        for dst in 0..self.n {
+            for src in 0..self.n {
                 if src == dst {
                     continue;
                 }
-                let d = self.distance[src * self.n + dst];
+                let (_, d) = self.cell(src, dst);
                 if d != u32::MAX {
                     total += u64::from(d);
                     pairs += 1;
@@ -480,12 +752,12 @@ impl RoutingTable {
     /// reachable pairs).
     pub fn diameter(&self) -> Option<u32> {
         let mut max: Option<u32> = None;
-        for src in 0..self.n {
-            for dst in 0..self.n {
+        for dst in 0..self.n {
+            for src in 0..self.n {
                 if src == dst {
                     continue;
                 }
-                let d = self.distance[src * self.n + dst];
+                let (_, d) = self.cell(src, dst);
                 if d != u32::MAX {
                     max = Some(max.map_or(d, |m| m.max(d)));
                 }
@@ -671,11 +943,56 @@ mod tests {
         rt.distance(NodeId::new(50), 0.into());
     }
 
+    /// Asserts two tables agree cell-for-cell through the public
+    /// accessors (the representations may differ in width).
+    fn assert_tables_agree(a: &RoutingTable, b: &RoutingTable, ctx: &str) {
+        assert_eq!(a.node_count(), b.node_count(), "{ctx}: node count");
+        let n = a.node_count();
+        for dst in 0..n {
+            for src in 0..n {
+                let (s, d) = (NodeId::from(src), NodeId::from(dst));
+                assert_eq!(a.next_hop(s, d), b.next_hop(s, d), "{ctx}: hop {src}->{dst}");
+                assert_eq!(a.distance(s, d), b.distance(s, d), "{ctx}: dist {src}->{dst}");
+            }
+        }
+    }
+
     #[test]
     fn deterministic_tables() {
         let g = generators::barabasi_albert(100, 2, 9).unwrap();
         let a = RoutingTable::shortest_paths(&g);
         let b = RoutingTable::shortest_paths(&g);
-        assert_eq!(a.next_hop, b.next_hop);
+        assert_tables_agree(&a, &b, "repeated build");
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial_oracle() {
+        for (g, name) in [
+            (generators::barabasi_albert(120, 2, 7).unwrap(), "ba"),
+            (generators::star(30).unwrap().graph, "star"),
+            (
+                {
+                    let mut g = crate::Graph::with_nodes(9);
+                    g.add_edge(0.into(), 1.into()).unwrap();
+                    g.add_edge(1.into(), 2.into()).unwrap();
+                    g.add_edge(4.into(), 5.into()).unwrap();
+                    g
+                },
+                "disconnected",
+            ),
+        ] {
+            let oracle = RoutingTable::shortest_paths_serial(&g);
+            for threads in [1usize, 3, 8] {
+                let built = RoutingTable::shortest_paths_with(&g, &ParallelConfig::new(threads));
+                assert_tables_agree(&built, &oracle, &format!("{name} @ {threads} threads"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_builds_an_empty_table() {
+        let rt = RoutingTable::shortest_paths(&crate::Graph::new());
+        assert_eq!(rt.node_count(), 0);
+        assert_eq!(rt.diameter(), None);
     }
 }
