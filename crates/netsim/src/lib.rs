@@ -50,16 +50,19 @@
 
 pub mod background;
 pub mod config;
+pub mod env;
 pub mod error;
 pub mod faults;
 pub mod metrics;
 pub mod observer;
 pub mod plan;
 pub mod runner;
+pub mod shard;
 pub mod sim;
 pub mod snapshot;
 mod soa;
 pub mod strategy;
+mod streams;
 pub mod world;
 
 pub use config::{CheckpointPolicy, SimConfig, WormBehavior};
@@ -71,6 +74,7 @@ pub use metrics::{
 };
 pub use plan::RateLimitPlan;
 pub use runner::{ParallelConfig, RunOutcome, RunTiming, RunnerError, SupervisorConfig, WorkerStats};
+pub use shard::ShardSpec;
 pub use sim::{SimResult, Simulator};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use strategy::SimStrategy;

@@ -3,21 +3,26 @@
 //!
 //! A [`Snapshot`] holds everything the engine needs to continue a run
 //! bit-identically: the SoA host state and every activity index input,
-//! the packet slab with its free-list and FIFO, both RNG streams, the
-//! throttle queues and timers, the packet ledger, and the recorded
-//! series so far. The robustness contract is **bit-identity**: run to
-//! tick `T`, snapshot, resume, and the final [`SimResult`] *and* the
-//! concatenated observer JSONL are byte-identical to the uninterrupted
-//! run — under both stepping strategies, both routing backends, and any
-//! thread count (see `crates/netsim/tests/snapshot_equivalence.rs`).
+//! the packet slab with its free-list and FIFO, the shared RNG streams
+//! *and* every infected host's private scan stream, the throttle queues
+//! and timers, the packet ledger, and the recorded series so far. The
+//! robustness contract is **bit-identity**: run to tick `T`, snapshot,
+//! resume, and the final [`SimResult`] *and* the concatenated observer
+//! JSONL are byte-identical to the uninterrupted run — under both
+//! stepping strategies, both routing backends, any thread count, and
+//! any shard count (see `crates/netsim/tests/snapshot_equivalence.rs`).
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2)
 //!
 //! ```text
 //! magic    8 bytes   b"DQSNAPv1"
-//! version  u32 LE    1
+//! version  u32 LE    2
 //! sections repeated  [u32 id][u64 len][payload][u64 FNV-1a-64(payload)]
 //! ```
+//!
+//! (The magic names the file family; the version word is what gates
+//! compatibility. Version 2 added the per-host scan stream section when
+//! per-host streams replaced the shared scan RNG.)
 //!
 //! All integers are little-endian; `f64` values travel as raw bit
 //! patterns ([`f64::to_bits`]) so restores are exact. Every section is
@@ -60,7 +65,7 @@ pub const MAGIC: [u8; 8] = *b"DQSNAPv1";
 /// Current snapshot format version. Bump this (and re-pin the fixture
 /// hash in `crates/netsim/tests/snapshot_equivalence.rs`) whenever the
 /// byte layout of any section changes — CI guards the pairing.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 const SEC_HEADER: u32 = 1;
 const SEC_RNG: u32 = 2;
@@ -73,6 +78,7 @@ const SEC_QUEUES: u32 = 8;
 const SEC_COUNTERS: u32 = 9;
 const SEC_SERIES: u32 = 10;
 const SEC_SCANLOG: u32 = 11;
+const SEC_SCANRNG: u32 = 12;
 
 /// Typed failure loading, validating, or resuming from a snapshot.
 ///
@@ -216,11 +222,11 @@ pub(crate) fn world_fingerprint(world: &World) -> u64 {
 
 /// Fingerprint of the simulated semantics of `(config, behavior)`.
 ///
-/// Deliberately excludes the stepping strategy (both strategies are
-/// bit-identical, so resuming under the other one is legitimate) and
-/// the checkpoint policy (where checkpoints land does not change what
-/// is simulated). `Debug` renderings are stable for the plain
-/// data these types hold.
+/// Deliberately excludes the stepping strategy and the shard count
+/// (both are pure performance knobs with bit-identical results, so
+/// resuming under a different one is legitimate) and the checkpoint
+/// policy (where checkpoints land does not change what is simulated).
+/// `Debug` renderings are stable for the plain data these types hold.
 pub(crate) fn config_fingerprint(config: &SimConfig, behavior: &WormBehavior) -> u64 {
     let repr = format!(
         "beta={:?} initial_infected={} horizon={} immunization={:?} quarantine={:?} \
@@ -266,6 +272,9 @@ pub struct Snapshot {
     pub(crate) ever_infected: u64,
     /// `(host, selector cursor)` for every currently infected host.
     pub(crate) selectors: Vec<(u32, u64)>,
+    /// `(host, xoshiro256++ state)` of every currently infected host's
+    /// private scan stream, captured mid-stream.
+    pub(crate) scan_rngs: Vec<(u32, [u64; 4])>,
     /// `(host, window entries)` for hosts with non-empty limiter state.
     pub(crate) limiters: Vec<(u32, Vec<(u64, u64)>)>,
     /// `(edge index, f64 bits)` over the capped-link index.
@@ -360,6 +369,17 @@ impl Snapshot {
             put_u64(&mut sec, c);
         }
         put_section(&mut out, SEC_SELECTORS, &sec);
+
+        // Per-host scan streams.
+        sec.clear();
+        put_u64(&mut sec, self.scan_rngs.len() as u64);
+        for &(h, state) in &self.scan_rngs {
+            put_u32(&mut sec, h);
+            for w in state {
+                put_u64(&mut sec, w);
+            }
+        }
+        put_section(&mut out, SEC_SCANRNG, &sec);
 
         // Limiter windows.
         sec.clear();
@@ -573,6 +593,20 @@ impl Snapshot {
         }
         r.done()?;
 
+        // Per-host scan streams.
+        let mut r = Reader::new(section(SEC_SCANRNG)?);
+        let count = r.len_prefix()?;
+        let mut scan_rngs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let h = r.u32()?;
+            let mut state = [0u64; 4];
+            for w in state.iter_mut() {
+                *w = r.u64()?;
+            }
+            scan_rngs.push((h, state));
+        }
+        r.done()?;
+
         // Limiter windows.
         let mut r = Reader::new(section(SEC_LIMITERS)?);
         let count = r.len_prefix()?;
@@ -723,6 +757,7 @@ impl Snapshot {
             infected_since,
             ever_infected,
             selectors,
+            scan_rngs,
             limiters,
             link_tokens,
             node_tokens,
@@ -951,6 +986,7 @@ mod tests {
             infected_since: vec![0, 3, 0, 0, 9],
             ever_infected: 3,
             selectors: vec![(1, u64::MAX), (4, 2)],
+            scan_rngs: vec![(1, [9, 10, 11, 12]), (4, [13, 14, 15, 16])],
             limiters: vec![(1, vec![(3.0f64.to_bits(), 17)])],
             link_tokens: vec![(0, 1.5f64.to_bits())],
             node_tokens: vec![],

@@ -78,23 +78,39 @@ pub(crate) struct HostStates {
     /// accept, in the same order — the property the event-driven
     /// strategy's bit-identity rests on (see `netsim::strategy`).
     active: BTreeSet<u32>,
+    /// End hosts (never routers) not yet immunized, sorted ascending by
+    /// index. This is exactly the candidate set of the immunization
+    /// sweep — susceptible *and* infected hosts can both be patched —
+    /// so `immunization_step` enumerates it instead of every node in
+    /// the world, making the sweep O(unpatched) on both engine paths.
+    /// Ascending-id enumeration keeps it bit-identical to the old full
+    /// sweep (which walked the sorted host list and skipped immunized
+    /// entries).
+    unpatched: BTreeSet<u32>,
     infected: usize,
     immunized: usize,
     ever_infected: usize,
 }
 
 impl HostStates {
-    pub fn new(n: usize) -> Self {
+    /// Fresh state for `n` nodes of which `hosts` (the world's sorted
+    /// host list) are immunization candidates. Router nodes never enter
+    /// the unpatched index — they have no status transitions at all.
+    pub fn new(n: usize, hosts: &[NodeId]) -> Self {
         HostStates {
             status: vec![NodeState::Susceptible; n],
             infected_since: vec![0; n],
             active: BTreeSet::new(),
+            unpatched: hosts.iter().map(|h| idx32(h.index())).collect(),
             infected: 0,
             immunized: 0,
             ever_infected: 0,
         }
     }
 
+    /// Direct state read — only the debug census (and tests) need it;
+    /// release paths go through the incremental counters and indexes.
+    #[cfg(any(debug_assertions, test))]
     #[inline]
     pub fn status(&self, i: usize) -> NodeState {
         self.status[i]
@@ -127,8 +143,36 @@ impl HostStates {
         self.active.iter().copied()
     }
 
-    /// Cross-checks the active index against the status array (debug
-    /// builds; called from the simulator's census assertion).
+    /// Currently infected nodes with index in `range`, ascending — the
+    /// per-shard view of [`HostStates::active_hosts`]. Concatenating
+    /// the shards' ranges in ascending shard order reproduces the full
+    /// iteration exactly.
+    pub fn active_hosts_in(&self, range: std::ops::Range<u32>) -> impl Iterator<Item = u32> + '_ {
+        self.active.range(range).copied()
+    }
+
+    /// Not-yet-immunized end hosts in ascending index order — the
+    /// immunization sweep's candidate set.
+    pub fn unpatched_hosts(&self) -> impl Iterator<Item = u32> + '_ {
+        self.unpatched.iter().copied()
+    }
+
+    /// Per-shard view of [`HostStates::unpatched_hosts`].
+    pub fn unpatched_hosts_in(
+        &self,
+        range: std::ops::Range<u32>,
+    ) -> impl Iterator<Item = u32> + '_ {
+        self.unpatched.range(range).copied()
+    }
+
+    /// Number of not-yet-immunized end hosts.
+    pub fn unpatched(&self) -> usize {
+        self.unpatched.len()
+    }
+
+    /// Cross-checks the active and unpatched indexes against the status
+    /// array (debug builds; called from the simulator's census
+    /// assertion).
     #[cfg(debug_assertions)]
     pub fn debug_assert_active_index(&self) {
         assert_eq!(
@@ -141,6 +185,17 @@ impl HostStates {
                 self.status[i as usize],
                 NodeState::Infected,
                 "active index holds a non-infected node {i}"
+            );
+            assert!(
+                self.unpatched.contains(&i),
+                "infected host {i} missing from the unpatched index"
+            );
+        }
+        for &i in &self.unpatched {
+            assert_ne!(
+                self.status[i as usize],
+                NodeState::Immunized,
+                "unpatched index holds an immunized host {i}"
             );
         }
     }
@@ -176,6 +231,7 @@ impl HostStates {
             return false;
         }
         self.status[i] = NodeState::Immunized;
+        self.unpatched.remove(&idx32(i));
         self.immunized += 1;
         true
     }
@@ -188,6 +244,7 @@ impl HostStates {
         }
         self.status[i] = NodeState::Immunized;
         self.active.remove(&idx32(i));
+        self.unpatched.remove(&idx32(i));
         self.infected -= 1;
         self.immunized += 1;
         true
@@ -204,6 +261,7 @@ impl HostStates {
             self.active.remove(&idx32(i));
             self.infected -= 1;
         }
+        self.unpatched.remove(&idx32(i));
         self.immunized += 1;
     }
 
@@ -217,6 +275,7 @@ impl HostStates {
             self.immunized += 1;
         }
         self.status[i] = NodeState::Immunized;
+        self.unpatched.remove(&idx32(i));
     }
 
     /// Snapshot view: `(status codes, infected_since, ever_infected)`.
@@ -231,13 +290,16 @@ impl HostStates {
         )
     }
 
-    /// Rebuilds host state from an [`HostStates::export`] capture.
-    /// Returns `None` when a status code is invalid or the array
-    /// lengths disagree (corrupted snapshot).
+    /// Rebuilds host state from an [`HostStates::export`] capture;
+    /// `hosts` is the world's sorted host list (the unpatched index is
+    /// derivable, so it does not travel in the snapshot). Returns
+    /// `None` when a status code is invalid or the array lengths
+    /// disagree (corrupted snapshot).
     pub fn from_export(
         status_codes: &[u8],
         infected_since: Vec<u64>,
         ever_infected: u64,
+        hosts: &[NodeId],
     ) -> Option<Self> {
         if status_codes.len() != infected_since.len() {
             return None;
@@ -258,10 +320,21 @@ impl HostStates {
             }
             status.push(s);
         }
+        let mut unpatched = BTreeSet::new();
+        for h in hosts {
+            match status.get(h.index()) {
+                Some(NodeState::Immunized) => {}
+                Some(_) => {
+                    unpatched.insert(idx32(h.index()));
+                }
+                None => return None,
+            }
+        }
         Some(HostStates {
             status,
             infected_since,
             active,
+            unpatched,
             infected,
             immunized,
             ever_infected: ever_infected as usize,
@@ -438,9 +511,15 @@ mod tests {
         assert_eq!(pool.queued(), 8);
     }
 
+    /// `HostStates` for `n` nodes that are all end hosts.
+    fn all_hosts(n: usize) -> HostStates {
+        let hosts: Vec<NodeId> = (0..n).map(|i| NodeId::new(i as u32)).collect();
+        HostStates::new(n, &hosts)
+    }
+
     #[test]
     fn host_state_transitions_keep_census() {
-        let mut h = HostStates::new(4);
+        let mut h = all_hosts(4);
         h.seed(0);
         assert!(h.infect(1, 3));
         assert!(!h.infect(1, 9), "already infected");
@@ -465,7 +544,7 @@ mod tests {
 
     #[test]
     fn active_index_is_sorted_and_tracks_every_transition() {
-        let mut h = HostStates::new(6);
+        let mut h = all_hosts(6);
         h.seed(3);
         assert!(h.infect(5, 1));
         assert!(h.infect(1, 2));
@@ -476,5 +555,63 @@ mod tests {
         h.immunize_unpatched(1);
         assert_eq!(h.active_hosts().count(), 0);
         h.debug_assert_active_index();
+    }
+
+    #[test]
+    fn unpatched_index_tracks_every_immunization_path() {
+        // Node 2 is a router: never an immunization candidate.
+        let hosts: Vec<NodeId> = [0u32, 1, 3, 4, 5].iter().map(|&i| NodeId::new(i)).collect();
+        let mut h = HostStates::new(6, &hosts);
+        assert_eq!(h.unpatched(), 5);
+        assert_eq!(h.unpatched_hosts().collect::<Vec<_>>(), vec![0, 1, 3, 4, 5]);
+
+        // Infection does not patch anything.
+        h.seed(0);
+        assert!(h.infect(3, 1));
+        assert_eq!(h.unpatched(), 5);
+
+        h.quarantine(3);
+        assert!(h.immunize_infected(0));
+        assert!(h.immunize_if_susceptible(1));
+        h.immunize_unpatched(4);
+        assert_eq!(h.unpatched_hosts().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(h.unpatched(), 1);
+        h.debug_assert_active_index();
+
+        // Ranged views partition the full enumeration.
+        let lo: Vec<u32> = h.unpatched_hosts_in(0..3).collect();
+        let hi: Vec<u32> = h.unpatched_hosts_in(3..6).collect();
+        assert_eq!(lo, Vec::<u32>::new());
+        assert_eq!(hi, vec![5]);
+    }
+
+    #[test]
+    fn ranged_active_views_partition_the_full_iteration() {
+        let mut h = all_hosts(10);
+        for i in [1usize, 3, 4, 8] {
+            h.seed(i);
+        }
+        let full: Vec<u32> = h.active_hosts().collect();
+        let mut stitched = Vec::new();
+        for cut in [0u32..4, 4..7, 7..10] {
+            stitched.extend(h.active_hosts_in(cut));
+        }
+        assert_eq!(stitched, full);
+    }
+
+    #[test]
+    fn from_export_rebuilds_the_unpatched_index() {
+        let hosts: Vec<NodeId> = [0u32, 1, 2, 4].iter().map(|&i| NodeId::new(i)).collect();
+        let mut h = HostStates::new(5, &hosts);
+        h.seed(1);
+        assert!(h.immunize_if_susceptible(2));
+        let (codes, since, ever) = h.export();
+        let since = since.to_vec();
+        let rebuilt = HostStates::from_export(&codes, since, ever, &hosts).unwrap();
+        assert_eq!(
+            rebuilt.unpatched_hosts().collect::<Vec<_>>(),
+            h.unpatched_hosts().collect::<Vec<_>>()
+        );
+        rebuilt.debug_assert_active_index();
     }
 }

@@ -18,12 +18,14 @@
 //! and side-effect order. The two strategies are therefore
 //! **bit-identical** — an equivalence pinned by the differential suite
 //! in `crates/netsim/tests/engine_equivalence.rs` and the strategy pins
-//! in `crates/netsim/tests/engine_fingerprints.rs`. One documented
-//! carve-out: a run under immunization (a global administrative sweep
-//! that Bernoulli-draws every unpatched host) costs `O(hosts)` per tick
-//! on both strategies while the sweep is active — the draws themselves
-//! are the work, not the enumeration.
+//! in `crates/netsim/tests/engine_fingerprints.rs`. The immunization
+//! sweep shares the contract since its old `O(hosts)` carve-out was
+//! retired: both strategies enumerate the sorted unpatched-host index
+//! (`O(unpatched)` while active) and the draws are stateless hash
+//! Bernoullis per `(seed, tick, host)` — see `netsim::streams` — so
+//! enumeration order cannot perturb them.
 
+use dynaquar_parallel::{env_override, EnvParse};
 use serde::{Deserialize, Serialize};
 
 /// Environment variable consulted by [`SimStrategy::Auto`]: `tick` or
@@ -62,29 +64,24 @@ impl SimStrategy {
         match self {
             SimStrategy::Tick | SimStrategy::Event => self,
             SimStrategy::Auto => {
-                if let Ok(v) = std::env::var(STRATEGY_ENV) {
-                    match v.trim().to_ascii_lowercase().as_str() {
-                        "tick" => return SimStrategy::Tick,
-                        "event" => return SimStrategy::Event,
+                // A misspelled override must not silently fall through
+                // to the size rule (it would change which engine the
+                // whole run used) — the shared helper warns once per
+                // process and falls back.
+                let forced = env_override(
+                    STRATEGY_ENV,
+                    "\"tick\", \"event\", or \"auto\" \
+                     (falling back to the auto size rule)",
+                    |v| match v.to_ascii_lowercase().as_str() {
+                        "tick" => EnvParse::Value(SimStrategy::Tick),
+                        "event" => EnvParse::Value(SimStrategy::Event),
                         // Explicitly asking for the default is not a typo.
-                        "auto" | "" => {}
-                        other => {
-                            // One warning per process: a misspelled
-                            // override must not silently fall through to
-                            // the size rule (it would change which engine
-                            // the whole run used), and must not spam a
-                            // per-construction message either.
-                            static WARNED: std::sync::Once = std::sync::Once::new();
-                            let other = other.to_owned();
-                            WARNED.call_once(|| {
-                                eprintln!(
-                                    "warning: ignoring invalid {STRATEGY_ENV}={other:?}; \
-                                     accepted values are \"tick\", \"event\", or \"auto\" \
-                                     (falling back to the auto size rule)"
-                                );
-                            });
-                        }
-                    }
+                        "auto" => EnvParse::Default,
+                        _ => EnvParse::Invalid,
+                    },
+                );
+                if let Some(s) = forced {
+                    return s;
                 }
                 if nodes > EVENT_AUTO_LIMIT {
                     SimStrategy::Event

@@ -9,6 +9,14 @@
 //! digits round-trips every f64, so a match here is a bit-identity
 //! match.
 //!
+//! Re-pinned once for the sharding-ready RNG discipline: scan draws
+//! now come from per-host streams seeded at infection time and
+//! immunization draws from a stateless per-`(tick, host)` hash, so a
+//! host's randomness no longer depends on which other hosts exist or
+//! which shard sweeps it. The new values are the engine's permanent
+//! fingerprint — `DYNAQUAR_SHARDS` at any count must reproduce them
+//! bit for bit (CI runs this suite under a sharded leg).
+//!
 //! Every fingerprinted world now runs under **both stepping
 //! strategies** ([`STRATEGIES`]): the event-driven engine must
 //! reproduce every tick-engine pin bit for bit, with the same
@@ -98,23 +106,23 @@ fn dynamic_quarantine_star_is_bit_identical() {
         pin(
             &format!("{strategy}/infected"),
             series_sum(&r.infected_fraction),
-            "3.76884422110552786e-1",
+            "7.78894472361808976e-1",
         );
         pin(
             &format!("{strategy}/ever"),
             series_sum(&r.ever_infected_fraction),
-            "1.46130653266332260e1",
+            "2.79497487437187075e1",
         );
         pin(
             &format!("{strategy}/immunized"),
             series_sum(&r.immunized_fraction),
-            "1.42361809045226710e1",
+            "2.71708542713568946e1",
         );
-        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "1.50000000000000000e1");
-        assert_eq!(r.delivered_packets, 15);
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "3.20000000000000000e1");
+        assert_eq!(r.delivered_packets, 32);
         assert_eq!(r.filtered_packets, 0);
-        assert_eq!(r.delayed_packets, 45);
-        assert_eq!(r.quarantined_hosts, 15);
+        assert_eq!(r.delayed_packets, 90);
+        assert_eq!(r.quarantined_hosts, 30);
         assert_eq!(r.residual_packets, 0);
         assert_conserved(&r);
     }
@@ -141,16 +149,16 @@ fn capped_hub_with_background_is_bit_identical() {
         pin(
             &format!("{strategy}/infected"),
             series_sum(&r.infected_fraction),
-            "1.70060606060606062e2",
+            "1.72939393939393938e2",
         );
-        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "9.68437000000000000e5");
-        assert_eq!(r.delivered_packets, 1911);
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "1.00815100000000000e6");
+        assert_eq!(r.delivered_packets, 1960);
         assert_eq!(r.background.injected, 100);
-        assert_eq!(r.background.delivered, 26);
-        assert_eq!(r.background.total_delay_ticks, 990);
-        assert_eq!(r.background.max_delay_ticks, 141);
-        assert_eq!(r.background.total_hops, 52);
-        assert_eq!(r.residual_packets, 11333);
+        assert_eq!(r.background.delivered, 27);
+        assert_eq!(r.background.total_delay_ticks, 1378);
+        assert_eq!(r.background.max_delay_ticks, 145);
+        assert_eq!(r.background.total_hops, 54);
+        assert_eq!(r.residual_packets, 11596);
         assert_conserved(&r);
     }
 }
@@ -178,14 +186,14 @@ fn welchia_self_patch_is_bit_identical() {
         pin(
             &format!("{strategy}/ever"),
             series_sum(&r.ever_infected_fraction),
-            "2.94246231155778901e2",
+            "2.94201005025125596e2",
         );
         pin(
             &format!("{strategy}/immunized"),
             series_sum(&r.immunized_fraction),
-            "2.82246231155778901e2",
+            "2.82201005025125596e2",
         );
-        assert_eq!(r.delivered_packets, 5180);
+        assert_eq!(r.delivered_packets, 5181);
         assert_eq!(r.residual_packets, 0);
         assert_conserved(&r);
     }
@@ -223,25 +231,25 @@ fn kitchen_sink_fault_plan_is_bit_identical() {
         pin(
             &format!("{strategy}/infected"),
             series_sum(&r.infected_fraction),
-            "6.02684563758389480e0",
+            "8.59060402684562519e0",
         );
         pin(
             &format!("{strategy}/ever"),
             series_sum(&r.ever_infected_fraction),
-            "8.72416107382550194e1",
+            "1.01885906040268424e2",
         );
         pin(
             &format!("{strategy}/immunized"),
             series_sum(&r.immunized_fraction),
-            "1.21073825503355636e2",
+            "1.17939597315436231e2",
         );
-        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "4.19000000000000000e2");
-        assert_eq!(r.delivered_packets, 317);
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "6.21000000000000000e2");
+        assert_eq!(r.delivered_packets, 552);
         assert_eq!(r.filtered_packets, 0);
-        assert_eq!(r.delayed_packets, 297);
-        assert_eq!(r.quarantined_hosts, 69);
+        assert_eq!(r.delayed_packets, 350);
+        assert_eq!(r.quarantined_hosts, 78);
         assert_eq!(r.false_quarantined_hosts, 2);
-        assert_eq!(r.lost_packets, 11);
+        assert_eq!(r.lost_packets, 19);
         assert_eq!(r.residual_packets, 0);
         assert_conserved(&r);
     }
@@ -275,14 +283,14 @@ fn power_law_1000_run(
 /// the same constants on purpose — the lazy backend must reproduce the
 /// dense run bit for bit.
 fn assert_power_law_1000_fingerprint(r: &SimResult) {
-    pin("infected", series_sum(&r.infected_fraction), "5.97882352941176531e0");
-    pin("ever", series_sum(&r.ever_infected_fraction), "6.86505882352939807e1");
-    pin("immunized", series_sum(&r.immunized_fraction), "6.26717647058822322e1");
-    pin("backlog", series_sum(&r.backlog), "4.44300000000000000e3");
-    assert_eq!(r.delivered_packets, 1346);
+    pin("infected", series_sum(&r.infected_fraction), "6.05411764705882316e0");
+    pin("ever", series_sum(&r.ever_infected_fraction), "7.04094117647058937e1");
+    pin("immunized", series_sum(&r.immunized_fraction), "6.43552941176470625e1");
+    pin("backlog", series_sum(&r.backlog), "4.53000000000000000e3");
+    assert_eq!(r.delivered_packets, 1362);
     assert_eq!(r.filtered_packets, 0);
-    assert_eq!(r.delayed_packets, 2668);
-    assert_eq!(r.quarantined_hosts, 667);
+    assert_eq!(r.delayed_packets, 2708);
+    assert_eq!(r.quarantined_hosts, 677);
     assert_eq!(r.residual_packets, 0);
     assert_conserved(r);
 }
@@ -402,18 +410,18 @@ fn subnet_20k_is_bit_identical_across_routing_and_strategies() {
             pin(
                 &label("infected"),
                 series_sum(&r.infected_fraction),
-                "7.18350000000000155e-1",
+                "7.29050000000000198e-1",
             );
             pin(
                 &label("ever"),
                 series_sum(&r.ever_infected_fraction),
-                "1.37404999999999999e0",
+                "1.40445000000000020e0",
             );
-            pin(&label("backlog"), series_sum(&r.backlog), "1.91830000000000000e4");
-            assert_eq!(r.delivered_packets, 2655);
-            assert_eq!(r.delayed_packets, 6219);
-            assert_eq!(r.quarantined_hosts, 1301);
-            assert_eq!(r.residual_packets, 1650);
+            pin(&label("backlog"), series_sum(&r.backlog), "1.95120000000000000e4");
+            assert_eq!(r.delivered_packets, 2699);
+            assert_eq!(r.delayed_packets, 6277);
+            assert_eq!(r.quarantined_hosts, 1324);
+            assert_eq!(r.residual_packets, 1685);
             assert_conserved(&r);
             results.push(r);
         }
@@ -430,6 +438,63 @@ fn subnet_20k_is_bit_identical_across_routing_and_strategies() {
     assert_eq!(auto, results[0], "Auto diverged on the n=20k run");
 }
 
+/// An immunization-dominated run: µ kicks in at tick 2 on a ~6k-host
+/// subnet world, so nearly every tick sweeps thousands of unpatched
+/// hosts. This is the workload the O(hosts) immunization carve-out
+/// used to burn — the pin now rides on the sorted unpatched index
+/// (serial) and the per-shard hash evaluation (sharded CI leg), both
+/// of which must enumerate hits in ascending host id exactly.
+fn immunization_heavy_run(strategy: SimStrategy) -> SimResult {
+    let topo = generators::SubnetTopologyBuilder::new()
+        .backbone_routers(8)
+        .subnets(24)
+        .hosts_per_subnet(250)
+        .build()
+        .unwrap();
+    let w = World::from_subnets_with(topo, RoutingKind::Hier);
+    let cfg = SimConfig::builder()
+        .beta(0.7)
+        .horizon(60)
+        .initial_infected(12)
+        .immunization(ImmunizationConfig {
+            trigger: ImmunizationTrigger::AtTick(2),
+            mu: 0.04,
+        })
+        .strategy(strategy)
+        .build()
+        .unwrap();
+    Simulator::new(&w, &cfg, WormBehavior::random(), 37).run()
+}
+
+#[test]
+fn immunization_heavy_subnet_is_bit_identical() {
+    let mut results = Vec::new();
+    for strategy in STRATEGIES {
+        let r = immunization_heavy_run(strategy);
+        pin(
+            &format!("{strategy}/infected"),
+            series_sum(&r.infected_fraction),
+            "3.77000000000000046e0",
+        );
+        pin(
+            &format!("{strategy}/ever"),
+            series_sum(&r.ever_infected_fraction),
+            "6.47999999999999865e0",
+        );
+        pin(
+            &format!("{strategy}/immunized"),
+            series_sum(&r.immunized_fraction),
+            "3.70213333333333310e1",
+        );
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "6.12750000000000000e4");
+        assert_eq!(r.delivered_packets, 13378);
+        assert_eq!(r.residual_packets, 1534);
+        assert_conserved(&r);
+        results.push(r);
+    }
+    assert_eq!(results[0], results[1], "strategies diverged on the immunization-heavy run");
+}
+
 #[test]
 fn power_law_6000_is_bit_identical_across_strategies() {
     let mut results = Vec::new();
@@ -438,18 +503,18 @@ fn power_law_6000_is_bit_identical_across_strategies() {
         pin(
             &format!("{strategy}/infected"),
             series_sum(&r.infected_fraction),
-            "3.34731182795698956e0",
+            "3.42383512544802882e0",
         );
         pin(
             &format!("{strategy}/ever"),
             series_sum(&r.ever_infected_fraction),
-            "5.75215053763440931e0",
+            "5.94551971326164796e0",
         );
-        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "1.53800000000000000e4");
-        assert_eq!(r.delivered_packets, 3321);
-        assert_eq!(r.delayed_packets, 6151);
-        assert_eq!(r.quarantined_hosts, 1261);
-        assert_eq!(r.residual_packets, 1061);
+        pin(&format!("{strategy}/backlog"), series_sum(&r.backlog), "1.55760000000000000e4");
+        assert_eq!(r.delivered_packets, 3357);
+        assert_eq!(r.delayed_packets, 6232);
+        assert_eq!(r.quarantined_hosts, 1287);
+        assert_eq!(r.residual_packets, 1035);
         assert_conserved(&r);
         results.push(r);
     }

@@ -92,34 +92,25 @@ pub fn default_cache_capacity(n: usize) -> usize {
 }
 
 /// Reads the [`ROUTING_ENV`] override; warns once per process on an
-/// unrecognized value.
+/// unrecognized value (via the shared `dynaquar-parallel` env helper —
+/// a misspelled override must not silently fall through to the
+/// structure rule).
 fn env_override() -> Option<RoutingKind> {
-    let v = std::env::var(ROUTING_ENV).ok()?;
-    match v.trim().to_ascii_lowercase().as_str() {
-        "dense" => Some(RoutingKind::Dense),
-        "lazy" => Some(RoutingKind::Lazy {
-            max_cached_destinations: 0, // sized per graph by the caller
-        }),
-        "hier" => Some(RoutingKind::Hier),
-        // Explicitly asking for the default is not a typo.
-        "auto" | "" => None,
-        other => {
-            // One warning per process: a misspelled override must not
-            // silently fall through to the structure rule (it would
-            // change which backend the whole run used), and must not
-            // spam a per-construction message either.
-            static WARNED: std::sync::Once = std::sync::Once::new();
-            let other = other.to_owned();
-            WARNED.call_once(|| {
-                eprintln!(
-                    "warning: ignoring invalid {ROUTING_ENV}={other:?}; \
-                     accepted values are \"dense\", \"lazy\", \"hier\", or \"auto\" \
-                     (falling back to the auto structure rule)"
-                );
-            });
-            None
-        }
-    }
+    dynaquar_parallel::env_override(
+        ROUTING_ENV,
+        "\"dense\", \"lazy\", \"hier\", or \"auto\" \
+         (falling back to the auto structure rule)",
+        |v| match v.to_ascii_lowercase().as_str() {
+            "dense" => dynaquar_parallel::EnvParse::Value(RoutingKind::Dense),
+            "lazy" => dynaquar_parallel::EnvParse::Value(RoutingKind::Lazy {
+                max_cached_destinations: 0, // sized per graph by the caller
+            }),
+            "hier" => dynaquar_parallel::EnvParse::Value(RoutingKind::Hier),
+            // Explicitly asking for the default is not a typo.
+            "auto" => dynaquar_parallel::EnvParse::Default,
+            _ => dynaquar_parallel::EnvParse::Invalid,
+        },
+    )
 }
 
 impl RoutingKind {
