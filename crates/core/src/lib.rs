@@ -37,6 +37,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
+pub mod spec;
 pub mod strategy;
 
 pub use report::ComparisonReport;

@@ -5,7 +5,9 @@ use crate::strategy::{build_plan, Deployment, RateLimitParams};
 use dynaquar_epidemic::logistic::Logistic;
 use dynaquar_epidemic::timeto::CurveSummary;
 use dynaquar_epidemic::TimeSeries;
-use dynaquar_netsim::config::{CheckpointPolicy, ImmunizationConfig, SimConfig, WormBehavior};
+use dynaquar_netsim::config::{
+    CheckpointPolicy, ImmunizationConfig, QuarantineConfig, SimConfig, WormBehavior,
+};
 use dynaquar_netsim::faults::FaultPlan;
 use dynaquar_netsim::metrics::PacketAccounting;
 use dynaquar_netsim::runner::run_averaged_parallel;
@@ -115,24 +117,25 @@ impl TopologySpec {
 ///     .run_simulated();
 /// assert!(outcome.infected.final_value() > 0.9);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
-    topology: TopologySpec,
-    behavior: WormBehavior,
-    beta: f64,
-    horizon: u64,
-    initial_infected: usize,
-    deployment: Deployment,
-    params: RateLimitParams,
-    immunization: Option<ImmunizationConfig>,
-    faults: FaultPlan,
-    runs: usize,
-    seed: u64,
-    parallelism: Option<usize>,
-    routing: RoutingKind,
-    strategy: SimStrategy,
-    shards: ShardSpec,
-    checkpoint: Option<CheckpointPolicy>,
+    pub(crate) topology: TopologySpec,
+    pub(crate) behavior: WormBehavior,
+    pub(crate) beta: f64,
+    pub(crate) horizon: u64,
+    pub(crate) initial_infected: usize,
+    pub(crate) deployment: Deployment,
+    pub(crate) params: RateLimitParams,
+    pub(crate) immunization: Option<ImmunizationConfig>,
+    pub(crate) quarantine: Option<QuarantineConfig>,
+    pub(crate) faults: FaultPlan,
+    pub(crate) runs: usize,
+    pub(crate) seed: u64,
+    pub(crate) parallelism: Option<usize>,
+    pub(crate) routing: RoutingKind,
+    pub(crate) strategy: SimStrategy,
+    pub(crate) shards: ShardSpec,
+    pub(crate) checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Scenario {
@@ -148,6 +151,7 @@ impl Scenario {
             deployment: Deployment::None,
             params: RateLimitParams::default(),
             immunization: None,
+            quarantine: None,
             faults: FaultPlan::none(),
             runs: 10,
             seed: 0,
@@ -198,6 +202,17 @@ impl Scenario {
     /// Enables delayed immunization.
     pub fn immunization(mut self, config: ImmunizationConfig) -> Self {
         self.immunization = Some(config);
+        self
+    }
+
+    /// Enables the paper's titular detection-driven *dynamic
+    /// quarantine*: a host whose delaying egress filter accumulates
+    /// `queue_threshold` pending scans is cut off on the spot. Only
+    /// meaningful when the deployment installs *delaying* host filters
+    /// (see [`RateLimitParams::host_release_period_ticks`]) — the
+    /// throttle queue is the detector.
+    pub fn quarantine(mut self, config: QuarantineConfig) -> Self {
+        self.quarantine = Some(config);
         self
     }
 
@@ -321,23 +336,7 @@ impl Scenario {
     ///
     /// Panics on invalid configuration.
     pub fn run_simulated_on(&self, world: &World) -> ScenarioOutcome {
-        let plan = build_plan(world, self.deployment, &self.params);
-        let mut builder = SimConfig::builder();
-        builder
-            .beta(self.beta)
-            .horizon(self.horizon)
-            .initial_infected(self.initial_infected)
-            .strategy(self.strategy)
-            .shards(self.shards)
-            .plan(plan);
-        if let Some(imm) = self.immunization {
-            builder.immunization(imm);
-        }
-        builder.faults(self.faults.clone());
-        if let Some(cp) = &self.checkpoint {
-            builder.checkpoint_every(cp.every_ticks, cp.directory.clone());
-        }
-        let config = builder.build().expect("scenario parameters validated");
+        let config = self.sim_config_for(world);
         let seeds: Vec<u64> = (0..self.runs as u64).map(|k| self.seed + k).collect();
         let parallel = match self.parallelism {
             Some(threads) => ParallelConfig::new(threads),
@@ -352,6 +351,73 @@ impl Scenario {
             immunized: avg.immunized_fraction,
             accounting: avg.accounting,
         }
+    }
+
+    /// Materializes the scenario's topology with its configured routing
+    /// backend — the world [`Scenario::run_simulated`] would build.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate topology sizes.
+    pub fn build_world(&self) -> World {
+        self.topology.build_with(self.routing)
+    }
+
+    /// Builds the engine configuration this scenario runs on `world` —
+    /// the exact [`SimConfig`] every averaged run uses, exposed so a
+    /// serving layer can drive single [`dynaquar_netsim::Simulator`]
+    /// runs (with observers, checkpoints, forks) under the same
+    /// contract as [`Scenario::run_simulated_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configuration (degenerate β or horizon).
+    pub fn sim_config_for(&self, world: &World) -> SimConfig {
+        let plan = build_plan(world, self.deployment, &self.params);
+        let mut builder = SimConfig::builder();
+        builder
+            .beta(self.beta)
+            .horizon(self.horizon)
+            .initial_infected(self.initial_infected)
+            .strategy(self.strategy)
+            .shards(self.shards)
+            .plan(plan);
+        if let Some(imm) = self.immunization {
+            builder.immunization(imm);
+        }
+        if let Some(q) = self.quarantine {
+            builder.quarantine(q);
+        }
+        builder.faults(self.faults.clone());
+        if let Some(cp) = &self.checkpoint {
+            builder.checkpoint_every(cp.every_ticks, cp.directory.clone());
+        }
+        builder.build().expect("scenario parameters validated")
+    }
+
+    /// The worm behaviour every run of this scenario uses.
+    pub fn worm_behavior(&self) -> WormBehavior {
+        self.behavior
+    }
+
+    /// The base RNG seed (run `k` uses `seed + k`).
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The number of averaged runs.
+    pub fn run_count(&self) -> usize {
+        self.runs
+    }
+
+    /// The simulation horizon in ticks.
+    pub fn horizon_ticks(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The checkpoint policy, if any.
+    pub fn checkpoint_policy(&self) -> Option<&CheckpointPolicy> {
+        self.checkpoint.as_ref()
     }
 
     /// The homogeneous-model analytic baseline for this scenario's

@@ -67,6 +67,13 @@ pub struct RateLimitParams {
     /// Host egress filter: distinct destinations per window (the β₂
     /// analogue: `max_new_targets / window_ticks` contacts per tick).
     pub host_max_new_targets: usize,
+    /// Switches the host filter from Williamson's *dropping* variant to
+    /// the *delaying* variant: over-budget scans queue at the host and
+    /// one is released every this-many ticks instead of being dropped.
+    /// `None` (the default) keeps the dropping filter. The delay queue
+    /// is the detection signal dynamic quarantine reads (see
+    /// [`dynaquar_netsim::config::QuarantineConfig`]).
+    pub host_release_period_ticks: Option<u64>,
 }
 
 impl Default for RateLimitParams {
@@ -77,14 +84,24 @@ impl Default for RateLimitParams {
             backbone_node_cap: Some(0.1),
             host_window_ticks: 100,
             host_max_new_targets: 1,
+            host_release_period_ticks: None,
         }
     }
 }
 
 impl RateLimitParams {
-    /// The host filter this parameter set installs.
+    /// The host filter this parameter set installs: dropping by
+    /// default, delaying when [`Self::host_release_period_ticks`] is
+    /// set.
     pub fn host_filter(&self) -> HostFilter {
-        HostFilter::dropping(self.host_window_ticks, self.host_max_new_targets)
+        match self.host_release_period_ticks {
+            None => HostFilter::dropping(self.host_window_ticks, self.host_max_new_targets),
+            Some(release) => HostFilter::delaying(
+                self.host_window_ticks,
+                self.host_max_new_targets,
+                release,
+            ),
+        }
     }
 }
 

@@ -69,8 +69,8 @@ pub use config::{CheckpointPolicy, SimConfig, WormBehavior};
 pub use error::Error;
 pub use faults::{FaultPlan, FaultSchedule};
 pub use metrics::{
-    DropReason, FanoutObserver, JsonlEventWriter, KindCounts, MetricsObserver, PacketAccounting,
-    PacketKind, Phase, PhaseProfile,
+    ChannelEventSink, DropReason, FanoutObserver, JsonlEventWriter, KindCounts, MetricsObserver,
+    PacketAccounting, PacketKind, Phase, PhaseProfile, TickBlock, TickFeed,
 };
 pub use plan::RateLimitPlan;
 pub use runner::{ParallelConfig, RunOutcome, RunTiming, RunnerError, SupervisorConfig, WorkerStats};

@@ -661,6 +661,26 @@ impl<W: Write> JsonlEventWriter<W> {
         Ok(self.out)
     }
 
+    /// Flushes the sink now, latching the first error like every event
+    /// write does. Called automatically on each tick boundary so
+    /// streaming consumers (a `tail -f`, a daemon subscriber) see a
+    /// tick's events as soon as the tick completes, not when the writer
+    /// is dropped.
+    pub fn flush(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.flush() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Direct access to the sink, for callers that hand ownership of
+    /// the buffered bytes onward between ticks (see [`TickFeed`]).
+    pub fn sink_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
+
     fn emit(&mut self, line: std::fmt::Arguments<'_>) {
         if self.error.is_some() {
             return;
@@ -678,6 +698,10 @@ impl<W: Write> SimObserver for JsonlEventWriter<W> {
             "{{\"tick\":{tick},\"event\":\"tick\",\"infected\":{},\"ever_infected\":{},\"immunized\":{},\"in_flight\":{}}}",
             s.infected, s.ever_infected, s.immunized, s.in_flight
         ));
+        // The tick line closes a tick's block of events; flush so the
+        // block is visible downstream at tick granularity rather than
+        // only when the writer is dropped.
+        self.flush();
     }
 
     fn on_infection(&mut self, tick: u64, victim: NodeId) {
@@ -752,6 +776,197 @@ impl<W: Write> SimObserver for JsonlEventWriter<W> {
             src.index(),
             dst.index()
         ));
+    }
+}
+
+/// One tick's worth of the JSONL event stream, as produced by
+/// [`TickFeed`] / [`ChannelEventSink`]: every event line of the tick
+/// (infections, packets, faults, …) followed by the closing `tick`
+/// census line, exactly as [`JsonlEventWriter`] would have written
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickBlock {
+    /// The tick the block closes.
+    pub tick: u64,
+    /// The tick's JSONL lines, newline-terminated.
+    pub lines: Vec<u8>,
+    /// The census the closing `tick` line encodes — kept structured so
+    /// consumers that fall behind can catch up from the latest snapshot
+    /// without re-parsing the byte stream.
+    pub snapshot: TickSnapshot,
+}
+
+/// Streams the [`JsonlEventWriter`] feed in per-tick byte blocks to a
+/// callback — the observer the serving layer fans out to subscriber
+/// channels, built so the bytes a callback receives are identical to
+/// what a plain `JsonlEventWriter` writing one contiguous stream would
+/// have produced.
+///
+/// Events accumulate in an internal buffer; when the tick's closing
+/// census line lands, the whole block is handed to the callback along
+/// with the structured [`TickSnapshot`].
+pub struct TickFeed<F: FnMut(TickBlock)> {
+    writer: JsonlEventWriter<Vec<u8>>,
+    deliver: F,
+}
+
+impl<F: FnMut(TickBlock)> std::fmt::Debug for TickFeed<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickFeed")
+            .field("events_written", &self.writer.events_written())
+            .finish()
+    }
+}
+
+impl<F: FnMut(TickBlock)> TickFeed<F> {
+    /// Creates a feed delivering each completed tick's block to
+    /// `deliver`.
+    pub fn new(deliver: F) -> Self {
+        TickFeed {
+            writer: JsonlEventWriter::new(Vec::new()),
+            deliver,
+        }
+    }
+
+    /// Events written across all blocks so far.
+    pub fn events_written(&self) -> u64 {
+        self.writer.events_written()
+    }
+}
+
+impl<F: FnMut(TickBlock)> SimObserver for TickFeed<F> {
+    fn on_tick(&mut self, tick: u64, s: TickSnapshot) {
+        self.writer.on_tick(tick, s);
+        let lines = std::mem::take(self.writer.sink_mut());
+        (self.deliver)(TickBlock {
+            tick,
+            lines,
+            snapshot: s,
+        });
+    }
+
+    fn on_infection(&mut self, tick: u64, victim: NodeId) {
+        self.writer.on_infection(tick, victim);
+    }
+
+    fn on_quarantine(&mut self, tick: u64, host: NodeId) {
+        self.writer.on_quarantine(tick, host);
+    }
+
+    fn on_patch(&mut self, tick: u64, host: NodeId) {
+        self.writer.on_patch(tick, host);
+    }
+
+    fn on_fault(&mut self, tick: u64, event: FaultEvent) {
+        self.writer.on_fault(tick, event);
+    }
+
+    fn wants_packet_events(&self) -> bool {
+        true
+    }
+
+    fn on_packet_emitted(&mut self, tick: u64, kind: PacketKind, src: NodeId, dst: NodeId) {
+        self.writer.on_packet_emitted(tick, kind, src, dst);
+    }
+
+    fn on_packet_dropped(
+        &mut self,
+        tick: u64,
+        kind: PacketKind,
+        at: NodeId,
+        dst: NodeId,
+        reason: DropReason,
+    ) {
+        self.writer.on_packet_dropped(tick, kind, at, dst, reason);
+    }
+
+    fn on_packet_delivered(&mut self, tick: u64, kind: PacketKind, src: NodeId, dst: NodeId) {
+        self.writer.on_packet_delivered(tick, kind, src, dst);
+    }
+}
+
+/// A [`TickFeed`] whose blocks go down a bounded channel without ever
+/// blocking the engine: when the receiver falls behind and the channel
+/// fills, the block is dropped and counted instead of queued — the
+/// backpressure contract a serving layer needs so one slow subscriber
+/// cannot stall a running simulation. The receiver detects the gap
+/// (non-contiguous `tick` values) and catches up from the next block's
+/// [`TickSnapshot`].
+#[derive(Debug)]
+pub struct ChannelEventSink {
+    writer: JsonlEventWriter<Vec<u8>>,
+    tx: std::sync::mpsc::SyncSender<TickBlock>,
+    dropped: u64,
+}
+
+impl ChannelEventSink {
+    /// Wraps a bounded sender.
+    pub fn new(tx: std::sync::mpsc::SyncSender<TickBlock>) -> Self {
+        ChannelEventSink {
+            writer: JsonlEventWriter::new(Vec::new()),
+            tx,
+            dropped: 0,
+        }
+    }
+
+    /// Blocks dropped because the channel was full (or its receiver
+    /// had hung up).
+    pub fn dropped_blocks(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl SimObserver for ChannelEventSink {
+    fn on_tick(&mut self, tick: u64, s: TickSnapshot) {
+        self.writer.on_tick(tick, s);
+        let lines = std::mem::take(self.writer.sink_mut());
+        let block = TickBlock {
+            tick,
+            lines,
+            snapshot: s,
+        };
+        if self.tx.try_send(block).is_err() {
+            self.dropped += 1;
+        }
+    }
+
+    fn on_infection(&mut self, tick: u64, victim: NodeId) {
+        self.writer.on_infection(tick, victim);
+    }
+
+    fn on_quarantine(&mut self, tick: u64, host: NodeId) {
+        self.writer.on_quarantine(tick, host);
+    }
+
+    fn on_patch(&mut self, tick: u64, host: NodeId) {
+        self.writer.on_patch(tick, host);
+    }
+
+    fn on_fault(&mut self, tick: u64, event: FaultEvent) {
+        self.writer.on_fault(tick, event);
+    }
+
+    fn wants_packet_events(&self) -> bool {
+        true
+    }
+
+    fn on_packet_emitted(&mut self, tick: u64, kind: PacketKind, src: NodeId, dst: NodeId) {
+        self.writer.on_packet_emitted(tick, kind, src, dst);
+    }
+
+    fn on_packet_dropped(
+        &mut self,
+        tick: u64,
+        kind: PacketKind,
+        at: NodeId,
+        dst: NodeId,
+        reason: DropReason,
+    ) {
+        self.writer.on_packet_dropped(tick, kind, at, dst, reason);
+    }
+
+    fn on_packet_delivered(&mut self, tick: u64, kind: PacketKind, src: NodeId, dst: NodeId) {
+        self.writer.on_packet_delivered(tick, kind, src, dst);
     }
 }
 
@@ -955,5 +1170,137 @@ mod tests {
         assert_eq!(w.events_written(), 1);
         assert!(w.io_error().is_some());
         assert!(w.finish().is_err());
+    }
+
+    /// A sink recording how much of the written data had been flushed,
+    /// and when.
+    #[derive(Default)]
+    struct FlushTracker {
+        data: Vec<u8>,
+        flushed_len: usize,
+        flushes: usize,
+    }
+
+    impl Write for FlushTracker {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.data.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushed_len = self.data.len();
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    fn two_tick_world_run(observer: &mut dyn SimObserver) {
+        let world = crate::World::from_star(
+            dynaquar_topology::generators::star(9).unwrap(),
+        );
+        let config = crate::SimConfig::builder()
+            .beta(0.8)
+            .horizon(2)
+            .build()
+            .unwrap();
+        let sim = crate::sim::Simulator::new(&world, &config, crate::WormBehavior::random(), 1);
+        let _ = sim.run_observed(observer);
+    }
+
+    #[test]
+    fn jsonl_writer_flushes_on_every_tick_boundary() {
+        // Regression: the writer used to flush only on `finish`/drop,
+        // so a streaming consumer saw nothing until the run ended. On a
+        // two-tick world every tick's block must be flushed as the tick
+        // closes.
+        let mut w = JsonlEventWriter::new(FlushTracker::default());
+        two_tick_world_run(&mut w);
+        let events = w.events_written();
+        let sink = w.finish().unwrap();
+        assert!(events > 0);
+        // One flush per tick line (tick-0 census + 2 ticks), plus the
+        // final flush from `finish`.
+        assert!(
+            sink.flushes >= 3,
+            "expected a flush per tick boundary, saw {}",
+            sink.flushes
+        );
+        // Nothing was left buffered between ticks: at the last on_tick
+        // flush the entire stream so far was visible downstream.
+        assert_eq!(sink.flushed_len, sink.data.len());
+    }
+
+    #[test]
+    fn explicit_flush_latches_sink_errors() {
+        struct FailingFlush;
+        impl Write for FailingFlush {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::other("flush refused"))
+            }
+        }
+        let mut w = JsonlEventWriter::new(FailingFlush);
+        w.on_infection(1, NodeId::new(0));
+        assert!(w.io_error().is_none());
+        w.flush();
+        assert!(w.io_error().is_some());
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn tick_feed_blocks_concatenate_to_the_jsonl_stream() {
+        // The serving contract: the per-tick blocks a TickFeed hands
+        // out, concatenated, are byte-identical to one contiguous
+        // JsonlEventWriter stream of the same run.
+        let mut blocks: Vec<TickBlock> = Vec::new();
+        {
+            let mut feed = TickFeed::new(|b| blocks.push(b));
+            two_tick_world_run(&mut feed);
+            assert!(feed.events_written() > 0);
+        }
+        let mut w = JsonlEventWriter::new(Vec::new());
+        two_tick_world_run(&mut w);
+        let reference = w.finish().unwrap();
+        let mut concatenated = Vec::new();
+        let mut last_tick = None;
+        for b in &blocks {
+            concatenated.extend_from_slice(&b.lines);
+            // Blocks arrive in tick order, each closed by its census.
+            assert!(last_tick < Some(b.tick) || last_tick.is_none());
+            last_tick = Some(b.tick);
+            let text = std::str::from_utf8(&b.lines).unwrap();
+            let closing = text.lines().last().unwrap();
+            assert!(closing.contains("\"event\":\"tick\""));
+            assert!(closing.contains(&format!("\"tick\":{}", b.tick)));
+            assert!(closing.contains(&format!("\"infected\":{}", b.snapshot.infected)));
+        }
+        assert_eq!(concatenated, reference);
+    }
+
+    #[test]
+    fn channel_sink_drops_blocks_instead_of_blocking() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let mut sink = ChannelEventSink::new(tx);
+        let snap = TickSnapshot {
+            infected: 1,
+            ever_infected: 1,
+            immunized: 0,
+            in_flight: 0,
+        };
+        sink.on_tick(0, snap); // fills the single slot
+        sink.on_tick(1, snap); // channel full: dropped, not blocked
+        sink.on_tick(2, snap); // still full: dropped
+        assert_eq!(sink.dropped_blocks(), 2);
+        let first = rx.recv().unwrap();
+        assert_eq!(first.tick, 0);
+        // Receiver drained one slot; the next block goes through again.
+        sink.on_tick(3, snap);
+        assert_eq!(rx.recv().unwrap().tick, 3);
+        assert_eq!(sink.dropped_blocks(), 2);
+        // Receiver gone: blocks are counted as dropped, engine unharmed.
+        drop(rx);
+        sink.on_tick(4, snap);
+        assert_eq!(sink.dropped_blocks(), 3);
     }
 }

@@ -27,8 +27,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod env;
+pub mod pool;
 
 pub use env::{env_override, EnvParse};
+pub use pool::JobPool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,235 @@
+//! A long-lived job pool for serving workloads.
+//!
+//! [`crate::ordered_map`] is the right shape for batch sweeps: scoped
+//! workers live exactly as long as one map call. A daemon has the
+//! opposite lifecycle — jobs arrive one at a time over hours, and
+//! spawning a thread per submitted scenario would let one burst of
+//! clients oversubscribe the machine. [`JobPool`] keeps a fixed set of
+//! worker threads alive for the process lifetime, feeds them jobs in
+//! FIFO submission order, and isolates worker panics: a job that
+//! panics is counted ([`JobPool::panicked_jobs`]) and its worker keeps
+//! serving, so one poisoned scenario cannot take capacity away from
+//! every client after it.
+//!
+//! Scheduling here decides only *when* a job runs, never what it
+//! computes — jobs carry their own seeds, so a pool of any size yields
+//! the same per-job results as running them serially.
+//!
+//! ```
+//! use dynaquar_parallel::{JobPool, ParallelConfig};
+//! use std::sync::mpsc;
+//!
+//! let pool = JobPool::new(&ParallelConfig::new(2));
+//! let (tx, rx) = mpsc::channel();
+//! for i in 0..8u64 {
+//!     let tx = tx.clone();
+//!     pool.submit(move || tx.send(i * i).unwrap());
+//! }
+//! drop(tx);
+//! let mut results: Vec<u64> = rx.iter().collect();
+//! results.sort_unstable();
+//! assert_eq!(results, (0..8).map(|i| i * i).collect::<Vec<_>>());
+//! pool.shutdown();
+//! ```
+
+use crate::ParallelConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Debug, Default)]
+struct PoolStats {
+    completed: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A fixed-size pool of long-lived worker threads executing submitted
+/// jobs in FIFO order. See the [module docs](self) for the lifecycle
+/// contrast with [`crate::ordered_map`].
+#[derive(Debug)]
+pub struct JobPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<PoolStats>,
+}
+
+impl JobPool {
+    /// Spawns `config.threads()` workers.
+    pub fn new(config: &ParallelConfig) -> Self {
+        let threads = config.threads();
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let stats = Arc::new(PoolStats::default());
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let stats = Arc::clone(&stats);
+                std::thread::Builder::new()
+                    .name(format!("dynaquar-job-{i}"))
+                    .spawn(move || worker_loop(&rx, &stats))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        JobPool {
+            tx: Some(tx),
+            workers,
+            stats,
+        }
+    }
+
+    /// Pool sized from [`ParallelConfig::from_env`], so `DYNAQUAR_THREADS`
+    /// governs serving capacity the same way it governs batch sweeps.
+    pub fn from_env() -> Self {
+        JobPool::new(&ParallelConfig::from_env())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; it runs as soon as a worker is free, after every
+    /// job submitted before it has been claimed.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool is alive until shutdown/drop")
+            .send(Box::new(job))
+            .expect("workers outlive the sender");
+    }
+
+    /// Jobs that ran to completion.
+    pub fn completed_jobs(&self) -> u64 {
+        self.stats.completed.load(Ordering::Acquire)
+    }
+
+    /// Jobs that panicked (their workers survived and kept serving).
+    pub fn panicked_jobs(&self) -> u64 {
+        self.stats.panicked.load(Ordering::Acquire)
+    }
+
+    /// Graceful shutdown: stops accepting jobs, drains everything
+    /// already queued, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        // Dropping the sender disconnects the channel once the queue is
+        // drained; each worker's recv() then errors and the loop exits.
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            // A worker that somehow died still must not poison the
+            // shutdown of the rest.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobPool {
+    /// Dropping the pool is a graceful shutdown: queued jobs finish
+    /// first.
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, stats: &PoolStats) {
+    loop {
+        // Hold the lock only while claiming, never while running.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return, // a claimant panicked while holding the lock
+        };
+        match job {
+            Ok(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_ok() {
+                    stats.completed.fetch_add(1, Ordering::AcqRel);
+                } else {
+                    stats.panicked.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+            Err(_) => return, // sender dropped and queue drained
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = JobPool::new(&ParallelConfig::new(4));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::AcqRel);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Acquire), 64);
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = JobPool::new(&ParallelConfig::new(2));
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::AcqRel);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Acquire), 16);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = JobPool::new(&ParallelConfig::new(1));
+        pool.submit(|| panic!("poisoned scenario"));
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(move || {
+            d.fetch_add(1, Ordering::AcqRel);
+        });
+        // Single worker: if the panic had killed it, the second job
+        // would never run and completed_jobs would stay 0.
+        while pool.completed_jobs() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(done.load(Ordering::Acquire), 1);
+        assert_eq!(pool.panicked_jobs(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn fifo_claim_order_on_a_single_worker() {
+        let pool = JobPool::new(&ParallelConfig::new(1));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..8 {
+            let order = Arc::clone(&order);
+            pool.submit(move || order.lock().unwrap().push(i));
+        }
+        pool.shutdown();
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_reports_its_size() {
+        let pool = JobPool::new(&ParallelConfig::new(3));
+        assert_eq!(pool.threads(), 3);
+        assert_eq!(pool.completed_jobs(), 0);
+        pool.shutdown();
+    }
+}

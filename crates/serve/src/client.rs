@@ -1,0 +1,255 @@
+//! A small blocking client for the daemon's line protocol — what the
+//! CLI, the smoke check, and the black-box test suites use to talk to
+//! a real socket.
+
+use crate::server::ServerAddr;
+use dynaquar_core::spec::{emit_json, parse_json, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The daemon answered with a protocol error line.
+    Server {
+        /// `error.kind` from the wire.
+        kind: String,
+        /// `error.message` from the wire.
+        message: String,
+    },
+    /// The daemon's reply was not a valid protocol line.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server { kind, message } => write!(f, "server error ({kind}): {message}"),
+            ClientError::Malformed(what) => write!(f, "malformed reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One protocol connection. A `subscribe` consumes the connection
+/// (the server closes it when the stream ends); open one client per
+/// subscription.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Client")
+    }
+}
+
+impl Client {
+    /// Connects once.
+    pub fn connect(addr: &ServerAddr) -> std::io::Result<Client> {
+        let (reader, writer) = match addr {
+            ServerAddr::Unix(path) => {
+                let s = UnixStream::connect(path)?;
+                (Stream::Unix(s.try_clone()?), Stream::Unix(s))
+            }
+            ServerAddr::Tcp(spec) => {
+                let s = TcpStream::connect(spec)?;
+                (Stream::Tcp(s.try_clone()?), Stream::Tcp(s))
+            }
+        };
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer,
+        })
+    }
+
+    /// Polls [`Client::connect`] until the daemon answers or the
+    /// timeout elapses — the standard way to wait for a freshly
+    /// spawned daemon process to come up.
+    pub fn connect_retry(addr: &ServerAddr, timeout: Duration) -> std::io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            }
+        }
+    }
+
+    /// Sends one request document and reads the reply line. Error
+    /// lines come back as [`ClientError::Server`].
+    pub fn request(&mut self, req: &Value) -> Result<Value, ClientError> {
+        self.writer.write_all(emit_json(req).as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Malformed("connection closed mid-request".into()));
+        }
+        let reply = parse_json(line.trim_end())
+            .map_err(|e| ClientError::Malformed(format!("reply does not parse: {e}")))?;
+        match reply.get("ok") {
+            Some(Value::Bool(true)) => Ok(reply),
+            Some(Value::Bool(false)) => {
+                let kind = reply
+                    .get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("unknown")
+                    .to_string();
+                let message = reply
+                    .get("error")
+                    .and_then(|e| e.get("message"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                Err(ClientError::Server { kind, message })
+            }
+            _ => Err(ClientError::Malformed("reply has no `ok` field".into())),
+        }
+    }
+
+    fn simple(&mut self, fields: Vec<(String, Value)>) -> Result<Value, ClientError> {
+        self.request(&Value::Object(fields))
+    }
+
+    /// `ping`.
+    pub fn ping(&mut self) -> Result<Value, ClientError> {
+        self.simple(vec![("cmd".into(), Value::Str("ping".into()))])
+    }
+
+    /// Submits a spec document; returns the job id.
+    pub fn submit(
+        &mut self,
+        spec: &Value,
+        checkpoint_every: Option<u64>,
+    ) -> Result<String, ClientError> {
+        let mut fields = vec![
+            ("cmd".into(), Value::Str("submit".into())),
+            ("spec".into(), spec.clone()),
+        ];
+        if let Some(every) = checkpoint_every {
+            fields.push(("checkpoint_every".into(), Value::Int(every as i64)));
+        }
+        let reply = self.simple(fields)?;
+        reply
+            .get("job")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Malformed("submit reply has no job id".into()))
+    }
+
+    /// `status` for one job.
+    pub fn status(&mut self, job: &str) -> Result<Value, ClientError> {
+        self.simple(vec![
+            ("cmd".into(), Value::Str("status".into())),
+            ("job".into(), Value::Str(job.into())),
+        ])
+    }
+
+    /// Blocks until the job finishes; returns its final status
+    /// document (failures come back as [`ClientError::Server`] with
+    /// kind `job_failed`).
+    pub fn wait(&mut self, job: &str) -> Result<Value, ClientError> {
+        self.simple(vec![
+            ("cmd".into(), Value::Str("wait".into())),
+            ("job".into(), Value::Str(job.into())),
+        ])
+    }
+
+    /// The result document of a completed job.
+    pub fn result(&mut self, job: &str) -> Result<Value, ClientError> {
+        let reply = self.simple(vec![
+            ("cmd".into(), Value::Str("result".into())),
+            ("job".into(), Value::Str(job.into())),
+        ])?;
+        reply
+            .get("result")
+            .cloned()
+            .ok_or_else(|| ClientError::Malformed("result reply has no result".into()))
+    }
+
+    /// Forks a checkpointed job; returns the new job's status document.
+    pub fn fork(
+        &mut self,
+        job: &str,
+        at_tick: Option<u64>,
+        overrides: &Value,
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![
+            ("cmd".into(), Value::Str("fork".into())),
+            ("job".into(), Value::Str(job.into())),
+            ("spec".into(), overrides.clone()),
+        ];
+        if let Some(t) = at_tick {
+            fields.push(("at_tick".into(), Value::Int(t as i64)));
+        }
+        self.simple(fields)
+    }
+
+    /// Asks the daemon to shut down (it drains running jobs first).
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.simple(vec![("cmd".into(), Value::Str("shutdown".into()))])
+    }
+
+    /// Subscribes to a job's event stream and reads it to the end,
+    /// consuming the connection. Returns the raw stream bytes exactly
+    /// as the daemon sent them.
+    pub fn subscribe_collect(mut self, job: &str) -> Result<Vec<u8>, ClientError> {
+        self.request(&Value::Object(vec![
+            ("cmd".into(), Value::Str("subscribe".into())),
+            ("job".into(), Value::Str(job.into())),
+        ]))?;
+        let mut bytes = Vec::new();
+        self.reader.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+}

@@ -1,0 +1,169 @@
+//! Canonical JSON encoding of [`SimResult`] for the wire protocol and
+//! the job ledger's `result.json`.
+//!
+//! The encoding is deterministic — fixed key order, exact float
+//! round-trip via the spec emitter's shortest-representation formatting
+//! — so two equal results (`SimResult::eq`, which ignores wall-clock
+//! phase timings) always encode to byte-identical JSON. The black-box
+//! equivalence suite leans on exactly that: a daemon-served result must
+//! match a direct in-process run byte for byte.
+
+use dynaquar_core::spec::{emit_json, Value};
+use dynaquar_epidemic::TimeSeries;
+use dynaquar_netsim::metrics::KindCounts;
+use dynaquar_netsim::sim::SimResult;
+
+fn uint(x: u64) -> Value {
+    // Counters far exceeding i64 are unreachable in practice, but the
+    // codec must stay total: overflow degrades to a decimal string
+    // rather than wrapping or panicking.
+    match i64::try_from(x) {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(x.to_string()),
+    }
+}
+
+fn series(s: &TimeSeries) -> Value {
+    Value::Array(
+        s.iter()
+            .map(|(t, v)| Value::Array(vec![Value::Float(t), Value::Float(v)]))
+            .collect(),
+    )
+}
+
+fn kind_counts(k: &KindCounts) -> Value {
+    Value::Object(vec![
+        ("emitted".into(), uint(k.emitted)),
+        ("filtered".into(), uint(k.filtered)),
+        ("delayed".into(), uint(k.delayed)),
+        ("released".into(), uint(k.released)),
+        ("cleared".into(), uint(k.cleared)),
+        ("forwarded".into(), uint(k.forwarded)),
+        ("delivered".into(), uint(k.delivered)),
+        ("lost".into(), uint(k.lost)),
+        ("unroutable".into(), uint(k.unroutable)),
+        ("stalled_on_cap".into(), uint(k.stalled_on_cap)),
+        ("stalled_on_outage".into(), uint(k.stalled_on_outage)),
+        ("in_flight_at_end".into(), uint(k.in_flight_at_end)),
+        ("queued_at_end".into(), uint(k.queued_at_end)),
+    ])
+}
+
+/// Encodes every simulated field of a [`SimResult`] — exactly the
+/// fields its `PartialEq` compares; the observational phase profile is
+/// deliberately left out.
+pub fn result_to_value(r: &SimResult) -> Value {
+    Value::Object(vec![
+        ("infected_fraction".into(), series(&r.infected_fraction)),
+        (
+            "ever_infected_fraction".into(),
+            series(&r.ever_infected_fraction),
+        ),
+        ("immunized_fraction".into(), series(&r.immunized_fraction)),
+        ("backlog".into(), series(&r.backlog)),
+        ("delivered_packets".into(), uint(r.delivered_packets)),
+        ("filtered_packets".into(), uint(r.filtered_packets)),
+        ("delayed_packets".into(), uint(r.delayed_packets)),
+        ("quarantined_hosts".into(), uint(r.quarantined_hosts)),
+        (
+            "false_quarantined_hosts".into(),
+            uint(r.false_quarantined_hosts),
+        ),
+        ("lost_packets".into(), uint(r.lost_packets)),
+        (
+            "scan_log".into(),
+            Value::Array(
+                r.scan_log
+                    .iter()
+                    .map(|&(tick, scanner, target)| {
+                        Value::Array(vec![
+                            uint(tick),
+                            uint(scanner.index() as u64),
+                            uint(target.index() as u64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("residual_packets".into(), uint(r.residual_packets)),
+        (
+            "background".into(),
+            Value::Object(vec![
+                ("injected".into(), uint(r.background.injected)),
+                ("delivered".into(), uint(r.background.delivered)),
+                (
+                    "total_delay_ticks".into(),
+                    uint(r.background.total_delay_ticks),
+                ),
+                ("max_delay_ticks".into(), uint(r.background.max_delay_ticks)),
+                ("total_hops".into(), uint(r.background.total_hops)),
+            ]),
+        ),
+        (
+            "accounting".into(),
+            Value::Object(vec![
+                ("worm".into(), kind_counts(&r.accounting.worm)),
+                ("background".into(), kind_counts(&r.accounting.background)),
+            ]),
+        ),
+    ])
+}
+
+/// [`result_to_value`] rendered as one JSON document.
+pub fn result_to_json(r: &SimResult) -> String {
+    emit_json(&result_to_value(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynaquar_netsim::config::{SimConfig, WormBehavior};
+    use dynaquar_netsim::sim::Simulator;
+    use dynaquar_netsim::World;
+    use dynaquar_topology::generators;
+
+    fn small_result() -> SimResult {
+        let w = World::from_star(generators::star(19).unwrap());
+        let cfg = SimConfig::builder()
+            .beta(0.8)
+            .horizon(10)
+            .initial_infected(1)
+            .build()
+            .unwrap();
+        Simulator::new(&w, &cfg, WormBehavior::random(), 5).run()
+    }
+
+    #[test]
+    fn equal_results_encode_to_identical_bytes() {
+        let a = small_result();
+        let b = small_result();
+        assert_eq!(a, b, "determinism precondition");
+        assert_eq!(result_to_json(&a), result_to_json(&b));
+    }
+
+    #[test]
+    fn encoding_parses_back_as_json_and_keeps_scalars() {
+        let r = small_result();
+        let text = result_to_json(&r);
+        let v = dynaquar_core::spec::parse_json(&text).expect("codec emits valid JSON");
+        assert_eq!(
+            v.get("delivered_packets").and_then(Value::as_int),
+            Some(r.delivered_packets as i64)
+        );
+        let worm = v.get("accounting").and_then(|a| a.get("worm")).unwrap();
+        assert_eq!(
+            worm.get("emitted").and_then(Value::as_int),
+            Some(r.accounting.worm.emitted as i64)
+        );
+        match v.get("infected_fraction") {
+            Some(Value::Array(points)) => assert_eq!(points.len(), r.infected_fraction.len()),
+            other => panic!("infected_fraction must be an array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflowing_counter_degrades_to_a_string() {
+        assert_eq!(uint(u64::MAX), Value::Str(u64::MAX.to_string()));
+        assert_eq!(uint(7), Value::Int(7));
+    }
+}

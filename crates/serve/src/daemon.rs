@@ -1,0 +1,1077 @@
+//! The daemon core: job registry, scheduling, checkpointing, crash
+//! recovery, and fork-at-tick.
+//!
+//! [`Daemon`] is transport-free — the socket server
+//! ([`crate::server`]) and the in-process test harness drive the same
+//! object, so the black-box equivalence suite can pin daemon behaviour
+//! without a socket in the loop.
+//!
+//! # Determinism
+//!
+//! A job is one seeded [`Simulator`] run. The daemon adds scheduling
+//! (the [`JobPool`]), checkpointing, and streaming around it — none of
+//! which may change what the run computes. Concretely:
+//!
+//! * results are produced by the same `run_until`/`finish` path the
+//!   engine's checkpoint suite pins, so a daemon-served `SimResult`
+//!   equals a direct run's;
+//! * the event stream is produced by a [`TickFeed`], whose per-tick
+//!   blocks concatenate to exactly the contiguous
+//!   [`JsonlEventWriter`](dynaquar_netsim::JsonlEventWriter) stream;
+//! * a resumed job truncates `events.jsonl` to the stream length
+//!   recorded at its checkpoint and re-produces the identical suffix.
+
+use crate::codec::result_to_json;
+use crate::error::{io_err, ServeError};
+use crate::job::{
+    write_atomic, ForkOrigin, JobDir, JobMeta, JobShared, JobStatus, StreamMsg,
+};
+use dynaquar_core::spec::{scenario_from_value, scenario_to_value, Value};
+use dynaquar_core::Scenario;
+use dynaquar_netsim::metrics::TickFeed;
+use dynaquar_netsim::sim::{SimResult, Simulator};
+use dynaquar_netsim::Snapshot;
+use dynaquar_parallel::{JobPool, ParallelConfig};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Directory holding the job ledger; created if absent.
+    pub state_dir: PathBuf,
+    /// Worker threads executing jobs.
+    pub workers: ParallelConfig,
+    /// Default checkpoint cadence for jobs that do not specify one.
+    /// `None` disables checkpointing by default.
+    pub checkpoint_every: Option<u64>,
+    /// Per-subscriber live-block queue depth before blocks are dropped.
+    pub subscriber_queue: usize,
+}
+
+impl ServeConfig {
+    /// A config with the given state dir, workers from
+    /// `DYNAQUAR_THREADS`, no default checkpointing, and a
+    /// 256-block subscriber queue.
+    pub fn new(state_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            state_dir: state_dir.into(),
+            workers: ParallelConfig::from_env(),
+            checkpoint_every: None,
+            subscriber_queue: 256,
+        }
+    }
+}
+
+/// What recovery did to one job on daemon start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryNote {
+    /// The job.
+    pub job: String,
+    /// What happened (resumed from tick N, fresh restart, failed).
+    pub note: String,
+}
+
+struct JobEntry {
+    id: String,
+    dir: JobDir,
+    scenario: Option<Scenario>,
+    spec: Option<Value>,
+    checkpoint_every: Option<u64>,
+    forked_from: Option<ForkOrigin>,
+    shared: Arc<JobShared>,
+}
+
+struct DaemonInner {
+    jobs_dir: PathBuf,
+    subscriber_queue: usize,
+    default_every: Option<u64>,
+    next_id: AtomicU64,
+    registry: Mutex<BTreeMap<String, Arc<JobEntry>>>,
+    pool: Mutex<Option<JobPool>>,
+    recovery: Mutex<Vec<RecoveryNote>>,
+}
+
+/// The scenario-serving daemon. Cheap to clone (a handle).
+#[derive(Clone)]
+pub struct Daemon {
+    inner: Arc<DaemonInner>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("jobs_dir", &self.inner.jobs_dir)
+            .finish()
+    }
+}
+
+/// How a job's simulator is (re)started.
+enum StartMode {
+    /// From tick 0.
+    Fresh,
+    /// From a checkpoint of the *same* config (crash recovery): the
+    /// strict fingerprint-checked resume.
+    Resume(Snapshot),
+    /// From a checkpoint under a possibly modified config (fork).
+    Fork(Snapshot),
+}
+
+impl Daemon {
+    /// Opens (or creates) the state directory, recovers the job ledger,
+    /// and re-enqueues every job that was queued or running when the
+    /// previous process died. Corruption anywhere in the ledger
+    /// degrades — typed notes in [`Daemon::recovery_notes`], fresh
+    /// deterministic re-runs where the spec survives — and never
+    /// panics.
+    pub fn open(config: ServeConfig) -> Result<Self, ServeError> {
+        let jobs_dir = config.state_dir.join("jobs");
+        std::fs::create_dir_all(&jobs_dir).map_err(io_err("creating the jobs directory"))?;
+        let daemon = Daemon {
+            inner: Arc::new(DaemonInner {
+                jobs_dir,
+                subscriber_queue: config.subscriber_queue,
+                default_every: config.checkpoint_every,
+                next_id: AtomicU64::new(1),
+                registry: Mutex::new(BTreeMap::new()),
+                pool: Mutex::new(Some(JobPool::new(&config.workers))),
+                recovery: Mutex::new(Vec::new()),
+            }),
+        };
+        daemon.recover()?;
+        Ok(daemon)
+    }
+
+    /// What recovery did on [`Daemon::open`], one note per touched job.
+    pub fn recovery_notes(&self) -> Vec<RecoveryNote> {
+        self.inner.recovery.lock().unwrap().clone()
+    }
+
+    /// Worker threads serving jobs.
+    pub fn workers(&self) -> usize {
+        self.inner
+            .pool
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, JobPool::threads)
+    }
+
+    /// Jobs completed / panicked since this process started.
+    pub fn pool_stats(&self) -> (u64, u64) {
+        let guard = self.inner.pool.lock().unwrap();
+        match guard.as_ref() {
+            Some(pool) => (pool.completed_jobs(), pool.panicked_jobs()),
+            None => (0, 0),
+        }
+    }
+
+    /// Graceful shutdown: stops accepting work, drains every queued
+    /// and running job, joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        let pool = self.inner.pool.lock().unwrap().take();
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
+    }
+
+    // -- submission ---------------------------------------------------------
+
+    /// Validates a spec document and schedules it as a job. Returns the
+    /// job id. `checkpoint_every` overrides the daemon default cadence.
+    pub fn submit(
+        &self,
+        spec: &Value,
+        checkpoint_every: Option<u64>,
+    ) -> Result<String, ServeError> {
+        let scenario = scenario_from_value(spec)?;
+        Self::check_servable(&scenario)?;
+        let canonical = scenario_to_value(&scenario)?;
+        let every = match checkpoint_every {
+            Some(0) => {
+                return Err(ServeError::BadRequest {
+                    reason: "checkpoint_every must be at least 1".into(),
+                })
+            }
+            Some(n) => Some(n),
+            None => self.inner.default_every,
+        };
+        let id = self.fresh_id();
+        let dir = self.job_dir(&id);
+        std::fs::create_dir_all(dir.root()).map_err(io_err("creating the job directory"))?;
+        dir.write_spec(&canonical)?;
+        let meta = JobMeta {
+            id: id.clone(),
+            status: JobStatus::Queued,
+            checkpoint_every: every,
+            forked_from: None,
+        };
+        dir.write_meta(&meta)?;
+        let entry = Arc::new(JobEntry {
+            id: id.clone(),
+            dir,
+            scenario: Some(scenario),
+            spec: Some(canonical),
+            checkpoint_every: every,
+            forked_from: None,
+            shared: Arc::new(JobShared::new(JobStatus::Queued)),
+        });
+        self.register_and_enqueue(entry, StartMode::Fresh);
+        Ok(id)
+    }
+
+    /// One job is one seeded run: ensemble sweeps and engine-managed
+    /// checkpointing are refused with typed errors, not silently
+    /// reinterpreted.
+    fn check_servable(scenario: &Scenario) -> Result<(), ServeError> {
+        if scenario.run_count() != 1 {
+            return Err(ServeError::Unsupported {
+                what: format!(
+                    "runs = {} (a job is one seeded run; submit one job per seed)",
+                    scenario.run_count()
+                ),
+            });
+        }
+        if scenario.checkpoint_policy().is_some() {
+            return Err(ServeError::Unsupported {
+                what: "a `checkpoint` spec section (the daemon manages checkpointing; \
+                       pass `checkpoint_every` on submit)"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    // -- fork ---------------------------------------------------------------
+
+    /// Re-runs a checkpointed job under a modified config: the source
+    /// job's latest checkpoint at or below `at_tick` (latest overall
+    /// when `None`) seeds a new job whose spec is the source spec with
+    /// `overrides` deep-merged in (`null` removes a key). The new job's
+    /// event stream starts as a byte-exact copy of the source stream up
+    /// to the fork tick and diverges from there.
+    pub fn fork(
+        &self,
+        source: &str,
+        at_tick: Option<u64>,
+        overrides: &Value,
+    ) -> Result<String, ServeError> {
+        let src = self.entry(source)?;
+        let index = src.dir.read_index();
+        let mut chosen = None;
+        for (tick, path) in src.dir.checkpoints_desc() {
+            if at_tick.is_some_and(|limit| tick > limit) {
+                continue;
+            }
+            let Some(&offset) = index.get(&tick) else {
+                continue;
+            };
+            match Snapshot::read(&path) {
+                Ok(snap) => {
+                    chosen = Some((snap, offset));
+                    break;
+                }
+                Err(_) => continue,
+            }
+        }
+        let Some((snapshot, offset)) = chosen else {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "job `{source}` has no usable checkpoint{}",
+                    at_tick.map_or(String::new(), |t| format!(" at or below tick {t}"))
+                ),
+            });
+        };
+        let fork_tick = snapshot.tick();
+
+        let (src_spec, _) = match (&src.spec, &src.scenario) {
+            (Some(spec), Some(sc)) => (spec.clone(), sc.clone()),
+            _ => {
+                let (spec, sc) = src.dir.read_spec()?;
+                (spec, sc)
+            }
+        };
+        let merged = deep_merge(&src_spec, overrides);
+        let scenario = scenario_from_value(&merged)?;
+        Self::check_servable(&scenario)?;
+        if scenario.horizon_ticks() < fork_tick {
+            return Err(ServeError::BadRequest {
+                reason: format!(
+                    "fork horizon {} lies before the checkpoint tick {fork_tick}",
+                    scenario.horizon_ticks()
+                ),
+            });
+        }
+        let canonical = scenario_to_value(&scenario)?;
+
+        let id = self.fresh_id();
+        let dir = self.job_dir(&id);
+        std::fs::create_dir_all(dir.root()).map_err(io_err("creating the fork job directory"))?;
+        dir.write_spec(&canonical)?;
+        // Byte-exact stream prefix up to the fork tick.
+        let prefix = {
+            let events = std::fs::read(src.dir.events_path())
+                .map_err(io_err("reading the source event stream"))?;
+            let offset = offset as usize;
+            if offset > events.len() {
+                return Err(ServeError::Ledger {
+                    what: format!(
+                        "index offset {offset} exceeds the source stream length {}",
+                        events.len()
+                    ),
+                });
+            }
+            events[..offset].to_vec()
+        };
+        write_atomic(&dir.events_path(), &prefix)?;
+        let mut fork_index = BTreeMap::new();
+        fork_index.insert(fork_tick, offset);
+        dir.rewrite_index(&fork_index)?;
+        snapshot
+            .write_atomic(&dir.checkpoint_path(fork_tick))
+            .map_err(ServeError::Snapshot)?;
+        let origin = ForkOrigin {
+            from: source.to_string(),
+            at_tick: fork_tick,
+        };
+        let every = src.checkpoint_every.or(self.inner.default_every);
+        dir.write_meta(&JobMeta {
+            id: id.clone(),
+            status: JobStatus::Queued,
+            checkpoint_every: every,
+            forked_from: Some(origin.clone()),
+        })?;
+        let shared = Arc::new(JobShared::new(JobStatus::Queued));
+        {
+            let mut st = shared.stream.lock().unwrap();
+            st.history = prefix;
+            // The prefix runs through tick `fork_tick`; the resumed
+            // engine's first block carries `fork_tick + 1`.
+            st.next_tick = fork_tick + 1;
+        }
+        let entry = Arc::new(JobEntry {
+            id: id.clone(),
+            dir,
+            scenario: Some(scenario),
+            spec: Some(canonical),
+            checkpoint_every: every,
+            forked_from: Some(origin),
+            shared,
+        });
+        self.register_and_enqueue(entry, StartMode::Fork(snapshot));
+        Ok(id)
+    }
+
+    // -- queries ------------------------------------------------------------
+
+    /// All job ids, in creation order.
+    pub fn jobs(&self) -> Vec<String> {
+        self.inner.registry.lock().unwrap().keys().cloned().collect()
+    }
+
+    /// A job's current status.
+    pub fn status(&self, id: &str) -> Result<JobStatus, ServeError> {
+        Ok(self.entry(id)?.shared.status.lock().unwrap().clone())
+    }
+
+    /// The status line the protocol serves: id, status, current tick,
+    /// horizon, fork lineage.
+    pub fn status_value(&self, id: &str) -> Result<Value, ServeError> {
+        let entry = self.entry(id)?;
+        let status = entry.shared.status.lock().unwrap().clone();
+        let mut fields = vec![
+            ("job".into(), Value::Str(entry.id.clone())),
+            ("status".into(), Value::Str(status.label().into())),
+            (
+                "tick".into(),
+                Value::Int(entry.shared.tick.load(Ordering::Acquire) as i64),
+            ),
+        ];
+        if let Some(sc) = &entry.scenario {
+            fields.push(("horizon".into(), Value::Int(sc.horizon_ticks() as i64)));
+        }
+        if let JobStatus::Failed { message } = &status {
+            fields.push(("message".into(), Value::Str(message.clone())));
+        }
+        if let Some(fork) = &entry.forked_from {
+            fields.push(("forked_from".into(), Value::Str(fork.from.clone())));
+            fields.push(("fork_tick".into(), Value::Int(fork.at_tick as i64)));
+        }
+        Ok(Value::Object(fields))
+    }
+
+    /// Blocks until the job reaches a terminal state; `Ok` on `Done`,
+    /// the recorded failure as [`ServeError::JobFailed`] otherwise.
+    pub fn wait(&self, id: &str) -> Result<(), ServeError> {
+        match self.entry(id)?.shared.wait_terminal() {
+            JobStatus::Done => Ok(()),
+            JobStatus::Failed { message } => Err(ServeError::JobFailed { message }),
+            _ => unreachable!("wait_terminal only returns terminal states"),
+        }
+    }
+
+    /// The canonical result JSON of a completed job, read from the
+    /// ledger (proving persistence, not just memory).
+    pub fn result_json(&self, id: &str) -> Result<String, ServeError> {
+        let entry = self.entry(id)?;
+        match entry.shared.status.lock().unwrap().clone() {
+            JobStatus::Done => {}
+            JobStatus::Failed { message } => return Err(ServeError::JobFailed { message }),
+            _ => {
+                return Err(ServeError::BadRequest {
+                    reason: format!("job `{id}` has not finished"),
+                })
+            }
+        }
+        std::fs::read_to_string(entry.dir.result_path()).map_err(io_err("reading result.json"))
+    }
+
+    /// The in-memory [`SimResult`] of a job completed by *this*
+    /// process (recovered `done` jobs serve [`Daemon::result_json`]
+    /// from the ledger instead).
+    pub fn result_sim(&self, id: &str) -> Result<Option<SimResult>, ServeError> {
+        Ok(self.entry(id)?.shared.result.lock().unwrap().clone())
+    }
+
+    /// Subscribes to a job's event stream: the receiver first gets the
+    /// history so far, then live per-tick blocks until the job ends.
+    pub fn subscribe(&self, id: &str) -> Result<Receiver<StreamMsg>, ServeError> {
+        let entry = self.entry(id)?;
+        Ok(entry.shared.subscribe(self.inner.subscriber_queue))
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn entry(&self, id: &str) -> Result<Arc<JobEntry>, ServeError> {
+        self.inner
+            .registry
+            .lock()
+            .unwrap()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownJob { id: id.to_string() })
+    }
+
+    fn fresh_id(&self) -> String {
+        format!("job-{}", self.inner.next_id.fetch_add(1, Ordering::AcqRel))
+    }
+
+    fn job_dir(&self, id: &str) -> JobDir {
+        JobDir::new(self.inner.jobs_dir.join(id))
+    }
+
+    fn register_and_enqueue(&self, entry: Arc<JobEntry>, mode: StartMode) {
+        self.inner
+            .registry
+            .lock()
+            .unwrap()
+            .insert(entry.id.clone(), Arc::clone(&entry));
+        let pool = self.inner.pool.lock().unwrap();
+        if let Some(pool) = pool.as_ref() {
+            pool.submit(move || run_job(&entry, mode));
+        } else {
+            entry.shared.set_status(JobStatus::Failed {
+                message: "daemon is shutting down".into(),
+            });
+            entry.shared.complete_stream();
+        }
+    }
+
+    fn note(&self, job: &str, note: impl Into<String>) {
+        self.inner.recovery.lock().unwrap().push(RecoveryNote {
+            job: job.to_string(),
+            note: note.into(),
+        });
+    }
+
+    /// Scans the ledger on startup. `done`/`failed` jobs are
+    /// re-registered for queries and stream replay; `queued`/`running`
+    /// jobs are resumed from their newest intact checkpoint (or
+    /// restarted fresh when none survives — determinism makes the
+    /// re-run equivalent).
+    fn recover(&self) -> Result<(), ServeError> {
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&self.inner.jobs_dir)
+            .map_err(io_err("scanning the jobs directory"))?
+            .flatten()
+            .filter(|e| e.path().is_dir())
+            .map(|e| e.path())
+            .collect();
+        dirs.sort();
+        let mut max_id = 0u64;
+        for path in dirs {
+            let id = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if let Some(n) = id.strip_prefix("job-").and_then(|n| n.parse::<u64>().ok()) {
+                max_id = max_id.max(n);
+            }
+            self.recover_one(&id, JobDir::new(path));
+        }
+        self.inner
+            .next_id
+            .store(max_id + 1, Ordering::Release);
+        Ok(())
+    }
+
+    fn recover_one(&self, id: &str, dir: JobDir) {
+        let meta = dir.read_meta();
+        let spec = dir.read_spec();
+        match (meta, spec) {
+            (Ok(meta), Ok((spec, scenario))) => {
+                self.recover_with_spec(id, dir, meta, spec, scenario)
+            }
+            (meta, Err(e)) => {
+                // Without a spec the job cannot run again; record the
+                // typed failure in memory and (best-effort) on disk.
+                self.note(id, format!("spec unrecoverable: {e}"));
+                let message = format!("unrecoverable ledger: {e}");
+                let shared = Arc::new(JobShared::new(JobStatus::Failed {
+                    message: message.clone(),
+                }));
+                shared.complete_stream();
+                let _ = dir.write_meta(&JobMeta {
+                    id: id.to_string(),
+                    status: JobStatus::Failed { message },
+                    checkpoint_every: meta.ok().and_then(|m| m.checkpoint_every),
+                    forked_from: None,
+                });
+                self.inner.registry.lock().unwrap().insert(
+                    id.to_string(),
+                    Arc::new(JobEntry {
+                        id: id.to_string(),
+                        dir,
+                        scenario: None,
+                        spec: None,
+                        checkpoint_every: None,
+                        forked_from: None,
+                        shared,
+                    }),
+                );
+            }
+            (Err(e), Ok((spec, scenario))) => {
+                // Meta corrupt but the spec survives: a fresh
+                // deterministic re-run loses nothing.
+                self.note(id, format!("meta corrupt ({e}); restarting fresh"));
+                let meta = JobMeta {
+                    id: id.to_string(),
+                    status: JobStatus::Queued,
+                    checkpoint_every: self.inner.default_every,
+                    forked_from: None,
+                };
+                let _ = dir.write_meta(&meta);
+                self.restart_fresh(id, dir, meta, spec, scenario);
+            }
+        }
+    }
+
+    fn recover_with_spec(
+        &self,
+        id: &str,
+        dir: JobDir,
+        meta: JobMeta,
+        spec: Value,
+        scenario: Scenario,
+    ) {
+        match &meta.status {
+            JobStatus::Done | JobStatus::Failed { .. } => {
+                // Re-register for queries; preload the stream history
+                // so late subscribers can replay the finished feed.
+                let shared = Arc::new(JobShared::new(meta.status.clone()));
+                {
+                    let mut st = shared.stream.lock().unwrap();
+                    st.history = std::fs::read(dir.events_path()).unwrap_or_default();
+                    st.complete = true;
+                }
+                shared
+                    .tick
+                    .store(scenario.horizon_ticks(), Ordering::Release);
+                self.inner.registry.lock().unwrap().insert(
+                    id.to_string(),
+                    Arc::new(JobEntry {
+                        id: id.to_string(),
+                        dir,
+                        scenario: Some(scenario),
+                        spec: Some(spec),
+                        checkpoint_every: meta.checkpoint_every,
+                        forked_from: meta.forked_from.clone(),
+                        shared,
+                    }),
+                );
+            }
+            JobStatus::Queued | JobStatus::Running => {
+                // Find the newest checkpoint that (a) reads back clean
+                // and (b) has a stream-offset index entry that fits the
+                // stream file. Anything that fails either check is
+                // deleted and noted.
+                let index = dir.read_index();
+                let stream_len = std::fs::metadata(dir.events_path())
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                let mut resume = None;
+                for (tick, path) in dir.checkpoints_desc() {
+                    let usable = index
+                        .get(&tick)
+                        .filter(|&&off| off <= stream_len)
+                        .and_then(|&off| Snapshot::read(&path).ok().map(|s| (s, off)));
+                    match usable {
+                        Some((snap, off)) if snap.tick() == tick => {
+                            resume = Some((snap, off));
+                            break;
+                        }
+                        _ => {
+                            self.note(
+                                id,
+                                format!("discarding unusable checkpoint at tick {tick}"),
+                            );
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                match resume {
+                    Some((snap, offset)) => {
+                        let tick = snap.tick();
+                        self.note(id, format!("resuming from the tick-{tick} checkpoint"));
+                        // Truncate the stream to the checkpoint's
+                        // recorded length: the resumed engine re-emits
+                        // the identical suffix.
+                        if truncate_file(&dir, offset).is_err() {
+                            self.note(id, "stream truncation failed; restarting fresh");
+                            self.restart_fresh(id, dir, meta, spec, scenario);
+                            return;
+                        }
+                        let keep: BTreeMap<u64, u64> = index
+                            .range(..=tick)
+                            .map(|(&t, &o)| (t, o))
+                            .collect();
+                        let _ = dir.rewrite_index(&keep);
+                        let history =
+                            std::fs::read(dir.events_path()).unwrap_or_default();
+                        let shared = Arc::new(JobShared::new(JobStatus::Queued));
+                        {
+                            let mut st = shared.stream.lock().unwrap();
+                            st.history = history;
+                            st.next_tick = tick + 1;
+                        }
+                        let mode = if meta.forked_from.is_some() {
+                            // A fork's config differs from the
+                            // snapshotting run by design; strict resume
+                            // would refuse it.
+                            StartMode::Fork(snap)
+                        } else {
+                            StartMode::Resume(snap)
+                        };
+                        let entry = Arc::new(JobEntry {
+                            id: id.to_string(),
+                            dir,
+                            scenario: Some(scenario),
+                            spec: Some(spec),
+                            checkpoint_every: meta.checkpoint_every,
+                            forked_from: meta.forked_from.clone(),
+                            shared,
+                        });
+                        self.register_and_enqueue(entry, mode);
+                    }
+                    None => {
+                        self.note(id, "no usable checkpoint; restarting fresh");
+                        self.restart_fresh(id, dir, meta, spec, scenario);
+                    }
+                }
+            }
+        }
+    }
+
+    fn restart_fresh(&self, id: &str, dir: JobDir, meta: JobMeta, spec: Value, scenario: Scenario) {
+        let _ = truncate_file(&dir, 0);
+        let _ = dir.rewrite_index(&BTreeMap::new());
+        for (_, path) in dir.checkpoints_desc() {
+            let _ = std::fs::remove_file(path);
+        }
+        // For a fork this re-runs the merged spec from tick 0 — same
+        // config, same seed, so the result is still deterministic even
+        // though the copied stream prefix is gone.
+        let entry = Arc::new(JobEntry {
+            id: id.to_string(),
+            dir,
+            scenario: Some(scenario),
+            spec: Some(spec),
+            checkpoint_every: meta.checkpoint_every,
+            forked_from: meta.forked_from,
+            shared: Arc::new(JobShared::new(JobStatus::Queued)),
+        });
+        self.register_and_enqueue(entry, StartMode::Fresh);
+    }
+}
+
+fn truncate_file(dir: &JobDir, len: u64) -> std::io::Result<()> {
+    match std::fs::OpenOptions::new().write(true).open(dir.events_path()) {
+        Ok(f) => f.set_len(len),
+        // No stream file yet is the same as an empty one.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && len == 0 => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Deep-merges `overrides` into `base`: objects merge recursively,
+/// `null` removes a key, everything else replaces.
+pub fn deep_merge(base: &Value, overrides: &Value) -> Value {
+    match (base, overrides) {
+        (Value::Object(b), Value::Object(o)) => {
+            let mut out = b.clone();
+            for (key, val) in o {
+                let existing = out.iter().position(|(k, _)| k == key);
+                match (existing, val) {
+                    (Some(i), Value::Null) => {
+                        out.remove(i);
+                    }
+                    (None, Value::Null) => {}
+                    (Some(i), _) => out[i].1 = deep_merge(&out[i].1, val),
+                    (None, _) => out.push((key.clone(), val.clone())),
+                }
+            }
+            Value::Object(out)
+        }
+        (_, v) => v.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The job runner
+// ---------------------------------------------------------------------------
+
+/// Executes one job on a pool worker. Every failure — engine refusal,
+/// ledger I/O, a panic out of the engine — lands in the job's status
+/// as a typed message; nothing propagates out of the worker.
+fn run_job(entry: &Arc<JobEntry>, mode: StartMode) {
+    entry.shared.set_status(JobStatus::Running);
+    let _ = entry.dir.write_meta(&JobMeta {
+        id: entry.id.clone(),
+        status: JobStatus::Running,
+        checkpoint_every: entry.checkpoint_every,
+        forked_from: entry.forked_from.clone(),
+    });
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_job_inner(entry, mode)));
+    let status = match outcome {
+        Ok(Ok(())) => JobStatus::Done,
+        Ok(Err(e)) => JobStatus::Failed {
+            message: e.to_string(),
+        },
+        Err(panic) => JobStatus::Failed {
+            message: format!("job panicked: {}", panic_message(&panic)),
+        },
+    };
+    let _ = entry.dir.write_meta(&JobMeta {
+        id: entry.id.clone(),
+        status: status.clone(),
+        checkpoint_every: entry.checkpoint_every,
+        forked_from: entry.forked_from.clone(),
+    });
+    entry.shared.complete_stream();
+    entry.shared.set_status(status);
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+fn run_job_inner(entry: &Arc<JobEntry>, mode: StartMode) -> Result<(), ServeError> {
+    let scenario = entry
+        .scenario
+        .as_ref()
+        .ok_or_else(|| ServeError::Ledger {
+            what: "job has no runnable scenario".into(),
+        })?;
+    let world = scenario.build_world();
+    let config = scenario.sim_config_for(&world);
+    let behavior = scenario.worm_behavior();
+    let horizon = scenario.horizon_ticks();
+
+    let mut sim = match &mode {
+        StartMode::Fresh => Simulator::try_new(&world, &config, behavior, scenario.base_seed())
+            .map_err(|e| ServeError::Engine(e.to_string()))?,
+        StartMode::Resume(snap) => Simulator::resume(&world, &config, behavior, snap)?,
+        StartMode::Fork(snap) => Simulator::resume_with(&world, &config, behavior, snap)?,
+    };
+
+    // Stream file: fresh jobs start clean; resumed/forked jobs already
+    // hold the exact prefix their in-memory history mirrors.
+    let mut events = match &mode {
+        StartMode::Fresh => std::fs::File::create(entry.dir.events_path())
+            .map_err(io_err("creating events.jsonl"))?,
+        _ => std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(entry.dir.events_path())
+            .map_err(io_err("opening events.jsonl"))?,
+    };
+
+    let shared = Arc::clone(&entry.shared);
+    // Cell, not a plain Option: the feed closure needs to latch write
+    // failures while the loop below also polls them.
+    let stream_error: std::cell::Cell<Option<std::io::Error>> = std::cell::Cell::new(None);
+    let mut feed = TickFeed::new(|block| {
+        if let Err(e) = events.write_all(&block.lines) {
+            let first = stream_error.take().unwrap_or(e);
+            stream_error.set(Some(first));
+        }
+        shared.fan_out(&block);
+    });
+
+    let mut tick = sim.current_tick();
+    loop {
+        let target = match entry.checkpoint_every {
+            Some(every) => ((tick / every) + 1) * every,
+            None => horizon,
+        }
+        .min(horizon);
+        sim.run_until(target, &mut feed);
+        tick = target;
+        if tick >= horizon {
+            break;
+        }
+        // Flush the stream before the checkpoint so the index offset
+        // it records is durable.
+        if let Some(e) = stream_error.take() {
+            return Err(ServeError::Io {
+                what: "writing events.jsonl".into(),
+                source: e,
+            });
+        }
+        let offset = entry.shared.stream.lock().unwrap().history.len() as u64;
+        sim.snapshot()
+            .write_atomic(&entry.dir.checkpoint_path(tick))
+            .map_err(ServeError::Snapshot)?;
+        entry.dir.append_index(tick, offset)?;
+    }
+    drop(feed);
+    if let Some(e) = stream_error.take() {
+        return Err(ServeError::Io {
+            what: "writing events.jsonl".into(),
+            source: e,
+        });
+    }
+    let result = sim.finish();
+    write_atomic(&entry.dir.result_path(), result_to_json(&result).as_bytes())?;
+    *entry.shared.result.lock().unwrap() = Some(result);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::pump_stream;
+    use dynaquar_core::spec::parse_json;
+    use dynaquar_netsim::JsonlEventWriter;
+
+    fn temp_state(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dq-serve-daemon-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn star_spec() -> Value {
+        parse_json(
+            r#"{
+                "topology": {"kind": "star", "leaves": 60},
+                "beta": 0.8,
+                "horizon": 40,
+                "initial_infected": 1,
+                "deployment": {"hosts": 1.0},
+                "params": {"host_window_ticks": 200, "host_max_new_targets": 1,
+                           "host_release_period_ticks": 10},
+                "quarantine": {"queue_threshold": 3},
+                "runs": 1,
+                "seed": 21
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn direct_run(spec: &Value) -> (SimResult, Vec<u8>) {
+        let scenario = scenario_from_value(spec).unwrap();
+        let world = scenario.build_world();
+        let config = scenario.sim_config_for(&world);
+        let sim = Simulator::try_new(&world, &config, scenario.worm_behavior(), scenario.base_seed())
+            .unwrap();
+        let mut writer = JsonlEventWriter::new(Vec::new());
+        let result = sim.run_observed(&mut writer);
+        (result, writer.finish().unwrap())
+    }
+
+    #[test]
+    fn served_job_matches_a_direct_run_bit_for_bit() {
+        let state = temp_state("direct");
+        let daemon = Daemon::open(ServeConfig::new(&state)).unwrap();
+        let spec = star_spec();
+        let id = daemon.submit(&spec, Some(10)).unwrap();
+        let rx = daemon.subscribe(&id).unwrap();
+        daemon.wait(&id).unwrap();
+        let mut stream = Vec::new();
+        let stats = pump_stream(rx, &mut stream).unwrap();
+        assert_eq!(stats.catchups, 0, "a prompt subscriber never lags");
+
+        let (direct_result, direct_stream) = direct_run(&spec);
+        assert_eq!(stream, direct_stream, "subscriber stream diverged");
+        assert_eq!(
+            daemon.result_sim(&id).unwrap().unwrap(),
+            direct_result,
+            "served result diverged"
+        );
+        assert_eq!(daemon.result_json(&id).unwrap(), result_to_json(&direct_result));
+        // The persisted stream file matches too.
+        let on_disk = std::fs::read(state.join("jobs").join(&id).join("events.jsonl")).unwrap();
+        assert_eq!(on_disk, direct_stream);
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn invalid_specs_and_unknown_jobs_yield_typed_errors() {
+        let state = temp_state("errors");
+        let daemon = Daemon::open(ServeConfig::new(&state)).unwrap();
+        let bad = parse_json(r#"{"topology": {"kind": "moebius"}}"#).unwrap();
+        assert!(matches!(daemon.submit(&bad, None), Err(ServeError::Spec(_))));
+        let mut multi = star_spec();
+        if let Value::Object(entries) = &mut multi {
+            for (key, value) in entries.iter_mut() {
+                if key == "runs" {
+                    *value = Value::Int(5);
+                }
+            }
+        }
+        assert!(matches!(
+            daemon.submit(&multi, None),
+            Err(ServeError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            daemon.status("job-99"),
+            Err(ServeError::UnknownJob { .. })
+        ));
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn fork_reruns_the_tail_under_a_modified_defense() {
+        let state = temp_state("fork");
+        let daemon = Daemon::open(ServeConfig::new(&state)).unwrap();
+        let spec = star_spec();
+        let id = daemon.submit(&spec, Some(10)).unwrap();
+        daemon.wait(&id).unwrap();
+
+        // Move the quarantine trigger earlier: the what-if query the
+        // fork verb exists for. Forking twice with identical arguments
+        // must reproduce identical results and streams — the fork path
+        // is as deterministic as a fresh run.
+        let overrides = parse_json(r#"{"quarantine": {"queue_threshold": 2}}"#).unwrap();
+        let fork_a = daemon.fork(&id, Some(20), &overrides).unwrap();
+        let fork_b = daemon.fork(&id, Some(20), &overrides).unwrap();
+        daemon.wait(&fork_a).unwrap();
+        daemon.wait(&fork_b).unwrap();
+        let ra = daemon.result_sim(&fork_a).unwrap().unwrap();
+        let rb = daemon.result_sim(&fork_b).unwrap().unwrap();
+        assert_eq!(ra, rb, "identical forks diverged");
+
+        // Fork stream: byte-exact source prefix, then its own tail —
+        // and both forks stream identically.
+        let job_stream = |j: &str| std::fs::read(state.join("jobs").join(j).join("events.jsonl")).unwrap();
+        let src_stream = job_stream(&id);
+        let fork_stream = job_stream(&fork_a);
+        assert_eq!(fork_stream, job_stream(&fork_b));
+        let src_index = JobDir::new(state.join("jobs").join(&id)).read_index();
+        let prefix_len = *src_index.get(&20).unwrap() as usize;
+        assert_eq!(&fork_stream[..prefix_len], &src_stream[..prefix_len]);
+
+        // The lineage shows up in the status document.
+        let status = daemon.status_value(&fork_a).unwrap();
+        assert_eq!(status.get("forked_from").and_then(Value::as_str), Some(id.as_str()));
+        assert_eq!(status.get("fork_tick").and_then(Value::as_int), Some(20));
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn deep_merge_merges_removes_and_replaces() {
+        let base = parse_json(r#"{"a": 1, "b": {"x": 1, "y": 2}, "c": 3}"#).unwrap();
+        let over = parse_json(r#"{"b": {"y": 9}, "c": null, "d": 4}"#).unwrap();
+        let merged = deep_merge(&base, &over);
+        assert_eq!(merged.get("a").and_then(Value::as_int), Some(1));
+        assert_eq!(
+            merged.get("b").and_then(|b| b.get("x")).and_then(Value::as_int),
+            Some(1)
+        );
+        assert_eq!(
+            merged.get("b").and_then(|b| b.get("y")).and_then(Value::as_int),
+            Some(9)
+        );
+        assert!(merged.get("c").is_none(), "null removes");
+        assert_eq!(merged.get("d").and_then(Value::as_int), Some(4));
+    }
+
+    #[test]
+    fn restarted_daemon_recovers_a_finished_job_from_the_ledger() {
+        let state = temp_state("reopen");
+        let spec = star_spec();
+        let (id, result_json_text) = {
+            let daemon = Daemon::open(ServeConfig::new(&state)).unwrap();
+            let id = daemon.submit(&spec, Some(10)).unwrap();
+            daemon.wait(&id).unwrap();
+            let text = daemon.result_json(&id).unwrap();
+            daemon.shutdown();
+            (id, text)
+        };
+        let daemon = Daemon::open(ServeConfig::new(&state)).unwrap();
+        assert_eq!(daemon.status(&id).unwrap(), JobStatus::Done);
+        assert_eq!(daemon.result_json(&id).unwrap(), result_json_text);
+        // Late subscribers replay the persisted stream.
+        let rx = daemon.subscribe(&id).unwrap();
+        let mut replay = Vec::new();
+        pump_stream(rx, &mut replay).unwrap();
+        let (_, direct_stream) = direct_run(&spec);
+        assert_eq!(replay, direct_stream);
+        // New submissions do not collide with recovered ids.
+        let new_id = daemon.submit(&spec, None).unwrap();
+        assert_ne!(new_id, id);
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&state);
+    }
+
+    #[test]
+    fn engine_refusals_fail_the_job_with_a_typed_message() {
+        let state = temp_state("refusal");
+        let daemon = Daemon::open(ServeConfig::new(&state)).unwrap();
+        // 50 initial infections on a 30-host star: spec-valid, but the
+        // engine refuses (typed) — the job must fail, not panic.
+        let spec = parse_json(
+            r#"{
+                "topology": {"kind": "star", "leaves": 30},
+                "beta": 0.5, "horizon": 10, "initial_infected": 50, "runs": 1, "seed": 1
+            }"#,
+        )
+        .unwrap();
+        let id = daemon.submit(&spec, None).unwrap();
+        match daemon.wait(&id) {
+            Err(ServeError::JobFailed { message }) => {
+                assert!(message.contains("engine error"), "got: {message}");
+            }
+            other => panic!("expected JobFailed, got {other:?}"),
+        }
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&state);
+    }
+}

@@ -1,0 +1,122 @@
+//! The daemon's typed error surface.
+//!
+//! Every failure a client or operator can trigger — malformed specs,
+//! unknown jobs, corrupt ledgers, refused resumes — maps to a
+//! [`ServeError`] variant. The daemon never panics on external input:
+//! panics are reserved for engine bugs, and even those are caught at
+//! the job boundary and reported as [`ServeError::Engine`].
+
+use dynaquar_core::spec::SpecError;
+use dynaquar_netsim::SnapshotError;
+use std::fmt;
+
+/// Everything that can go wrong serving a scenario.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The submitted spec failed to parse or validate.
+    Spec(SpecError),
+    /// A checkpoint could not be read, written, or resumed.
+    Snapshot(SnapshotError),
+    /// A filesystem operation on the job ledger failed.
+    Io {
+        /// What the daemon was doing.
+        what: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The on-disk job ledger is damaged (unparseable metadata, a
+    /// missing index entry, an impossible offset). Recovery degrades
+    /// to a fresh deterministic re-run when the spec survives; this
+    /// error is what gets recorded, never a panic.
+    Ledger {
+        /// What was wrong.
+        what: String,
+    },
+    /// No job with the given id.
+    UnknownJob {
+        /// The id the client asked for.
+        id: String,
+    },
+    /// A syntactically valid request the daemon cannot honor.
+    BadRequest {
+        /// Why the request was refused.
+        reason: String,
+    },
+    /// The job ran and failed; the message is its recorded failure.
+    JobFailed {
+        /// The failure recorded in the job ledger.
+        message: String,
+    },
+    /// A valid scenario the daemon does not serve (e.g. `runs > 1`:
+    /// one job is one seeded run — ensemble sweeps belong to the batch
+    /// runner, not the daemon).
+    Unsupported {
+        /// What is not servable.
+        what: String,
+    },
+    /// The engine refused to build or finish the run.
+    Engine(String),
+}
+
+impl ServeError {
+    /// Stable snake-case discriminant for the wire protocol's
+    /// `error.kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Spec(_) => "spec",
+            ServeError::Snapshot(_) => "snapshot",
+            ServeError::Io { .. } => "io",
+            ServeError::Ledger { .. } => "ledger",
+            ServeError::UnknownJob { .. } => "unknown_job",
+            ServeError::BadRequest { .. } => "bad_request",
+            ServeError::JobFailed { .. } => "job_failed",
+            ServeError::Unsupported { .. } => "unsupported",
+            ServeError::Engine(_) => "engine",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Spec(e) => write!(f, "spec error: {e}"),
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServeError::Io { what, source } => write!(f, "i/o error while {what}: {source}"),
+            ServeError::Ledger { what } => write!(f, "corrupt job ledger: {what}"),
+            ServeError::UnknownJob { id } => write!(f, "unknown job `{id}`"),
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::JobFailed { message } => write!(f, "job failed: {message}"),
+            ServeError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Spec(e) => Some(e),
+            ServeError::Snapshot(e) => Some(e),
+            ServeError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpecError> for ServeError {
+    fn from(e: SpecError) -> Self {
+        ServeError::Spec(e)
+    }
+}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+/// Shorthand for tagging an [`std::io::Error`] with what was being done.
+pub(crate) fn io_err(what: impl Into<String>) -> impl FnOnce(std::io::Error) -> ServeError {
+    let what = what.into();
+    move |source| ServeError::Io { what, source }
+}

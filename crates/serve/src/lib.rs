@@ -1,0 +1,66 @@
+//! Scenario-serving daemon for the reproduction: submit worm
+//! scenarios as JSON/TOML specs, run them as crash-safe checkpointed
+//! jobs on a long-lived worker pool, stream the JSONL event feed to
+//! any number of subscribers, and fork checkpointed runs under
+//! modified defenses for interactive what-if queries.
+//!
+//! The layer stack:
+//!
+//! * [`daemon::Daemon`] — transport-free core: validation
+//!   ([`dynaquar_core::spec`]), scheduling
+//!   ([`dynaquar_parallel::JobPool`]), checkpointing
+//!   ([`dynaquar_netsim::Snapshot`]), streaming
+//!   ([`dynaquar_netsim::TickFeed`]), ledger recovery;
+//! * [`protocol`] — the newline-delimited JSON verbs;
+//! * [`server`] / [`client`] — Unix-domain or TCP transport, thread
+//!   per connection, no async runtime;
+//! * [`smoke`] — the self-checking end-to-end run CI executes.
+//!
+//! The daemon adds *no* nondeterminism: a served result equals a
+//! direct [`Simulator`](dynaquar_netsim::Simulator) run of the same
+//! spec, and a prompt subscriber's stream is byte-identical to the
+//! contiguous [`JsonlEventWriter`](dynaquar_netsim::JsonlEventWriter)
+//! feed — the black-box suite in `tests/serve_equivalence.rs` pins
+//! both, and the kill/restart suite pins that crash recovery preserves
+//! them.
+//!
+//! # Example
+//!
+//! ```
+//! use dynaquar_core::spec::parse_json;
+//! use dynaquar_serve::daemon::{Daemon, ServeConfig};
+//!
+//! let state = std::env::temp_dir().join(format!("dq-serve-doc-{}", std::process::id()));
+//! let daemon = Daemon::open(ServeConfig::new(&state)).unwrap();
+//! let spec = parse_json(
+//!     r#"{"topology": {"kind": "star", "leaves": 30},
+//!         "beta": 0.8, "horizon": 15, "initial_infected": 1, "runs": 1, "seed": 3}"#,
+//! )
+//! .unwrap();
+//! let job = daemon.submit(&spec, None).unwrap();
+//! daemon.wait(&job).unwrap();
+//! assert!(daemon.result_json(&job).unwrap().contains("delivered_packets"));
+//! daemon.shutdown();
+//! std::fs::remove_dir_all(&state).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod codec;
+pub mod daemon;
+pub mod error;
+pub mod job;
+pub mod protocol;
+pub mod server;
+pub mod smoke;
+
+pub use client::{Client, ClientError};
+pub use codec::{result_to_json, result_to_value};
+pub use daemon::{deep_merge, Daemon, RecoveryNote, ServeConfig};
+pub use error::ServeError;
+pub use job::{pump_stream, JobDir, JobMeta, JobStatus, PumpStats, StreamMsg};
+pub use protocol::{handle_line, Reply};
+pub use server::{Server, ServerAddr};

@@ -1,0 +1,151 @@
+//! The `dynaquar-serve` binary: a scenario-serving daemon over a Unix
+//! or TCP socket, plus the self-checking `--smoke` mode CI runs.
+//!
+//! ```text
+//! dynaquar-serve --state-dir DIR --unix PATH [--threads N] [--checkpoint-every N]
+//! dynaquar-serve --state-dir DIR --tcp 127.0.0.1:7411 [...]
+//! dynaquar-serve --smoke [--hosts N] [--subscribers N]
+//! ```
+
+use dynaquar_parallel::ParallelConfig;
+use dynaquar_serve::daemon::{Daemon, ServeConfig};
+use dynaquar_serve::server::{Server, ServerAddr};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    state_dir: Option<PathBuf>,
+    unix: Option<PathBuf>,
+    tcp: Option<String>,
+    threads: Option<usize>,
+    checkpoint_every: Option<u64>,
+    smoke: bool,
+    hosts: usize,
+    subscribers: usize,
+}
+
+fn usage() -> &'static str {
+    "usage:\n  dynaquar-serve --state-dir DIR (--unix PATH | --tcp ADDR) \
+     [--threads N] [--checkpoint-every N]\n  dynaquar-serve --smoke [--hosts N] [--subscribers N]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        state_dir: None,
+        unix: None,
+        tcp: None,
+        threads: None,
+        checkpoint_every: None,
+        smoke: false,
+        hosts: 500,
+        subscribers: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir")?)),
+            "--unix" => args.unix = Some(PathBuf::from(value("--unix")?)),
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--threads" => {
+                args.threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|_| "--threads needs an integer".to_string())?,
+                )
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(
+                    value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| "--checkpoint-every needs an integer".to_string())?,
+                )
+            }
+            "--smoke" => args.smoke = true,
+            "--hosts" => {
+                args.hosts = value("--hosts")?
+                    .parse()
+                    .map_err(|_| "--hosts needs an integer".to_string())?
+            }
+            "--subscribers" => {
+                args.subscribers = value("--subscribers")?
+                    .parse()
+                    .map_err(|_| "--subscribers needs an integer".to_string())?
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.smoke {
+        return match dynaquar_serve::smoke::run_smoke(args.hosts, args.subscribers) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                eprintln!("smoke FAILED: {failure}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(state_dir) = args.state_dir else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let addr = match (args.unix, args.tcp) {
+        (Some(path), None) => ServerAddr::Unix(path),
+        (None, Some(spec)) => ServerAddr::Tcp(spec),
+        _ => {
+            eprintln!("pick exactly one of --unix or --tcp\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut config = ServeConfig::new(state_dir);
+    if let Some(threads) = args.threads {
+        config.workers = ParallelConfig::new(threads);
+    }
+    config.checkpoint_every = args.checkpoint_every;
+
+    let daemon = match Daemon::open(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("failed to open the state directory: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for note in daemon.recovery_notes() {
+        eprintln!("recovery: {}: {}", note.job, note.note);
+    }
+    let server = match Server::bind(daemon, addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("failed to bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("dynaquar-serve listening on {:?}", server.addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

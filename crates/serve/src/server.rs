@@ -1,0 +1,241 @@
+//! Socket transport for the daemon: Unix-domain or TCP, thread per
+//! connection, std-only (no async runtime).
+//!
+//! The listener polls in non-blocking mode so a `shutdown` verb can
+//! stop the accept loop; connection readers use short read timeouts
+//! for the same reason. Each connection speaks the
+//! [`crate::protocol`] line protocol; a `subscribe` switches the
+//! connection to raw streaming until the job completes, after which
+//! the server closes it.
+
+use crate::daemon::Daemon;
+use crate::job::pump_stream;
+use crate::protocol::{handle_line, Reply};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerAddr {
+    /// A Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7411` (`:0` for an ephemeral
+    /// port — read the bound address back from [`Server::addr`]).
+    Tcp(String),
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(dur),
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A running socket front-end over a [`Daemon`].
+pub struct Server {
+    daemon: Daemon,
+    listener: Listener,
+    addr: ServerAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds the listener. A stale Unix socket file from a dead
+    /// process is removed first; for TCP the resolved address
+    /// (ephemeral port filled in) is readable via [`Server::addr`].
+    pub fn bind(daemon: Daemon, addr: ServerAddr) -> std::io::Result<Server> {
+        let (listener, addr) = match addr {
+            ServerAddr::Unix(path) => {
+                let _ = std::fs::remove_file(&path);
+                let l = UnixListener::bind(&path)?;
+                l.set_nonblocking(true)?;
+                (Listener::Unix(l), ServerAddr::Unix(path))
+            }
+            ServerAddr::Tcp(spec) => {
+                let l = TcpListener::bind(&spec)?;
+                l.set_nonblocking(true)?;
+                let bound = l.local_addr()?.to_string();
+                (Listener::Tcp(l), ServerAddr::Tcp(bound))
+            }
+        };
+        Ok(Server {
+            daemon,
+            listener,
+            addr,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// A handle that makes [`Server::run`] return (used by embedders;
+    /// the protocol's `shutdown` verb does the same from the wire).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves connections until a `shutdown` verb arrives (or the
+    /// shutdown handle is set), then drains the daemon's jobs, joins
+    /// the connection threads, and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::Acquire) {
+            let accepted = match &self.listener {
+                Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            };
+            match accepted {
+                Ok(conn) => {
+                    let daemon = self.daemon.clone();
+                    let shutdown = Arc::clone(&self.shutdown);
+                    handles.push(std::thread::spawn(move || {
+                        let _ = serve_connection(&daemon, conn, &shutdown);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+            handles.retain(|h| !h.is_finished());
+        }
+        // Drain every queued and running job, which also completes all
+        // subscriber streams, so streaming connections finish on their
+        // own; request connections notice the flag on their next read
+        // timeout.
+        self.daemon.shutdown();
+        for h in handles {
+            let _ = h.join();
+        }
+        if let ServerAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Reads one `\n`-terminated line, tolerating read timeouts (used to
+/// poll the shutdown flag). Returns `Ok(false)` on EOF or shutdown.
+fn read_request_line(
+    reader: &mut BufReader<Conn>,
+    line: &mut String,
+    shutdown: &AtomicBool,
+) -> std::io::Result<bool> {
+    line.clear();
+    loop {
+        match reader.read_line(line) {
+            // read_line only returns Ok once it saw the newline or hit
+            // EOF, so any non-empty read is a complete request.
+            Ok(0) => return Ok(false),
+            Ok(_) => return Ok(true),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // A timeout mid-line keeps the partial bytes in `line`;
+                // keep accumulating unless the server is going down.
+                if shutdown.load(Ordering::Acquire) {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn serve_connection(
+    daemon: &Daemon,
+    conn: Conn,
+    shutdown: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut writer = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    let mut line = String::new();
+    while read_request_line(&mut reader, &mut line, shutdown)? {
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        match handle_line(daemon, trimmed) {
+            Reply::Line(text) => {
+                writer.write_all(text.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            Reply::Stream { ack, rx } => {
+                writer.write_all(ack.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                let _ = pump_stream(rx, &mut writer);
+                return Ok(());
+            }
+            Reply::Shutdown { ack } => {
+                writer.write_all(ack.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                shutdown.store(true, Ordering::Release);
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}

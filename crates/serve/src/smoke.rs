@@ -1,0 +1,154 @@
+//! The self-checking end-to-end run the CI daemon leg executes:
+//! start a daemon on a Unix socket, submit a 500-host world, stream
+//! it to two subscribers, verify both streams and the result against
+//! a direct in-process run, fork it, and shut down cleanly.
+
+use crate::client::Client;
+use crate::daemon::{Daemon, ServeConfig};
+use crate::server::{Server, ServerAddr};
+use dynaquar_core::spec::{parse_json, scenario_from_value, Value};
+use dynaquar_netsim::sim::Simulator;
+use dynaquar_netsim::JsonlEventWriter;
+use std::time::Duration;
+
+/// The smoke scenario: `hosts` star leaves under the paper's dynamic
+/// quarantine defense.
+pub fn smoke_spec(hosts: usize) -> Value {
+    parse_json(&format!(
+        r#"{{
+            "topology": {{"kind": "star", "leaves": {hosts}}},
+            "beta": 0.8,
+            "horizon": 120,
+            "initial_infected": 2,
+            "deployment": {{"hosts": 1.0}},
+            "params": {{"host_window_ticks": 200, "host_max_new_targets": 1,
+                        "host_release_period_ticks": 10}},
+            "quarantine": {{"queue_threshold": 3}},
+            "runs": 1,
+            "seed": 21
+        }}"#
+    ))
+    .expect("smoke spec is valid JSON")
+}
+
+/// Runs the smoke end to end. Returns a human-readable summary on
+/// success and the failing check's description on failure.
+pub fn run_smoke(hosts: usize, subscribers: usize) -> Result<String, String> {
+    let state = std::env::temp_dir().join(format!("dynaquar-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state);
+    let sock = state.join("serve.sock");
+    let outcome = smoke_inner(&state, &sock, hosts, subscribers);
+    let _ = std::fs::remove_dir_all(&state);
+    outcome
+}
+
+fn smoke_inner(
+    state: &std::path::Path,
+    sock: &std::path::Path,
+    hosts: usize,
+    subscribers: usize,
+) -> Result<String, String> {
+    let spec = smoke_spec(hosts);
+
+    // Reference: a direct in-process run of the same spec.
+    let scenario = scenario_from_value(&spec).map_err(|e| format!("spec rejected: {e}"))?;
+    let world = scenario.build_world();
+    let config = scenario.sim_config_for(&world);
+    let sim = Simulator::try_new(&world, &config, scenario.worm_behavior(), scenario.base_seed())
+        .map_err(|e| format!("engine refused the smoke spec: {e}"))?;
+    let mut writer = JsonlEventWriter::new(Vec::new());
+    let reference_result = sim.run_observed(&mut writer);
+    let reference_stream = writer
+        .finish()
+        .map_err(|e| format!("reference stream failed: {e}"))?;
+    let reference_json = crate::codec::result_to_json(&reference_result);
+
+    // The daemon under test, on a real Unix socket.
+    let daemon = Daemon::open(ServeConfig::new(state)).map_err(|e| format!("open failed: {e}"))?;
+    let server = Server::bind(daemon, ServerAddr::Unix(sock.to_path_buf()))
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.addr().clone();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect_retry(&addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect failed: {e}"))?;
+    client.ping().map_err(|e| format!("ping failed: {e}"))?;
+    let job = client
+        .submit(&spec, Some(25))
+        .map_err(|e| format!("submit failed: {e}"))?;
+
+    // Fan the stream out to N concurrent subscribers.
+    let mut subs = Vec::new();
+    for i in 0..subscribers {
+        let sub = Client::connect_retry(&addr, Duration::from_secs(10))
+            .map_err(|e| format!("subscriber {i} connect failed: {e}"))?;
+        let job = job.clone();
+        subs.push(std::thread::spawn(move || sub.subscribe_collect(&job)));
+    }
+
+    client
+        .wait(&job)
+        .map_err(|e| format!("wait failed: {e}"))?;
+    let served = client
+        .result(&job)
+        .map_err(|e| format!("result failed: {e}"))?;
+    let served_json = dynaquar_core::spec::emit_json(&served);
+    if served_json != reference_json {
+        return Err("served result diverged from the direct run".into());
+    }
+
+    for (i, sub) in subs.into_iter().enumerate() {
+        let bytes = sub
+            .join()
+            .map_err(|_| format!("subscriber {i} panicked"))?
+            .map_err(|e| format!("subscriber {i} failed: {e}"))?;
+        if bytes != reference_stream {
+            return Err(format!(
+                "subscriber {i} stream diverged ({} vs {} bytes)",
+                bytes.len(),
+                reference_stream.len()
+            ));
+        }
+    }
+
+    // A quick what-if fork: earlier quarantine trigger, from tick 50.
+    let overrides = parse_json(r#"{"quarantine": {"queue_threshold": 2}}"#).unwrap();
+    let forked = client
+        .fork(&job, Some(50), &overrides)
+        .map_err(|e| format!("fork failed: {e}"))?;
+    let fork_id = forked
+        .get("job")
+        .and_then(Value::as_str)
+        .ok_or("fork reply has no job id")?
+        .to_string();
+    client
+        .wait(&fork_id)
+        .map_err(|e| format!("fork wait failed: {e}"))?;
+
+    client
+        .shutdown()
+        .map_err(|e| format!("shutdown failed: {e}"))?;
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("server exited with: {e}"))?;
+
+    Ok(format!(
+        "smoke ok: {hosts}-host world served over {addr:?}; {subscribers} subscribers \
+         byte-identical ({} bytes each); result matches the direct run; fork {fork_id} completed",
+        reference_stream.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_ci_smoke_passes_in_process() {
+        // CI runs 500 hosts via the binary; the unit test keeps the
+        // same path hot at a smaller size.
+        let summary = run_smoke(120, 2).expect("smoke must pass");
+        assert!(summary.contains("smoke ok"), "{summary}");
+    }
+}
